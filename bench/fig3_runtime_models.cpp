@@ -1,0 +1,44 @@
+// Figure 3: runtime of the Δ-, Σ- and cΣ-Model MIP formulations as a
+// function of temporal flexibility (access-control objective). The paper
+// caps runs at 3600 s; a run at the cap means "no optimal solution found".
+//
+// Expected shape: cΣ fastest by about an order of magnitude over Σ; Δ hits
+// the cap (and usually finds no incumbent at all) already at moderate
+// flexibility. Flags: see eval::sweep_from_args (--paper-scale for the
+// full Section VI-A setup).
+#include <iostream>
+
+#include "fig_common.hpp"
+
+using namespace tvnep;
+
+int main(int argc, char** argv) {
+  const eval::Args args(argc, argv);
+  eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/4,
+                                                   /*rows=*/2, /*cols=*/3,
+                                                   /*leaves=*/2);
+  if (!args.has("time-limit") && !args.get_bool("paper-scale", false))
+    config.time_limit = 8.0;
+  if (!args.has("seeds") && !args.get_bool("paper-scale", false))
+    config.seeds = 2;
+  if (!args.has("flex-max") && !args.get_bool("paper-scale", false)) {
+    config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  }
+
+  for (const core::ModelKind kind :
+       {core::ModelKind::kDelta, core::ModelKind::kSigma,
+        core::ModelKind::kCSigma}) {
+    std::cerr << "model " << core::to_string(kind) << "...\n";
+    const auto outcomes =
+        eval::run_model_sweep(config, kind, bench::announce_progress);
+    const auto runtimes = eval::series_by_flexibility(
+        config, outcomes,
+        [&](const eval::ScenarioOutcome& o) { return o.result.seconds; });
+    bench::print_series(
+        std::string("Fig 3 — runtime [s] of ") + core::to_string(kind) +
+            " (cap " + Table::fmt(config.time_limit, 0) + "s = unsolved)",
+        config.flexibilities, runtimes, std::cout,
+        std::string("fig3_runtime_") + core::to_string(kind) + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared glue for the figure-reproduction benches: outcome → table rows,
+// summary printing, CSV export.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/runner.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace tvnep::bench {
+
+/// Prints per-flexibility five-number summaries of `values` (one vector of
+/// per-seed values per flexibility level), the way the paper's boxplots
+/// aggregate the 24 workloads.
+inline void print_series(const std::string& title,
+                         const std::vector<double>& flexibilities,
+                         const std::vector<std::vector<double>>& values,
+                         std::ostream& os, const std::string& csv_path) {
+  Table table({"flex_h", "n", "min", "q1", "median", "q3", "max", "mean"});
+  for (std::size_t f = 0; f < flexibilities.size(); ++f) {
+    const Summary s = summarize(values[f]);
+    table.add_row({Table::fmt(flexibilities[f], 1),
+                   std::to_string(s.count), Table::fmt(s.min),
+                   Table::fmt(s.q1), Table::fmt(s.median), Table::fmt(s.q3),
+                   Table::fmt(s.max), Table::fmt(s.mean)});
+  }
+  os << "== " << title << " ==\n";
+  table.print(os);
+  os << '\n';
+  if (!csv_path.empty()) table.save_csv(csv_path);
+}
+
+/// Gap values: timeouts without incumbent are the paper's "∞"; we cap them
+/// at this marker value so summaries stay finite and recognizable.
+inline double capped_gap(const core::TvnepSolveResult& result,
+                         double infinity_marker = 10.0) {
+  const double g = result.gap;
+  if (!result.has_solution || g > infinity_marker) return infinity_marker;
+  return g;
+}
+
+/// Restricts an instance to a subset of its requests (keeping substrate,
+/// horizon and fixed mappings). The fixed-set objectives (earliness, load
+/// balancing, link disabling) require every remaining request to be
+/// embeddable; the benches use the greedy's accepted set for that, mirroring
+/// how an operator would schedule an admitted batch.
+inline net::TvnepInstance restrict_to(const net::TvnepInstance& instance,
+                                      const std::vector<int>& keep) {
+  net::TvnepInstance out(instance.substrate(), instance.horizon());
+  for (const int r : keep) {
+    if (instance.has_fixed_mapping(r))
+      out.add_request(instance.request(r), instance.fixed_mapping(r));
+    else
+      out.add_request(instance.request(r));
+  }
+  return out;
+}
+
+inline void announce_progress(const eval::ScenarioOutcome& outcome) {
+  std::cerr << "  flex=" << outcome.flexibility << " seed=" << outcome.seed
+            << " status=" << mip::to_string(outcome.result.status)
+            << " obj=" << outcome.result.objective
+            << " t=" << outcome.result.seconds << "s\n";
+}
+
+}  // namespace tvnep::bench

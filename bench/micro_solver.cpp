@@ -1,0 +1,118 @@
+// Micro-benchmarks of the substrate: simplex solves, warm restarts, MIP
+// knapsacks, dependency-graph construction and model building.
+#include <benchmark/benchmark.h>
+
+#include "lp/simplex.hpp"
+#include "mip/branch_and_bound.hpp"
+#include "support/rng.hpp"
+#include "tvnep/dependency.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep {
+namespace {
+
+lp::Problem random_lp(int n, int m, std::uint64_t seed) {
+  Rng rng(seed);
+  lp::Problem p;
+  for (int j = 0; j < n; ++j)
+    p.add_column(0.0, static_cast<double>(rng.uniform_int(1, 5)),
+                 static_cast<double>(rng.uniform_int(-5, 5)));
+  for (int i = 0; i < m; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int j = 0; j < n; ++j)
+      if (rng.uniform01() < 0.3)
+        coeffs.emplace_back(j, static_cast<double>(rng.uniform_int(-3, 3)));
+    p.add_row(-lp::kInfinity, static_cast<double>(rng.uniform_int(1, 10)),
+              coeffs);
+  }
+  p.finalize();
+  return p;
+}
+
+void BM_SimplexColdSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Problem p = random_lp(n, n / 2, 42);
+  for (auto _ : state) {
+    lp::Simplex s(p);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SimplexColdSolve)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SimplexWarmRestart(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::Problem p = random_lp(n, n / 2, 42);
+  lp::Simplex s(p);
+  s.solve();
+  bool tighten = true;
+  for (auto _ : state) {
+    s.set_bounds(0, 0.0, tighten ? 0.0 : p.column(0).upper);
+    tighten = !tighten;
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SimplexWarmRestart)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MipKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  mip::Model m;
+  mip::LinExpr weight, value;
+  for (int i = 0; i < n; ++i) {
+    const mip::Var x = m.add_binary();
+    weight += static_cast<double>(rng.uniform_int(1, 20)) * x;
+    value += static_cast<double>(rng.uniform_int(1, 30)) * x;
+  }
+  m.add_constr(weight <= 5.0 * n);
+  m.set_objective(mip::Sense::kMaximize, value);
+  for (auto _ : state) {
+    mip::MipSolver solver;
+    benchmark::DoNotOptimize(solver.solve(m));
+  }
+}
+BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_DependencyGraph(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 1;
+  params.flexibility = 1.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  for (auto _ : state) {
+    core::DependencyGraph graph(instance);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_DependencyGraph)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_BuildCSigmaModel(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 3;
+  params.star_leaves = 2;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 1;
+  params.flexibility = 2.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  for (auto _ : state) {
+    auto f = core::build_formulation(instance, core::ModelKind::kCSigma, {});
+    benchmark::DoNotOptimize(f->model().num_constraints());
+  }
+}
+BENCHMARK(BM_BuildCSigmaModel)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_GenerateWorkload(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_workload(params));
+  }
+}
+BENCHMARK(BM_GenerateWorkload)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace tvnep
+
+BENCHMARK_MAIN();

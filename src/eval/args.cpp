@@ -1,0 +1,68 @@
+#include "eval/args.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace tvnep::eval {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    TVNEP_REQUIRE(token.rfind("--", 0) == 0, "unexpected argument: " + token);
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is another flag / end of line.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Args::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Args::has(const std::string& name) const { return raw(name).has_value(); }
+
+int Args::get_int(const std::string& name, int fallback) const {
+  const auto v = raw(name);
+  return v ? std::atoi(v->c_str()) : fallback;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  return v ? std::atof(v->c_str()) : fallback;
+}
+
+std::string Args::get_string(const std::string& name,
+                             const std::string& fallback) const {
+  const auto v = raw(name);
+  return v ? *v : fallback;
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tvnep::eval

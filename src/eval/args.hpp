@@ -1,0 +1,33 @@
+// Minimal command-line flag parser for the bench/example binaries.
+// Accepted syntax: --name value | --name=value | --flag (boolean true).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tvnep::eval {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Names that were provided but never queried — typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace tvnep::eval

@@ -1,0 +1,113 @@
+#include "eval/runner.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace tvnep::eval {
+
+SweepConfig sweep_from_args(const Args& args, int default_requests,
+                            int default_rows, int default_cols,
+                            int default_leaves) {
+  SweepConfig config;
+  if (args.get_bool("paper-scale", false)) {
+    // Section VI-A: 4×5 grid, 20 five-node-star requests, 1 h solves,
+    // flexibility 0..6 h in 30-minute steps.
+    default_requests = 20;
+    default_rows = 4;
+    default_cols = 5;
+    default_leaves = 4;
+    config.time_limit = 3600.0;
+    config.seeds = 24;
+  }
+  config.base.num_requests = args.get_int("requests", default_requests);
+  config.base.grid_rows = args.get_int("grid-rows", default_rows);
+  config.base.grid_cols = args.get_int("grid-cols", default_cols);
+  config.base.star_leaves = args.get_int("leaves", default_leaves);
+  config.base.node_capacity = args.get_double("node-capacity", 3.5);
+  config.base.link_capacity = args.get_double("link-capacity", 5.0);
+  config.seeds = args.get_int("seeds", config.seeds);
+  config.time_limit = args.get_double("time-limit", config.time_limit);
+
+  const double flex_max =
+      args.get_double("flex-max", args.get_bool("paper-scale", false) ? 6.0 : 6.0);
+  const double flex_step =
+      args.get_double("flex-step", args.get_bool("paper-scale", false) ? 0.5 : 1.0);
+  TVNEP_REQUIRE(flex_step > 0.0, "flex-step must be positive");
+  for (double f = 0.0; f <= flex_max + 1e-9; f += flex_step)
+    config.flexibilities.push_back(f);
+
+  config.build.dependency_cuts = !args.get_bool("no-dependency-cuts", false);
+  config.build.pairwise_cuts = !args.get_bool("no-pairwise-cuts", false);
+  config.build.precedence_cuts = !args.get_bool("no-precedence-cuts", false);
+  return config;
+}
+
+std::vector<ScenarioOutcome> run_model_sweep(
+    const SweepConfig& config, core::ModelKind kind,
+    const std::function<void(const ScenarioOutcome&)>& announce) {
+  std::vector<ScenarioOutcome> outcomes;
+  for (const double flex : config.flexibilities) {
+    for (int seed = 0; seed < config.seeds; ++seed) {
+      workload::WorkloadParams params = config.base;
+      params.seed = static_cast<std::uint64_t>(seed) + 1;
+      const net::TvnepInstance instance =
+          workload::generate_workload_with_flexibility(params, flex);
+
+      core::SolveParams solve_params;
+      solve_params.build = config.build;
+      solve_params.time_limit_seconds = config.time_limit;
+
+      ScenarioOutcome outcome;
+      outcome.flexibility = flex;
+      outcome.seed = seed;
+      outcome.result = core::solve(instance, kind, solve_params);
+      if (announce) announce(outcome);
+      outcomes.push_back(std::move(outcome));
+    }
+  }
+  return outcomes;
+}
+
+std::vector<GreedyOutcome> run_greedy_sweep(
+    const SweepConfig& config,
+    const std::function<void(const GreedyOutcome&)>& announce) {
+  std::vector<GreedyOutcome> outcomes;
+  for (const double flex : config.flexibilities) {
+    for (int seed = 0; seed < config.seeds; ++seed) {
+      workload::WorkloadParams params = config.base;
+      params.seed = static_cast<std::uint64_t>(seed) + 1;
+      const net::TvnepInstance instance =
+          workload::generate_workload_with_flexibility(params, flex);
+
+      greedy::GreedyOptions options;
+      options.dependency_cuts = config.build.dependency_cuts;
+      options.per_iteration_time_limit = config.time_limit;
+
+      GreedyOutcome outcome;
+      outcome.flexibility = flex;
+      outcome.seed = seed;
+      outcome.result = greedy::solve_greedy(instance, options);
+      if (announce) announce(outcome);
+      outcomes.push_back(std::move(outcome));
+    }
+  }
+  return outcomes;
+}
+
+std::vector<std::vector<double>> series_by_flexibility(
+    const SweepConfig& config, const std::vector<ScenarioOutcome>& outcomes,
+    const std::function<double(const ScenarioOutcome&)>& extract) {
+  std::vector<std::vector<double>> series(config.flexibilities.size());
+  for (const auto& outcome : outcomes) {
+    for (std::size_t f = 0; f < config.flexibilities.size(); ++f) {
+      if (std::fabs(config.flexibilities[f] - outcome.flexibility) < 1e-9) {
+        series[f].push_back(extract(outcome));
+        break;
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace tvnep::eval

@@ -1,0 +1,62 @@
+// Scenario sweeps for the evaluation section: (seed × flexibility) grids
+// over a model/objective combination, mirroring the paper's 24 workloads ×
+// 11 flexibility steps methodology at a configurable scale.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "eval/args.hpp"
+#include "greedy/greedy.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::eval {
+
+struct SweepConfig {
+  workload::WorkloadParams base;        // flexibility is overridden per cell
+  std::vector<double> flexibilities;    // hours
+  int seeds = 3;
+  double time_limit = 10.0;             // per solve, seconds
+  core::BuildOptions build;
+};
+
+/// Builds the scaled default configuration used by the figure benches and
+/// overrides it from command-line flags:
+///   --requests N --grid-rows R --grid-cols C --leaves L --seeds S
+///   --time-limit SEC --flex-max HOURS --flex-step HOURS
+///   --no-dependency-cuts --no-pairwise-cuts --paper-scale
+SweepConfig sweep_from_args(const Args& args, int default_requests,
+                            int default_rows, int default_cols,
+                            int default_leaves);
+
+struct ScenarioOutcome {
+  double flexibility = 0.0;
+  int seed = 0;
+  core::TvnepSolveResult result;
+};
+
+/// Solves every (flexibility, seed) cell with the given model. `announce`
+/// (optional) is called with each finished outcome for progress reporting.
+std::vector<ScenarioOutcome> run_model_sweep(
+    const SweepConfig& config, core::ModelKind kind,
+    const std::function<void(const ScenarioOutcome&)>& announce = nullptr);
+
+struct GreedyOutcome {
+  double flexibility = 0.0;
+  int seed = 0;
+  greedy::GreedyResult result;
+};
+
+/// Runs the greedy cΣ_A^G over the same grid.
+std::vector<GreedyOutcome> run_greedy_sweep(
+    const SweepConfig& config,
+    const std::function<void(const GreedyOutcome&)>& announce = nullptr);
+
+/// Collects the values of `extract(outcome)` per flexibility level, in
+/// seed order — the series the figures plot.
+std::vector<std::vector<double>> series_by_flexibility(
+    const SweepConfig& config, const std::vector<ScenarioOutcome>& outcomes,
+    const std::function<double(const ScenarioOutcome&)>& extract);
+
+}  // namespace tvnep::eval

@@ -1,0 +1,111 @@
+#include "greedy/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+#include "tvnep/solver.hpp"
+
+namespace tvnep::greedy {
+
+double GreedyResult::max_iteration_seconds() const {
+  double worst = 0.0;
+  for (double s : iteration_seconds) worst = std::max(worst, s);
+  return worst;
+}
+
+GreedyResult solve_greedy(const net::TvnepInstance& instance,
+                          const GreedyOptions& options) {
+  Stopwatch watch;
+  GreedyResult result;
+  const int num_r = instance.num_requests();
+
+  // L ← R ordered by earliest start t^s.
+  std::vector<int> order(static_cast<std::size_t>(num_r));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return instance.request(a).earliest_start() <
+           instance.request(b).earliest_start();
+  });
+
+  // Working copy: windows of decided requests get pinned as we go.
+  // The sub-instance of iteration i holds order[0..i] in processing order.
+  net::TvnepInstance working(instance.substrate(), instance.horizon());
+  std::vector<int> sub_to_original;  // sub index → original request index
+
+  std::vector<int> accepted_subs, rejected_subs;
+  core::TvnepSolution last_good;       // covers sub_to_original.size() - ? requests
+  std::vector<int> last_good_mapping;  // sub→original for last_good
+
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int original = order[i];
+    const auto& req = instance.request(original);
+    if (instance.has_fixed_mapping(original))
+      working.add_request(req, instance.fixed_mapping(original));
+    else
+      working.add_request(req);
+    sub_to_original.push_back(original);
+    const int target = static_cast<int>(i);
+
+    core::SolveParams params;
+    params.build.objective = core::ObjectiveKind::kGreedyStep;
+    params.build.greedy_target = target;
+    params.build.dependency_cuts = options.dependency_cuts;
+    params.build.force_accept = accepted_subs;
+    params.build.force_reject = rejected_subs;
+    params.time_limit_seconds = options.per_iteration_time_limit;
+    params.mip = options.mip;
+
+    Stopwatch iteration_watch;
+    const core::TvnepSolveResult step =
+        core::solve(working, core::ModelKind::kCSigma, params);
+    result.iteration_seconds.push_back(iteration_watch.seconds());
+
+    bool accepted = false;
+    if (step.has_solution) {
+      const auto& emb =
+          step.solution.requests[static_cast<std::size_t>(target)];
+      accepted = emb.accepted;
+      if (accepted) {
+        // Pin the schedule: the request must run at exactly these times in
+        // all later iterations (its flexibility collapses).
+        working.mutable_request(target).set_temporal(emb.start, emb.end,
+                                                     req.duration());
+        accepted_subs.push_back(target);
+      }
+      last_good = step.solution;
+      last_good_mapping = sub_to_original;
+    }
+    if (!accepted) {
+      // Rejected requests still receive fixed times (Definition 2.1):
+      // t^+ = t^s, t^- = t^s + d.
+      working.mutable_request(target).set_temporal(
+          req.earliest_start(), req.earliest_start() + req.duration(),
+          req.duration());
+      rejected_subs.push_back(target);
+    }
+    if (step.status != mip::MipStatus::kOptimal) result.complete = false;
+  }
+
+  // Assemble the final solution in original request order from the last
+  // successful step (it re-embeds every accepted request consistently).
+  result.solution.requests.resize(static_cast<std::size_t>(num_r));
+  for (int r = 0; r < num_r; ++r) {
+    auto& emb = result.solution.requests[static_cast<std::size_t>(r)];
+    emb.accepted = false;
+    emb.start = instance.request(r).earliest_start();
+    emb.end = emb.start + instance.request(r).duration();
+  }
+  for (std::size_t sub = 0; sub < last_good_mapping.size(); ++sub) {
+    const int original = last_good_mapping[sub];
+    result.solution.requests[static_cast<std::size_t>(original)] =
+        last_good.requests[sub];
+  }
+  result.accepted = result.solution.num_accepted();
+  result.solution.objective = result.solution.revenue(instance);
+  result.total_seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace tvnep::greedy

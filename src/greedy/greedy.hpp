@@ -1,0 +1,49 @@
+// Greedy algorithm cΣ_A^G (Section V).
+//
+// Requests are processed in order of their earliest start t^s. Each
+// iteration solves a cΣ-Model over the requests seen so far in which all
+// previous admission decisions and schedules are fixed, with the step
+// objective (Eq. 21): max T·x_R(L[i]) + (T - t^-_{L[i]}) — embed the new
+// request if at all possible, and then finish it as early as possible.
+// Accepted requests have their windows pinned to the returned schedule
+// (flexibility collapses to zero); link allocations are *not* fixed and
+// are recomputed in every iteration, exactly as the paper prescribes.
+//
+// With all-but-one schedule fixed each step MIP is small (the paper argues
+// it is solvable in polynomial time); empirically iterations take a
+// fraction of a second.
+#pragma once
+
+#include <vector>
+
+#include "mip/branch_and_bound.hpp"
+#include "net/instance.hpp"
+#include "tvnep/solution.hpp"
+
+namespace tvnep::greedy {
+
+struct GreedyOptions {
+  /// Wall-clock budget per iteration MIP (they normally finish far below).
+  double per_iteration_time_limit = 10.0;
+  /// Temporal dependency graph cuts in the per-iteration cΣ models.
+  bool dependency_cuts = true;
+  mip::MipOptions mip;
+};
+
+struct GreedyResult {
+  core::TvnepSolution solution;
+  int accepted = 0;
+  /// True when every iteration solved its step MIP to optimality.
+  bool complete = true;
+  std::vector<double> iteration_seconds;
+  double total_seconds = 0.0;
+
+  double max_iteration_seconds() const;
+};
+
+/// Runs cΣ_A^G on the instance (requests keep their identity/order in the
+/// returned solution).
+GreedyResult solve_greedy(const net::TvnepInstance& instance,
+                          const GreedyOptions& options = {});
+
+}  // namespace tvnep::greedy

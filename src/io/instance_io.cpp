@@ -1,0 +1,133 @@
+#include "io/instance_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace tvnep::io {
+
+void write_instance(const net::TvnepInstance& instance, std::ostream& os) {
+  os << "tvnep 1\n";
+  os << std::setprecision(17);
+  os << "horizon " << instance.horizon() << '\n';
+  const auto& substrate = instance.substrate();
+  for (int v = 0; v < substrate.num_nodes(); ++v) {
+    os << "substrate-node " << substrate.node_capacity(v);
+    if (!substrate.node_name(v).empty()) os << ' ' << substrate.node_name(v);
+    os << '\n';
+  }
+  for (int e = 0; e < substrate.num_links(); ++e) {
+    const auto& link = substrate.link(e);
+    os << "substrate-link " << link.from << ' ' << link.to << ' '
+       << link.capacity << '\n';
+  }
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const auto& req = instance.request(r);
+    const std::string name = req.name().empty() ? "R" + std::to_string(r)
+                                                : req.name();
+    os << "request " << name << ' ' << req.earliest_start() << ' '
+       << req.latest_end() << ' ' << req.duration() << '\n';
+    for (int v = 0; v < req.num_nodes(); ++v)
+      os << "vnode " << req.node_demand(v) << '\n';
+    for (int e = 0; e < req.num_links(); ++e) {
+      const auto& link = req.link(e);
+      os << "vlink " << link.from << ' ' << link.to << ' ' << link.demand
+         << '\n';
+    }
+    if (instance.has_fixed_mapping(r)) {
+      os << "mapping";
+      for (const int host : instance.fixed_mapping(r)) os << ' ' << host;
+      os << '\n';
+    }
+  }
+}
+
+net::TvnepInstance read_instance(std::istream& is) {
+  std::string line;
+  TVNEP_REQUIRE(std::getline(is, line) && line.rfind("tvnep 1", 0) == 0,
+                "instance file must start with 'tvnep 1'");
+
+  net::SubstrateNetwork substrate;
+  double horizon = 0.0;
+
+  struct PendingRequest {
+    net::VnetRequest request;
+    std::optional<std::vector<net::NodeId>> mapping;
+  };
+  std::vector<PendingRequest> pending;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "horizon") {
+      ls >> horizon;
+    } else if (keyword == "substrate-node") {
+      double capacity = 0.0;
+      std::string name;
+      ls >> capacity;
+      ls >> name;  // optional
+      substrate.add_node(capacity, name);
+    } else if (keyword == "substrate-link") {
+      int from = 0, to = 0;
+      double capacity = 0.0;
+      ls >> from >> to >> capacity;
+      substrate.add_link(from, to, capacity);
+    } else if (keyword == "request") {
+      std::string name;
+      double ts = 0.0, te = 0.0, d = 0.0;
+      ls >> name >> ts >> te >> d;
+      PendingRequest p{net::VnetRequest(name), std::nullopt};
+      pending.push_back(std::move(p));
+      // Temporal spec is applied after the nodes exist (set_temporal
+      // validates the duration, which needs no nodes, so set it now).
+      pending.back().request.set_temporal(ts, te, d);
+    } else if (keyword == "vnode") {
+      TVNEP_REQUIRE(!pending.empty(), "vnode before any request");
+      double demand = 0.0;
+      ls >> demand;
+      pending.back().request.add_node(demand);
+    } else if (keyword == "vlink") {
+      TVNEP_REQUIRE(!pending.empty(), "vlink before any request");
+      int from = 0, to = 0;
+      double demand = 0.0;
+      ls >> from >> to >> demand;
+      pending.back().request.add_link(from, to, demand);
+    } else if (keyword == "mapping") {
+      TVNEP_REQUIRE(!pending.empty(), "mapping before any request");
+      std::vector<net::NodeId> map;
+      int host = 0;
+      while (ls >> host) map.push_back(host);
+      pending.back().mapping = std::move(map);
+    } else {
+      TVNEP_REQUIRE(false, "unknown instance keyword: " + keyword);
+    }
+    TVNEP_REQUIRE(!ls.bad(), "malformed instance line: " + line);
+  }
+
+  net::TvnepInstance instance(std::move(substrate), horizon);
+  for (auto& p : pending)
+    instance.add_request(std::move(p.request), std::move(p.mapping));
+  instance.validate();
+  return instance;
+}
+
+void save_instance(const net::TvnepInstance& instance,
+                   const std::string& path) {
+  std::ofstream out(path);
+  TVNEP_REQUIRE(out.good(), "cannot open instance file for write: " + path);
+  write_instance(instance, out);
+}
+
+net::TvnepInstance load_instance(const std::string& path) {
+  std::ifstream in(path);
+  TVNEP_REQUIRE(in.good(), "cannot open instance file for read: " + path);
+  return read_instance(in);
+}
+
+}  // namespace tvnep::io

@@ -1,0 +1,39 @@
+// Plain-text serialization of TVNEP instances.
+//
+// The paper's authors published their model and data files alongside the
+// evaluation ([13]); this module provides the equivalent artifact: a
+// line-oriented, diff-friendly format that round-trips every instance
+// (substrate, requests, temporal windows, fixed node mappings) exactly.
+//
+// Format (one record per line, '#' comments ignored):
+//
+//   tvnep 1                                  # header, format version
+//   horizon <T>
+//   substrate-node <capacity> [name]
+//   substrate-link <from> <to> <capacity>
+//   request <name> <t_s> <t_e> <duration>
+//   vnode <demand>                           # belongs to the last request
+//   vlink <from> <to> <demand>
+//   mapping <s_0> <s_1> ... <s_{n-1}>        # optional, one per request
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/instance.hpp"
+
+namespace tvnep::io {
+
+/// Serializes the instance; the output round-trips through read_instance.
+void write_instance(const net::TvnepInstance& instance, std::ostream& os);
+
+/// Parses an instance written by write_instance. Throws CheckError on
+/// malformed input.
+net::TvnepInstance read_instance(std::istream& is);
+
+/// File-based convenience wrappers.
+void save_instance(const net::TvnepInstance& instance,
+                   const std::string& path);
+net::TvnepInstance load_instance(const std::string& path);
+
+}  // namespace tvnep::io

@@ -1,0 +1,127 @@
+#include "io/mps_writer.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace tvnep::io {
+
+namespace {
+
+// MPS names must be short and whitespace-free; generated names from the
+// formulations contain brackets/commas, so columns and rows are emitted
+// with synthetic names (original names preserved as comments is overkill
+// for machine interop).
+std::string col_name(int j) { return "x" + std::to_string(j); }
+std::string row_name(int i) { return "c" + std::to_string(i); }
+
+}  // namespace
+
+void write_mps(const mip::Model& model, std::ostream& os,
+               const std::string& problem_name) {
+  std::vector<bool> is_int;
+  const lp::Problem problem = model.to_lp(&is_int);
+  // to_lp negates costs for maximization; undo so the MPS carries the
+  // model's native objective together with an explicit OBJSENSE.
+  const double scale = model.objective_scale();
+
+  os << std::setprecision(17);
+  os << "NAME          " << problem_name << '\n';
+  os << "OBJSENSE\n    "
+     << (model.sense() == mip::Sense::kMaximize ? "MAX" : "MIN") << '\n';
+
+  os << "ROWS\n";
+  os << " N  obj\n";
+  for (int i = 0; i < problem.num_rows(); ++i) {
+    const auto& row = problem.row(i);
+    const bool has_lo = std::isfinite(row.lower);
+    const bool has_up = std::isfinite(row.upper);
+    char type = 'N';
+    if (has_lo && has_up) type = row.lower == row.upper ? 'E' : 'L';
+    else if (has_up) type = 'L';
+    else if (has_lo) type = 'G';
+    os << " " << type << "  " << row_name(i) << '\n';
+  }
+
+  os << "COLUMNS\n";
+  bool in_integer_block = false;
+  int marker = 0;
+  const auto& matrix = problem.matrix();
+  for (int j = 0; j < problem.num_columns(); ++j) {
+    const bool integral = is_int[static_cast<std::size_t>(j)];
+    if (integral != in_integer_block) {
+      os << "    MARKER" << marker++ << "    'MARKER'    "
+         << (integral ? "'INTORG'" : "'INTEND'") << '\n';
+      in_integer_block = integral;
+    }
+    const double cost = problem.column(j).cost * scale;
+    if (cost != 0.0)
+      os << "    " << col_name(j) << "  obj  " << cost << '\n';
+    // Column entries are not directly iterable per column from the row
+    // layout; use the column view.
+    for (const auto& entry : matrix.column(j))
+      os << "    " << col_name(j) << "  " << row_name(entry.index) << "  "
+         << entry.value << '\n';
+  }
+  if (in_integer_block)
+    os << "    MARKER" << marker++ << "    'MARKER'    'INTEND'\n";
+
+  os << "RHS\n";
+  for (int i = 0; i < problem.num_rows(); ++i) {
+    const auto& row = problem.row(i);
+    if (std::isfinite(row.upper))
+      os << "    rhs  " << row_name(i) << "  " << row.upper << '\n';
+    else if (std::isfinite(row.lower))
+      os << "    rhs  " << row_name(i) << "  " << row.lower << '\n';
+  }
+
+  // Ranged rows (finite on both sides, not equalities) carry a RANGES
+  // entry of width upper - lower.
+  bool any_range = false;
+  for (int i = 0; i < problem.num_rows(); ++i) {
+    const auto& row = problem.row(i);
+    if (std::isfinite(row.lower) && std::isfinite(row.upper) &&
+        row.lower != row.upper) {
+      if (!any_range) {
+        os << "RANGES\n";
+        any_range = true;
+      }
+      os << "    rng  " << row_name(i) << "  " << (row.upper - row.lower)
+         << '\n';
+    }
+  }
+
+  os << "BOUNDS\n";
+  for (int j = 0; j < problem.num_columns(); ++j) {
+    const auto& col = problem.column(j);
+    const bool lo_finite = std::isfinite(col.lower);
+    const bool up_finite = std::isfinite(col.upper);
+    if (!lo_finite && !up_finite) {
+      os << " FR  bnd  " << col_name(j) << '\n';
+      continue;
+    }
+    if (lo_finite && up_finite && col.lower == col.upper) {
+      os << " FX  bnd  " << col_name(j) << "  " << col.lower << '\n';
+      continue;
+    }
+    if (!lo_finite) os << " MI  bnd  " << col_name(j) << '\n';
+    else if (col.lower != 0.0)
+      os << " LO  bnd  " << col_name(j) << "  " << col.lower << '\n';
+    if (up_finite)
+      os << " UP  bnd  " << col_name(j) << "  " << col.upper << '\n';
+  }
+
+  os << "ENDATA\n";
+}
+
+void save_mps(const mip::Model& model, const std::string& path,
+              const std::string& problem_name) {
+  std::ofstream out(path);
+  TVNEP_REQUIRE(out.good(), "cannot open MPS file for write: " + path);
+  write_mps(model, out, problem_name);
+}
+
+}  // namespace tvnep::io

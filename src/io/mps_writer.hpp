@@ -1,0 +1,25 @@
+// Fixed-format MPS export of mip::Model.
+//
+// Lets every TVNEP formulation be inspected with (or cross-checked
+// against) external MILP solvers — the interoperability artifact that
+// replaces the paper's published Gurobi model files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mip/model.hpp"
+
+namespace tvnep::io {
+
+/// Writes `model` in MPS format (free-form field spacing, MARKER sections
+/// for integer variables, RANGES/BOUNDS as needed). Maximization models
+/// are written as-is with an OBJSENSE section.
+void write_mps(const mip::Model& model, std::ostream& os,
+               const std::string& problem_name = "TVNEP");
+
+/// File convenience wrapper.
+void save_mps(const mip::Model& model, const std::string& path,
+              const std::string& problem_name = "TVNEP");
+
+}  // namespace tvnep::io

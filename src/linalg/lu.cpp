@@ -1,0 +1,109 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace tvnep::linalg {
+
+std::optional<LuFactorization> LuFactorization::factorize(
+    const DenseMatrix& a, double pivot_tol) {
+  TVNEP_REQUIRE(a.rows() == a.cols(), "LU: matrix must be square");
+  const std::size_t n = a.rows();
+  LuFactorization f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  std::iota(f.perm_.begin(), f.perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(f.lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::fabs(f.lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol) return std::nullopt;
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(f.lu_(k, c), f.lu_(pivot_row, c));
+      std::swap(f.perm_[k], f.perm_[pivot_row]);
+      f.sign_ = -f.sign_;
+    }
+    const double inv_pivot = 1.0 / f.lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = f.lu_(r, k) * inv_pivot;
+      f.lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c)
+        f.lu_(r, c) -= factor * f.lu_(k, c);
+    }
+  }
+  return f;
+}
+
+void LuFactorization::solve(std::span<double> b) const {
+  const std::size_t n = order();
+  TVNEP_REQUIRE(b.size() == n, "LU solve: rhs length mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = y[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * y[j];
+    y[i] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * y[j];
+    y[ii] = sum / lu_(ii, ii);
+  }
+  std::copy(y.begin(), y.end(), b.begin());
+}
+
+void LuFactorization::solve_transposed(std::span<double> b) const {
+  const std::size_t n = order();
+  TVNEP_REQUIRE(b.size() == n, "LU solve_transposed: rhs length mismatch");
+  // A^T x = b  ⇔  U^T L^T P x = b.
+  std::vector<double> y(b.begin(), b.end());
+  // Forward substitution with U^T (lower triangular, non-unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = y[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(j, i) * y[j];
+    y[i] = sum / lu_(i, i);
+  }
+  // Back substitution with L^T (upper triangular, unit diagonal).
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(j, ii) * y[j];
+    y[ii] = sum;
+  }
+  // Undo the permutation: x = P^T y.
+  for (std::size_t i = 0; i < n; ++i) b[perm_[i]] = y[i];
+}
+
+DenseMatrix LuFactorization::inverse() const {
+  const std::size_t n = order();
+  DenseMatrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[c] = 1.0;
+    solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = e[r];
+  }
+  return inv;
+}
+
+double LuFactorization::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace tvnep::linalg

@@ -1,0 +1,44 @@
+// Dense LU factorization with partial pivoting.
+//
+// Used by tests to cross-check the simplex's incrementally maintained basis
+// inverse and as a general small-system solver.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace tvnep::linalg {
+
+/// PA = LU factorization of a square matrix with partial (row) pivoting.
+class LuFactorization {
+ public:
+  /// Factorizes `a`; returns std::nullopt if the matrix is singular to
+  /// working precision (pivot magnitude below `pivot_tol`).
+  static std::optional<LuFactorization> factorize(const DenseMatrix& a,
+                                                  double pivot_tol = 1e-12);
+
+  std::size_t order() const { return lu_.rows(); }
+
+  /// Solves A x = b in place (b.size() == order()).
+  void solve(std::span<double> b) const;
+
+  /// Solves A^T x = b in place.
+  void solve_transposed(std::span<double> b) const;
+
+  /// Explicit inverse (order^2 memory; intended for moderate sizes).
+  DenseMatrix inverse() const;
+
+  /// Determinant (sign-adjusted product of pivots).
+  double determinant() const;
+
+ private:
+  LuFactorization() = default;
+  DenseMatrix lu_;              // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i] of A
+  int sign_ = 1;
+};
+
+}  // namespace tvnep::linalg

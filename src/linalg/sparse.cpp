@@ -1,0 +1,99 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace tvnep::linalg {
+
+SparseBuilder::SparseBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
+  TVNEP_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimensions");
+}
+
+void SparseBuilder::add(int row, int col, double value) {
+  TVNEP_REQUIRE(row >= 0 && row < rows_, "sparse add: row out of range");
+  TVNEP_REQUIRE(col >= 0 && col < cols_, "sparse add: col out of range");
+  if (value == 0.0) return;
+  triplets_.push_back({row, col, value});
+}
+
+SparseMatrix::SparseMatrix(const SparseBuilder& builder, double drop_tol)
+    : rows_(builder.rows()), cols_(builder.cols()) {
+  // Deduplicate by (col, row) with summation for the column-major layout.
+  auto triplets = builder.triplets();
+  std::sort(triplets.begin(), triplets.end(),
+            [](const SparseBuilder::Triplet& a, const SparseBuilder::Triplet& b) {
+              if (a.col != b.col) return a.col < b.col;
+              return a.row < b.row;
+            });
+
+  col_start_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].col == triplets[i].col &&
+           triplets[j].row == triplets[i].row) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    if (std::fabs(sum) > drop_tol) {
+      col_entries_.push_back({triplets[i].row, sum});
+      ++col_start_[static_cast<std::size_t>(triplets[i].col) + 1];
+    }
+    i = j;
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(cols_); ++c)
+    col_start_[c + 1] += col_start_[c];
+
+  // Row-major layout from the deduplicated column-major entries.
+  row_start_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+  for (const auto& entry : col_entries_)
+    ++row_start_[static_cast<std::size_t>(entry.index) + 1];
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r)
+    row_start_[r + 1] += row_start_[r];
+  row_entries_.resize(col_entries_.size());
+  std::vector<std::size_t> cursor(row_start_.begin(), row_start_.end() - 1);
+  for (int c = 0; c < cols_; ++c) {
+    for (std::size_t k = col_start_[static_cast<std::size_t>(c)];
+         k < col_start_[static_cast<std::size_t>(c) + 1]; ++k) {
+      const auto& entry = col_entries_[k];
+      row_entries_[cursor[static_cast<std::size_t>(entry.index)]++] = {
+          c, entry.value};
+    }
+  }
+}
+
+std::span<const SparseEntry> SparseMatrix::column(int c) const {
+  TVNEP_REQUIRE(c >= 0 && c < cols_, "column index out of range");
+  const std::size_t begin = col_start_[static_cast<std::size_t>(c)];
+  const std::size_t end = col_start_[static_cast<std::size_t>(c) + 1];
+  return {col_entries_.data() + begin, end - begin};
+}
+
+std::span<const SparseEntry> SparseMatrix::row(int r) const {
+  TVNEP_REQUIRE(r >= 0 && r < rows_, "row index out of range");
+  const std::size_t begin = row_start_[static_cast<std::size_t>(r)];
+  const std::size_t end = row_start_[static_cast<std::size_t>(r) + 1];
+  return {row_entries_.data() + begin, end - begin};
+}
+
+void SparseMatrix::add_column_to(int c, double scale,
+                                 std::span<double> y) const {
+  TVNEP_REQUIRE(y.size() == static_cast<std::size_t>(rows_),
+                "add_column_to: vector length mismatch");
+  for (const auto& entry : column(c))
+    y[static_cast<std::size_t>(entry.index)] += scale * entry.value;
+}
+
+double SparseMatrix::column_dot(int c, std::span<const double> x) const {
+  TVNEP_REQUIRE(x.size() == static_cast<std::size_t>(rows_),
+                "column_dot: vector length mismatch");
+  double sum = 0.0;
+  for (const auto& entry : column(c))
+    sum += entry.value * x[static_cast<std::size_t>(entry.index)];
+  return sum;
+}
+
+}  // namespace tvnep::linalg

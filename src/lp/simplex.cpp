@@ -1,0 +1,804 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "support/check.hpp"
+
+namespace tvnep::lp {
+
+namespace {
+constexpr double kInf = kInfinity;
+
+bool finite(double v) { return std::isfinite(v); }
+}  // namespace
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
+    case SolveStatus::kNumericalFailure: return "numerical-failure";
+  }
+  return "unknown";
+}
+
+Simplex::Simplex(const Problem& problem, SimplexOptions options)
+    : problem_(&problem), options_(options) {
+  TVNEP_REQUIRE(problem.finalized(), "Simplex requires a finalized problem");
+  const int n = num_structural();
+  const int m = num_rows();
+  lower_.resize(static_cast<std::size_t>(n + m));
+  upper_.resize(static_cast<std::size_t>(n + m));
+  reset_bounds();
+  x_.assign(static_cast<std::size_t>(n + m), 0.0);
+  status_.assign(static_cast<std::size_t>(n + m), VarStatus::kAtLower);
+  duals_.assign(static_cast<std::size_t>(m), 0.0);
+  if (options_.max_iterations <= 0)
+    options_.max_iterations = std::max(20000, 60 * (n + m));
+  if (options_.max_dual_iterations <= 0)
+    options_.max_dual_iterations = std::max(2000, 4 * m);
+}
+
+void Simplex::set_bounds(int j, double lo, double hi) {
+  TVNEP_REQUIRE(j >= 0 && j < num_structural(), "set_bounds: bad column");
+  TVNEP_REQUIRE(lo <= hi, "set_bounds: crossed bounds");
+  lower_[static_cast<std::size_t>(j)] = lo;
+  upper_[static_cast<std::size_t>(j)] = hi;
+}
+
+void Simplex::reset_bounds() {
+  const int n = num_structural();
+  const int m = num_rows();
+  for (int j = 0; j < n; ++j) {
+    lower_[static_cast<std::size_t>(j)] = problem_->column(j).lower;
+    upper_[static_cast<std::size_t>(j)] = problem_->column(j).upper;
+  }
+  for (int i = 0; i < m; ++i) {
+    lower_[static_cast<std::size_t>(n + i)] = problem_->row(i).lower;
+    upper_[static_cast<std::size_t>(n + i)] = problem_->row(i).upper;
+  }
+}
+
+double Simplex::working_lower(int j) const {
+  TVNEP_REQUIRE(j >= 0 && j < num_structural(), "working_lower: bad column");
+  return lower_[static_cast<std::size_t>(j)];
+}
+
+double Simplex::working_upper(int j) const {
+  TVNEP_REQUIRE(j >= 0 && j < num_structural(), "working_upper: bad column");
+  return upper_[static_cast<std::size_t>(j)];
+}
+
+void Simplex::set_cost(int j, double cost) {
+  const_cast<Problem*>(problem_)->set_cost(j, cost);
+}
+
+double Simplex::var_cost(int v) const {
+  return is_slack(v) ? 0.0 : problem_->column(v).cost;
+}
+
+void Simplex::ftran(int v, std::vector<double>& alpha) const {
+  const int m = num_rows();
+  alpha.assign(static_cast<std::size_t>(m), 0.0);
+  if (is_slack(v)) {
+    const int r = v - num_structural();
+    for (int i = 0; i < m; ++i)
+      alpha[static_cast<std::size_t>(i)] =
+          -binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                 static_cast<std::size_t>(r)];
+    return;
+  }
+  for (const auto& entry : problem_->matrix().column(v)) {
+    const double val = entry.value;
+    const std::size_t r = static_cast<std::size_t>(entry.index);
+    for (int i = 0; i < m; ++i)
+      alpha[static_cast<std::size_t>(i)] +=
+          val * binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) + r];
+  }
+}
+
+double Simplex::column_dot(int v, const std::vector<double>& y) const {
+  if (is_slack(v)) return -y[static_cast<std::size_t>(v - num_structural())];
+  double sum = 0.0;
+  for (const auto& entry : problem_->matrix().column(v))
+    sum += entry.value * y[static_cast<std::size_t>(entry.index)];
+  return sum;
+}
+
+void Simplex::cold_start() {
+  const int n = num_structural();
+  const int m = num_rows();
+  basis_.resize(static_cast<std::size_t>(m));
+  binv_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    basis_[static_cast<std::size_t>(i)] = n + i;
+    status_[static_cast<std::size_t>(n + i)] = VarStatus::kBasic;
+    // Slack column is -e_i, so B = -I and B^-1 = -I.
+    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+          static_cast<std::size_t>(i)] = -1.0;
+  }
+  for (int j = 0; j < n; ++j) {
+    const double lo = lower(j);
+    const double hi = upper(j);
+    auto& st = status_[static_cast<std::size_t>(j)];
+    if (finite(lo)) {
+      st = VarStatus::kAtLower;
+      x_[static_cast<std::size_t>(j)] = lo;
+    } else if (finite(hi)) {
+      st = VarStatus::kAtUpper;
+      x_[static_cast<std::size_t>(j)] = hi;
+    } else {
+      st = VarStatus::kFree;
+      x_[static_cast<std::size_t>(j)] = 0.0;
+    }
+  }
+  compute_basic_values();
+  has_basis_ = true;
+  degenerate_streak_ = 0;
+}
+
+void Simplex::compute_basic_values() {
+  const int n = num_structural();
+  const int m = num_rows();
+  // rhs = b - N x_N with b = 0.
+  std::vector<double> rhs(static_cast<std::size_t>(m), 0.0);
+  for (int v = 0; v < n + m; ++v) {
+    if (status_[static_cast<std::size_t>(v)] == VarStatus::kBasic) continue;
+    const double xv = x_[static_cast<std::size_t>(v)];
+    if (xv == 0.0) continue;
+    if (is_slack(v)) {
+      rhs[static_cast<std::size_t>(v - n)] += xv;  // -(-1) * x
+    } else {
+      for (const auto& entry : problem_->matrix().column(v))
+        rhs[static_cast<std::size_t>(entry.index)] -= entry.value * xv;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    const double* row = binv_.data() +
+                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
+    double sum = 0.0;
+    for (int k = 0; k < m; ++k) sum += row[k] * rhs[static_cast<std::size_t>(k)];
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = sum;
+  }
+}
+
+void Simplex::compute_duals_phase2(std::vector<double>& y) const {
+  const int m = num_rows();
+  y.assign(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const double c = var_cost(basis_[static_cast<std::size_t>(i)]);
+    if (c == 0.0) continue;
+    const double* row = binv_.data() +
+                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
+    for (int k = 0; k < m; ++k) y[static_cast<std::size_t>(k)] += c * row[k];
+  }
+}
+
+void Simplex::compute_duals_phase1(std::vector<double>& y) const {
+  const int m = num_rows();
+  const double tol = options_.feasibility_tol;
+  y.assign(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int v = basis_[static_cast<std::size_t>(i)];
+    const double xv = x_[static_cast<std::size_t>(v)];
+    double w = 0.0;
+    if (xv < lower(v) - tol) w = -1.0;
+    else if (xv > upper(v) + tol) w = 1.0;
+    if (w == 0.0) continue;
+    const double* row = binv_.data() +
+                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
+    for (int k = 0; k < m; ++k) y[static_cast<std::size_t>(k)] += w * row[k];
+  }
+}
+
+double Simplex::infeasibility() const {
+  double total = 0.0;
+  for (int i = 0; i < num_rows(); ++i) {
+    const int v = basis_[static_cast<std::size_t>(i)];
+    const double xv = x_[static_cast<std::size_t>(v)];
+    if (xv < lower(v)) total += lower(v) - xv;
+    else if (xv > upper(v)) total += xv - upper(v);
+  }
+  return total;
+}
+
+int Simplex::price(Phase phase, const std::vector<double>& y, bool bland,
+                   double* direction) const {
+  const int total = num_vars();
+  const double tol = options_.optimality_tol;
+  int best = -1;
+  double best_score = tol;
+  double best_dir = 0.0;
+  for (int v = 0; v < total; ++v) {
+    const VarStatus st = status_[static_cast<std::size_t>(v)];
+    if (st == VarStatus::kBasic) continue;
+    if (upper(v) - lower(v) < 1e-14) continue;  // fixed
+    const double c = (phase == Phase::kPhase2) ? var_cost(v) : 0.0;
+    const double d = c - column_dot(v, y);
+    double dir = 0.0;
+    if (st == VarStatus::kAtLower && d < -tol) dir = 1.0;
+    else if (st == VarStatus::kAtUpper && d > tol) dir = -1.0;
+    else if (st == VarStatus::kFree && std::fabs(d) > tol) dir = d > 0 ? -1.0 : 1.0;
+    if (dir == 0.0) continue;
+    if (bland) {
+      *direction = dir;
+      return v;
+    }
+    const double score = std::fabs(d);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+      best_dir = dir;
+    }
+  }
+  *direction = best_dir;
+  return best;
+}
+
+Simplex::RatioResult Simplex::ratio_test(Phase /*phase*/, int entering,
+                                         double direction,
+                                         const std::vector<double>& alpha) const {
+  const double ftol = options_.feasibility_tol;
+  const double ptol = options_.pivot_tol;
+  RatioResult best;
+  double best_step = kInf;  // tightest block from a basic variable
+  double best_pivot_mag = 0.0;
+
+  // Entering variable's own opposite bound (bound flip candidate).
+  const double range = upper(entering) - lower(entering);
+  const bool own_bound_limits = finite(range);
+
+  for (int i = 0; i < num_rows(); ++i) {
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (std::fabs(a) <= ptol) continue;
+    const double delta = -a * direction;  // rate of change of basic value
+    const int v = basis_[static_cast<std::size_t>(i)];
+    const double xv = x_[static_cast<std::size_t>(v)];
+    const double lo = lower(v);
+    const double hi = upper(v);
+
+    double step = kInf;
+    double target = 0.0;
+    VarStatus target_status = VarStatus::kAtLower;
+    if (xv < lo - ftol) {
+      // Infeasible below: blocks only when rising to its lower bound.
+      if (delta > 0.0) {
+        step = (lo - xv) / delta;
+        target = lo;
+        target_status = VarStatus::kAtLower;
+      }
+    } else if (xv > hi + ftol) {
+      // Infeasible above: blocks only when falling to its upper bound.
+      if (delta < 0.0) {
+        step = (hi - xv) / delta;
+        target = hi;
+        target_status = VarStatus::kAtUpper;
+      }
+    } else if (delta > 0.0) {
+      if (finite(hi)) {
+        step = (hi - xv) / delta;
+        target = hi;
+        target_status = VarStatus::kAtUpper;
+      }
+    } else {
+      if (finite(lo)) {
+        step = (lo - xv) / delta;  // delta < 0, lo - xv <= 0 → step >= 0
+        target = lo;
+        target_status = VarStatus::kAtLower;
+      }
+    }
+    if (!finite(step)) continue;
+    step = std::max(step, 0.0);
+    const double mag = std::fabs(a);
+    if (step < best_step - 1e-12 ||
+        (step < best_step + 1e-12 && mag > best_pivot_mag)) {
+      best_step = step;
+      best_pivot_mag = mag;
+      best.leaving_row = i;
+      best.leaving_target = target;
+      best.leaving_status = target_status;
+    }
+  }
+
+  if (own_bound_limits && range <= best_step) {
+    // The entering variable reaches its opposite bound first: bound flip,
+    // no basis change.
+    best.blocked = true;
+    best.bound_flip = true;
+    best.leaving_row = -1;
+    best.step = range;
+    return best;
+  }
+  if (!finite(best_step)) return best;  // unbounded direction
+  best.blocked = true;
+  best.step = best_step;
+  return best;
+}
+
+void Simplex::apply_bound_flip(int entering, double direction, double step,
+                               const std::vector<double>& alpha) {
+  for (int i = 0; i < num_rows(); ++i) {
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (a == 0.0) continue;
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+        a * direction * step;
+  }
+  auto& st = status_[static_cast<std::size_t>(entering)];
+  if (direction > 0.0) {
+    st = VarStatus::kAtUpper;
+    x_[static_cast<std::size_t>(entering)] = upper(entering);
+  } else {
+    st = VarStatus::kAtLower;
+    x_[static_cast<std::size_t>(entering)] = lower(entering);
+  }
+}
+
+void Simplex::pivot(int entering, double direction, const RatioResult& ratio,
+                    const std::vector<double>& alpha) {
+  const int r = ratio.leaving_row;
+  const int leaving = basis_[static_cast<std::size_t>(r)];
+  for (int i = 0; i < num_rows(); ++i) {
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (a == 0.0) continue;
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+        a * direction * ratio.step;
+  }
+  x_[static_cast<std::size_t>(entering)] += direction * ratio.step;
+  x_[static_cast<std::size_t>(leaving)] = ratio.leaving_target;
+  status_[static_cast<std::size_t>(leaving)] = ratio.leaving_status;
+  status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
+  basis_[static_cast<std::size_t>(r)] = entering;
+  update_binv(r, alpha);
+  ++total_pivots_;
+}
+
+void Simplex::update_binv(int leaving_row, const std::vector<double>& alpha) {
+  const int m = num_rows();
+  const std::size_t mm = static_cast<std::size_t>(m);
+  double* pivot_row = binv_.data() + static_cast<std::size_t>(leaving_row) * mm;
+  const double inv_pivot = 1.0 / alpha[static_cast<std::size_t>(leaving_row)];
+  for (int k = 0; k < m; ++k) pivot_row[k] *= inv_pivot;
+  for (int i = 0; i < m; ++i) {
+    if (i == leaving_row) continue;
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (a == 0.0) continue;
+    double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
+    for (int k = 0; k < m; ++k) row[k] -= a * pivot_row[k];
+  }
+}
+
+SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
+  std::vector<double> y;
+  std::vector<double> alpha;
+  int iterations = 0;
+  int refactor_attempts = 0;
+  int& stat_iters = (phase == Phase::kPhase1) ? stats_.phase1_iterations
+                                              : stats_.phase2_iterations;
+  for (;;) {
+    if (phase == Phase::kPhase1 &&
+        infeasibility() <= options_.feasibility_tol * 10.0)
+      return SolveStatus::kOptimal;  // feasible; caller proceeds to phase 2
+    if (iterations >= options_.max_iterations)
+      return SolveStatus::kIterationLimit;
+    if ((iterations & 63) == 0 && deadline.expired())
+      return SolveStatus::kTimeLimit;
+
+    if (phase == Phase::kPhase1) compute_duals_phase1(y);
+    else compute_duals_phase2(y);
+
+    const bool bland = degenerate_streak_ > options_.degeneracy_threshold;
+    double direction = 0.0;
+    const int entering = price(phase, y, bland, &direction);
+    if (entering < 0) {
+      if (phase == Phase::kPhase1) {
+        return infeasibility() <= options_.feasibility_tol * 100.0
+                   ? SolveStatus::kOptimal
+                   : SolveStatus::kInfeasible;
+      }
+      return SolveStatus::kOptimal;
+    }
+
+    ftran(entering, alpha);
+    const RatioResult ratio = ratio_test(phase, entering, direction, alpha);
+    if (!ratio.blocked) {
+      if (phase == Phase::kPhase2) return SolveStatus::kUnbounded;
+      // Phase 1 is bounded below by zero infeasibility; an unblocked ray
+      // means the basis inverse has drifted. Refactorize and retry once.
+      if (refactor_attempts++ < 2 && refactorize()) continue;
+      return SolveStatus::kNumericalFailure;
+    }
+
+    if (ratio.step < 1e-11) ++degenerate_streak_;
+    else degenerate_streak_ = 0;
+
+    if (ratio.bound_flip) apply_bound_flip(entering, direction, ratio.step, alpha);
+    else pivot(entering, direction, ratio, alpha);
+
+    ++iterations;
+    ++stat_iters;
+    if (total_pivots_ % 512 == 0 && !binv_.empty()) {
+      // Periodic accuracy sweep: recompute basic values from the inverse.
+      compute_basic_values();
+    }
+  }
+}
+
+bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
+  const int m = num_rows();
+  const int total = num_vars();
+  const double ftol = options_.feasibility_tol;
+  const double dtol = options_.optimality_tol * 10.0;
+  std::vector<double> y;
+  std::vector<double> alpha;
+  std::vector<double> rho(static_cast<std::size_t>(m));
+
+  // Reduced costs, maintained incrementally across pivots (recomputing
+  // them from scratch is O(m^2) per iteration and dominates runtime).
+  std::vector<double> d(static_cast<std::size_t>(total), 0.0);
+  auto recompute_reduced_costs = [&] {
+    compute_duals_phase2(y);
+    for (int v = 0; v < total; ++v) {
+      d[static_cast<std::size_t>(v)] =
+          status_[static_cast<std::size_t>(v)] == VarStatus::kBasic
+              ? 0.0
+              : var_cost(v) - column_dot(v, y);
+    }
+  };
+  recompute_reduced_costs();
+
+  // Verify dual feasibility of the warm basis.
+  for (int v = 0; v < total; ++v) {
+    const VarStatus st = status_[static_cast<std::size_t>(v)];
+    if (st == VarStatus::kBasic) continue;
+    if (upper(v) - lower(v) < 1e-14) continue;  // fixed: any sign fine
+    const double dv = d[static_cast<std::size_t>(v)];
+    if (st == VarStatus::kAtLower && dv < -dtol) return false;
+    if (st == VarStatus::kAtUpper && dv > dtol) return false;
+    if (st == VarStatus::kFree && std::fabs(dv) > dtol) return false;
+  }
+
+  std::vector<double> row_alpha(static_cast<std::size_t>(total), 0.0);
+  int iterations = 0;
+  double last_objective = kInf;  // kInf sentinel: not yet measured
+  int stall = 0;
+  for (;;) {
+    if (iterations >= options_.max_dual_iterations) {
+      // Degenerate dual stall: hand over to the primal phases, which carry
+      // Bland's-rule anti-cycling.
+      return false;
+    }
+    // Early stall detection: the dual objective is non-decreasing; long
+    // flat stretches mean degenerate cycling — bail to the primal phases.
+    if ((iterations & 31) == 0) {
+      double obj_now = 0.0;
+      for (int j = 0; j < num_structural(); ++j)
+        obj_now += problem_->column(j).cost * x_[static_cast<std::size_t>(j)];
+      if (last_objective == kInf || obj_now > last_objective + 1e-9) {
+        last_objective = obj_now;
+        stall = 0;
+      } else if (++stall >= 8) {
+        return false;
+      }
+    }
+    if ((iterations & 63) == 0 && deadline.expired()) {
+      *status_out = SolveStatus::kTimeLimit;
+      return true;
+    }
+
+    // Leaving: the basic variable with the largest bound violation.
+    int leaving_row = -1;
+    double worst = ftol;
+    bool below = false;
+    for (int i = 0; i < m; ++i) {
+      const int v = basis_[static_cast<std::size_t>(i)];
+      const double xv = x_[static_cast<std::size_t>(v)];
+      const double viol_lo = lower(v) - xv;
+      const double viol_hi = xv - upper(v);
+      if (viol_lo > worst) {
+        worst = viol_lo;
+        leaving_row = i;
+        below = true;
+      }
+      if (viol_hi > worst) {
+        worst = viol_hi;
+        leaving_row = i;
+        below = false;
+      }
+    }
+    if (leaving_row < 0) {
+      *status_out = SolveStatus::kOptimal;
+      return true;
+    }
+
+    // Periodic refresh guards against drift in the incremental updates.
+    if (iterations > 0 && (iterations & 255) == 0) recompute_reduced_costs();
+
+    const double* binv_row =
+        binv_.data() +
+        static_cast<std::size_t>(leaving_row) * static_cast<std::size_t>(m);
+    std::copy(binv_row, binv_row + m, rho.begin());
+
+    const double e = below ? 1.0 : -1.0;  // desired change sign of x_B(r)
+
+    // Bound-flipping ratio test: collect every admissible breakpoint
+    // (nonbasic variable whose reduced cost would change sign at dual
+    // price θ = |d_j| / |α_rj|), sort by θ, and let early breakpoints
+    // *flip* to their opposite bound as long as their combined capacity
+    // cannot yet absorb the leaving variable's infeasibility. One such
+    // iteration does the work of dozens of degenerate pivots in models
+    // with many box-bounded variables.
+    struct Breakpoint {
+      int var;
+      double arj;
+      double ratio;
+      double capacity;  // |arj| * (upper - lower); +inf for free vars
+    };
+    std::vector<Breakpoint> breakpoints;
+    for (int v = 0; v < total; ++v) {
+      const VarStatus st = status_[static_cast<std::size_t>(v)];
+      row_alpha[static_cast<std::size_t>(v)] = 0.0;
+      if (st == VarStatus::kBasic) continue;
+      const double arj = column_dot(v, rho);
+      row_alpha[static_cast<std::size_t>(v)] = arj;
+      const double range = upper(v) - lower(v);
+      if (range < 1e-14) continue;
+      if (std::fabs(arj) <= options_.pivot_tol) continue;
+      bool admissible = false;
+      // x_B(r) changes by -arj * dx_v; dx_v >= 0 when at lower, <= 0 at upper.
+      if (st == VarStatus::kAtLower && -arj * e > 0.0) admissible = true;
+      else if (st == VarStatus::kAtUpper && arj * e > 0.0) admissible = true;
+      else if (st == VarStatus::kFree) admissible = true;
+      if (!admissible) continue;
+      const double dv = d[static_cast<std::size_t>(v)];
+      const double capacity =
+          (st == VarStatus::kFree || !finite(range)) ? kInf
+                                                     : range * std::fabs(arj);
+      breakpoints.push_back(
+          {v, arj, std::fabs(dv) / std::fabs(arj), capacity});
+    }
+    if (breakpoints.empty()) {
+      *status_out = SolveStatus::kInfeasible;
+      return true;
+    }
+    std::sort(breakpoints.begin(), breakpoints.end(),
+              [](const Breakpoint& a, const Breakpoint& b) {
+                if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                return std::fabs(a.arj) > std::fabs(b.arj);
+              });
+
+    const int pre_leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    double delta_remaining =
+        std::fabs(x_[static_cast<std::size_t>(pre_leaving)] -
+                  (below ? lower(pre_leaving) : upper(pre_leaving)));
+    int entering = -1;
+    double entering_arj = 0.0;
+    std::vector<int> flips;
+    for (const Breakpoint& bp : breakpoints) {
+      if (bp.capacity < delta_remaining - 1e-12) {
+        flips.push_back(bp.var);
+        delta_remaining -= bp.capacity;
+        continue;
+      }
+      entering = bp.var;
+      entering_arj = bp.arj;
+      break;
+    }
+    if (entering < 0) {
+      // Every admissible variable flipped and the violation persists.
+      *status_out = SolveStatus::kInfeasible;
+      return true;
+    }
+
+    if (!flips.empty()) {
+      // Move each flipped variable to its opposite bound and push the
+      // aggregate effect through the basis in a single O(m^2) update.
+      std::vector<double> aggregate(static_cast<std::size_t>(m), 0.0);
+      for (const int v : flips) {
+        auto& st = status_[static_cast<std::size_t>(v)];
+        const double old_x = x_[static_cast<std::size_t>(v)];
+        double new_x;
+        if (st == VarStatus::kAtLower) {
+          new_x = upper(v);
+          st = VarStatus::kAtUpper;
+        } else {
+          new_x = lower(v);
+          st = VarStatus::kAtLower;
+        }
+        x_[static_cast<std::size_t>(v)] = new_x;
+        const double dx = new_x - old_x;
+        if (dx == 0.0) continue;
+        if (is_slack(v)) {
+          aggregate[static_cast<std::size_t>(v - num_structural())] -= dx;
+        } else {
+          for (const auto& entry : problem_->matrix().column(v))
+            aggregate[static_cast<std::size_t>(entry.index)] += entry.value * dx;
+        }
+      }
+      // x_B -= B^-1 * (A_flips · dx).
+      for (int i = 0; i < m; ++i) {
+        const double* row = binv_.data() + static_cast<std::size_t>(i) *
+                                               static_cast<std::size_t>(m);
+        double sum = 0.0;
+        for (int k = 0; k < m; ++k)
+          sum += row[k] * aggregate[static_cast<std::size_t>(k)];
+        x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+            sum;
+      }
+    }
+
+    ftran(entering, alpha);
+    const double pivot_val = alpha[static_cast<std::size_t>(leaving_row)];
+    if (std::fabs(pivot_val) <= options_.pivot_tol ||
+        std::fabs(pivot_val - entering_arj) >
+            1e-5 * std::max(1.0, std::fabs(pivot_val))) {
+      // The row and column views of the pivot disagree → numerical drift.
+      if (!refactorize()) {
+        *status_out = SolveStatus::kNumericalFailure;
+        return true;
+      }
+      recompute_reduced_costs();
+      ++iterations;
+      continue;
+    }
+
+    const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+    const double target = below ? lower(leaving) : upper(leaving);
+    const double dq =
+        (x_[static_cast<std::size_t>(leaving)] - target) / pivot_val;
+    for (int i = 0; i < m; ++i) {
+      const double a = alpha[static_cast<std::size_t>(i)];
+      if (a == 0.0) continue;
+      x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
+          a * dq;
+    }
+    x_[static_cast<std::size_t>(entering)] += dq;
+    x_[static_cast<std::size_t>(leaving)] = target;
+    status_[static_cast<std::size_t>(leaving)] =
+        below ? VarStatus::kAtLower : VarStatus::kAtUpper;
+    status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
+    basis_[static_cast<std::size_t>(leaving_row)] = entering;
+    update_binv(leaving_row, alpha);
+    // Incremental reduced-cost update: d_j -= θ · α_rj with
+    // θ = d_q / α_rq; the leaving variable picks up -θ.
+    const double theta = d[static_cast<std::size_t>(entering)] / pivot_val;
+    if (theta != 0.0) {
+      for (int v = 0; v < total; ++v) {
+        const double arj = row_alpha[static_cast<std::size_t>(v)];
+        if (arj != 0.0) d[static_cast<std::size_t>(v)] -= theta * arj;
+      }
+    }
+    d[static_cast<std::size_t>(entering)] = 0.0;
+    d[static_cast<std::size_t>(leaving)] = -theta;
+    ++total_pivots_;
+    ++iterations;
+    ++stats_.dual_iterations;
+  }
+}
+
+bool Simplex::refactorize() {
+  const int m = num_rows();
+  const int n = num_structural();
+  ++stats_.refactorizations;
+  // Gauss-Jordan replay with prescribed pivot positions.
+  binv_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i)
+    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+          static_cast<std::size_t>(i)] = 1.0;
+  // Start from identity: first absorb the slack pattern (-1 diagonal) for
+  // rows whose basic variable is their own slack; others pivot in below.
+  std::vector<double> alpha;
+  bool replay_ok = true;
+  for (int i = 0; i < m && replay_ok; ++i) {
+    const int v = basis_[static_cast<std::size_t>(i)];
+    ftran(v, alpha);
+    if (std::fabs(alpha[static_cast<std::size_t>(i)]) < 1e-9) {
+      replay_ok = false;
+      break;
+    }
+    update_binv(i, alpha);
+  }
+  if (!replay_ok) {
+    // Dense LU fallback.
+    linalg::DenseMatrix b(static_cast<std::size_t>(m),
+                          static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const int v = basis_[static_cast<std::size_t>(i)];
+      if (is_slack(v)) {
+        b(static_cast<std::size_t>(v - n), static_cast<std::size_t>(i)) = -1.0;
+      } else {
+        for (const auto& entry : problem_->matrix().column(v))
+          b(static_cast<std::size_t>(entry.index), static_cast<std::size_t>(i)) =
+              entry.value;
+      }
+    }
+    auto lu = linalg::LuFactorization::factorize(b);
+    if (!lu) return false;
+    const linalg::DenseMatrix inv = lu->inverse();
+    for (int i = 0; i < m; ++i)
+      for (int k = 0; k < m; ++k)
+        binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+              static_cast<std::size_t>(k)] =
+            inv(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+  }
+  compute_basic_values();
+  return true;
+}
+
+void Simplex::finish_solution() {
+  objective_ = 0.0;
+  for (int j = 0; j < num_structural(); ++j)
+    objective_ += problem_->column(j).cost * x_[static_cast<std::size_t>(j)];
+  std::vector<double> y;
+  compute_duals_phase2(y);
+  duals_ = std::move(y);
+}
+
+SolveStatus Simplex::solve() {
+  stats_ = SolveStats{};
+  Deadline deadline(options_.time_limit_seconds);
+
+  if (has_basis_) {
+    // Reposition nonbasic variables onto the (possibly changed) bounds.
+    for (int v = 0; v < num_vars(); ++v) {
+      auto& st = status_[static_cast<std::size_t>(v)];
+      if (st == VarStatus::kBasic) continue;
+      const double lo = lower(v);
+      const double hi = upper(v);
+      if (st == VarStatus::kAtLower) {
+        if (finite(lo)) x_[static_cast<std::size_t>(v)] = lo;
+        else if (finite(hi)) { st = VarStatus::kAtUpper; x_[static_cast<std::size_t>(v)] = hi; }
+        else { st = VarStatus::kFree; x_[static_cast<std::size_t>(v)] = 0.0; }
+      } else if (st == VarStatus::kAtUpper) {
+        if (finite(hi)) x_[static_cast<std::size_t>(v)] = hi;
+        else if (finite(lo)) { st = VarStatus::kAtLower; x_[static_cast<std::size_t>(v)] = lo; }
+        else { st = VarStatus::kFree; x_[static_cast<std::size_t>(v)] = 0.0; }
+      }
+    }
+    compute_basic_values();
+    SolveStatus status = SolveStatus::kNumericalFailure;
+    if (dual_simplex(deadline, &status)) {
+      stats_.warm_started = true;
+      if (status == SolveStatus::kOptimal) finish_solution();
+      if (status != SolveStatus::kNumericalFailure) return status;
+      // fall through to a cold primal solve on numerical failure
+    }
+    // Warm basis is not dual feasible (or failed numerically): primal
+    // phases from the current basis are still a better start than cold.
+    SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
+    if (p1 == SolveStatus::kNumericalFailure) {
+      cold_start();
+      p1 = primal_simplex(Phase::kPhase1, deadline);
+    }
+    if (p1 != SolveStatus::kOptimal) return p1;
+    const SolveStatus p2 = primal_simplex(Phase::kPhase2, deadline);
+    if (p2 == SolveStatus::kOptimal) finish_solution();
+    return p2;
+  }
+
+  cold_start();
+  const SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
+  if (p1 != SolveStatus::kOptimal) return p1;
+  const SolveStatus p2 = primal_simplex(Phase::kPhase2, deadline);
+  if (p2 == SolveStatus::kOptimal) finish_solution();
+  return p2;
+}
+
+double Simplex::value(int j) const {
+  TVNEP_REQUIRE(j >= 0 && j < num_structural(), "value: bad column");
+  return x_[static_cast<std::size_t>(j)];
+}
+
+double Simplex::dual_value(int i) const {
+  TVNEP_REQUIRE(i >= 0 && i < num_rows(), "dual_value: bad row");
+  return duals_[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> Simplex::primal_solution() const {
+  return {x_.begin(), x_.begin() + num_structural()};
+}
+
+}  // namespace tvnep::lp

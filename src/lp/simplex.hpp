@@ -1,0 +1,193 @@
+// Bounded-variable revised simplex with explicit basis inverse.
+//
+// The solver operates on the computational form of lp::Problem. Internally
+// one logical (slack) variable is appended per row:
+//
+//   A x - s = 0,   lo <= x <= up,   rlo <= s <= rup
+//
+// so the all-slack basis always exists and the right-hand side is zero.
+//
+// Provided algorithms:
+//  * primal simplex with a Phase-I infeasibility minimization (no big-M,
+//    no artificial variables) and Dantzig pricing with a Bland fallback
+//    after degeneracy stalls;
+//  * dual simplex used to re-optimize after bound changes (branch & bound
+//    warm starts); it refuses to run when the current basis is not dual
+//    feasible, in which case the caller falls back to the primal.
+//
+// The basis inverse is kept as a dense row-major matrix updated by
+// product-form pivots; it is rebuilt (pivot replay, dense-LU fallback) when
+// numerical drift is detected. This is O(m^2) per iteration and perfectly
+// adequate for the matrix sizes produced by the TVNEP formulations.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "support/stopwatch.hpp"
+
+namespace tvnep::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+  kNumericalFailure,
+};
+
+const char* to_string(SolveStatus status);
+
+/// Variable position relative to the current basis.
+enum class VarStatus : unsigned char {
+  kAtLower,
+  kAtUpper,
+  kFree,   // nonbasic free variable resting at zero
+  kBasic,
+};
+
+struct SimplexOptions {
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-8;
+  int max_iterations = 0;       // 0 → automatic (scales with problem size)
+  double time_limit_seconds = 0.0;  // <= 0 → unlimited
+  // After this many consecutive degenerate iterations, switch to Bland's
+  // rule until progress resumes.
+  int degeneracy_threshold = 60;
+  // Cap on warm-start dual simplex iterations before falling back to the
+  // primal (guards against degenerate dual stalls); 0 → automatic.
+  int max_dual_iterations = 0;
+};
+
+struct SolveStats {
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+  int dual_iterations = 0;
+  int refactorizations = 0;
+  bool warm_started = false;
+};
+
+class Simplex {
+ public:
+  /// The problem must already be finalized and must outlive the solver.
+  Simplex(const Problem& problem, SimplexOptions options = {});
+
+  /// Tightens/relaxes the working bounds of structural column j.
+  void set_bounds(int j, double lower, double upper);
+
+  /// Restores all working bounds to the problem's original bounds.
+  void reset_bounds();
+
+  double working_lower(int j) const;
+  double working_upper(int j) const;
+
+  /// Adjusts the wall-clock budget applied to subsequent solve() calls
+  /// (<= 0 → unlimited). Branch & bound passes its remaining deadline here.
+  void set_time_limit(double seconds) {
+    options_.time_limit_seconds = seconds;
+  }
+
+  /// Updates the objective coefficient of structural column j. Invalidate
+  /// warm starts where appropriate (dual feasibility may be lost; solve()
+  /// handles that automatically).
+  void set_cost(int j, double cost);
+
+  /// Solves with the current working bounds. Automatically warm starts from
+  /// the previous basis when one exists (dual simplex), otherwise performs
+  /// a cold primal solve.
+  SolveStatus solve();
+
+  /// Objective value of the last solve (valid when status was optimal).
+  double objective() const { return objective_; }
+
+  /// Value of structural column j in the last solution.
+  double value(int j) const;
+
+  /// Dual value (shadow price) of row i in the last solution.
+  double dual_value(int i) const;
+
+  /// All structural values (length = problem.num_columns()).
+  std::vector<double> primal_solution() const;
+
+  const SolveStats& stats() const { return stats_; }
+
+  /// Number of pivots performed over the lifetime of this object.
+  long total_pivots() const { return total_pivots_; }
+
+  /// Drops the warm-start basis so the next solve() is a cold start.
+  void invalidate_basis() { has_basis_ = false; }
+
+ private:
+  enum class Phase { kPhase1, kPhase2 };
+  struct RatioResult {
+    bool blocked = false;
+    bool bound_flip = false;
+    int leaving_row = -1;
+    double step = 0.0;
+    double leaving_target = 0.0;  // bound value the leaving variable hits
+    VarStatus leaving_status = VarStatus::kAtLower;
+  };
+
+  int num_structural() const { return problem_->num_columns(); }
+  int num_rows() const { return problem_->matrix().rows(); }
+  int num_vars() const { return num_structural() + num_rows(); }
+  bool is_slack(int v) const { return v >= num_structural(); }
+
+  double var_cost(int v) const;
+  double lower(int v) const { return lower_[static_cast<std::size_t>(v)]; }
+  double upper(int v) const { return upper_[static_cast<std::size_t>(v)]; }
+
+  // alpha = B^-1 * a_v (dense output).
+  void ftran(int v, std::vector<double>& alpha) const;
+  // Dot of a full-system column v with a dense row-space vector y.
+  double column_dot(int v, const std::vector<double>& y) const;
+
+  void cold_start();
+  void compute_basic_values();
+  void compute_duals_phase2(std::vector<double>& y) const;
+  void compute_duals_phase1(std::vector<double>& y) const;
+  double infeasibility() const;
+
+  // Returns entering variable (or -1) and its reduced cost / direction.
+  int price(Phase phase, const std::vector<double>& y, bool bland,
+            double* direction) const;
+
+  RatioResult ratio_test(Phase phase, int entering, double direction,
+                         const std::vector<double>& alpha) const;
+
+  void apply_bound_flip(int entering, double direction, double step,
+                        const std::vector<double>& alpha);
+  void pivot(int entering, double direction, const RatioResult& ratio,
+             const std::vector<double>& alpha);
+  void update_binv(int leaving_row, const std::vector<double>& alpha);
+
+  SolveStatus primal_simplex(Phase phase, const Deadline& deadline);
+  // Returns true when it ran to completion (status_out set); false when the
+  // starting basis was not dual feasible and the caller must go primal.
+  bool dual_simplex(const Deadline& deadline, SolveStatus* status_out);
+
+  bool refactorize();
+  double binv_residual() const;
+  void finish_solution();
+
+  const Problem* problem_;
+  SimplexOptions options_;
+  SolveStats stats_;
+
+  std::vector<double> lower_;   // working bounds, size num_vars()
+  std::vector<double> upper_;
+  std::vector<double> x_;       // current values, size num_vars()
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;      // size m: variable basic in each row
+  std::vector<double> binv_;    // dense m*m row-major
+  bool has_basis_ = false;
+
+  double objective_ = 0.0;
+  std::vector<double> duals_;
+  long total_pivots_ = 0;
+  int degenerate_streak_ = 0;
+};
+
+}  // namespace tvnep::lp

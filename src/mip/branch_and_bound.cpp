@@ -1,0 +1,444 @@
+#include "mip/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace tvnep::mip {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* to_string(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal: return "optimal";
+    case MipStatus::kInfeasible: return "infeasible";
+    case MipStatus::kUnbounded: return "unbounded";
+    case MipStatus::kTimeLimit: return "time-limit";
+    case MipStatus::kNodeLimit: return "node-limit";
+    case MipStatus::kNumericalFailure: return "numerical-failure";
+  }
+  return "unknown";
+}
+
+double MipResult::gap() const {
+  if (!has_solution) return kInf;
+  const double diff = std::fabs(objective - best_bound);
+  if (diff <= 1e-9) return 0.0;
+  return diff / std::max(1e-9, std::fabs(objective));
+}
+
+namespace {
+
+// Row/bound/integrality check against an already-lowered problem (avoids
+// re-running Model::to_lp on every incumbent candidate).
+bool check_feasible(const Model& model, const lp::Problem& problem,
+                    const std::vector<double>& values, double tol) {
+  if (values.size() != static_cast<std::size_t>(model.num_vars())) return false;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    const Var v{j};
+    const double x = values[static_cast<std::size_t>(j)];
+    if (x < model.var_lower(v) - tol || x > model.var_upper(v) + tol)
+      return false;
+    if (model.var_type(v) != VarType::kContinuous &&
+        std::fabs(x - std::round(x)) > tol)
+      return false;
+  }
+  const auto& matrix = problem.matrix();
+  for (int i = 0; i < problem.num_rows(); ++i) {
+    double activity = 0.0;
+    double scale = 1.0;
+    for (const auto& entry : matrix.row(i)) {
+      activity += entry.value * values[static_cast<std::size_t>(entry.index)];
+      scale = std::max(scale, std::fabs(entry.value));
+    }
+    const auto& row = problem.row(i);
+    // Scale the tolerance by the row magnitude so big-M rows do not
+    // spuriously fail.
+    if (activity < row.lower - tol * scale ||
+        activity > row.upper + tol * scale)
+      return false;
+  }
+  return true;
+}
+
+struct Node {
+  // Bound changes relative to the root problem, accumulated along the path.
+  std::vector<std::tuple<int, double, double>> bounds;
+  double parent_bound = -kInf;  // LP bound of the parent (minimize space)
+  int depth = 0;
+  long id = 0;
+  // Pseudocost bookkeeping: which branch created this node.
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.parent_bound != b.parent_bound) return a.parent_bound > b.parent_bound;
+    if (a.depth != b.depth) return a.depth < b.depth;  // deeper first → dive
+    return a.id < b.id;
+  }
+};
+
+struct Pseudocost {
+  double up_sum = 0.0;
+  long up_count = 0;
+  double down_sum = 0.0;
+  long down_count = 0;
+
+  double up_estimate(double fallback) const {
+    return up_count > 0 ? up_sum / static_cast<double>(up_count) : fallback;
+  }
+  double down_estimate(double fallback) const {
+    return down_count > 0 ? down_sum / static_cast<double>(down_count)
+                          : fallback;
+  }
+};
+
+}  // namespace
+
+bool MipSolver::is_feasible(const Model& model,
+                            const std::vector<double>& values, double tol) {
+  std::vector<bool> is_int;
+  const lp::Problem problem = model.to_lp(&is_int);
+  return check_feasible(model, problem, values, tol);
+}
+
+MipResult MipSolver::solve(
+    const Model& model,
+    const std::optional<std::vector<double>>& initial_solution) {
+  Stopwatch watch;
+  Deadline deadline(options_.time_limit_seconds);
+  MipResult result;
+
+  std::vector<bool> is_int;
+  lp::Problem problem = model.to_lp(&is_int);
+  lp::Simplex simplex(problem, options_.lp);
+
+  const double scale = model.objective_scale();
+  const double constant = model.objective().constant();
+  auto to_model_obj = [&](double lp_obj) { return scale * lp_obj + constant; };
+
+  std::vector<int> int_vars;
+  for (int j = 0; j < model.num_vars(); ++j)
+    if (is_int[static_cast<std::size_t>(j)]) int_vars.push_back(j);
+
+  // Incumbent in minimize (LP) space.
+  double incumbent_lp_obj = kInf;
+  std::vector<double> incumbent;
+  auto try_incumbent = [&](const std::vector<double>& values) {
+    std::vector<double> snapped = values;
+    for (int j : int_vars)
+      snapped[static_cast<std::size_t>(j)] =
+          std::round(snapped[static_cast<std::size_t>(j)]);
+    if (!check_feasible(model, problem, snapped, 1e-5)) return false;
+    const double model_obj = model.eval_objective(snapped);
+    const double lp_obj = (model_obj - constant) * scale;  // scale^2 == 1
+    if (lp_obj < incumbent_lp_obj - 1e-12) {
+      incumbent_lp_obj = lp_obj;
+      incumbent = std::move(snapped);
+      return true;
+    }
+    return false;
+  };
+
+  if (initial_solution) try_incumbent(*initial_solution);
+
+  // Set-partitioning rows (Σ x_j = 1 over binaries with unit coefficients)
+  // drive cheap node propagation: a variable fixed to 1 zeroes its row
+  // mates, a row with all-but-one mate at 0 forces the survivor to 1.
+  std::vector<std::vector<int>> partition_rows;
+  for (int i = 0; i < problem.num_rows(); ++i) {
+    const auto& row = problem.row(i);
+    if (row.lower != 1.0 || row.upper != 1.0) continue;
+    bool eligible = true;
+    std::vector<int> members;
+    for (const auto& entry : problem.matrix().row(i)) {
+      if (entry.value != 1.0 ||
+          !is_int[static_cast<std::size_t>(entry.index)] ||
+          model.var_lower(Var{entry.index}) < -1e-9 ||
+          model.var_upper(Var{entry.index}) > 1.0 + 1e-9) {
+        eligible = false;
+        break;
+      }
+      members.push_back(entry.index);
+    }
+    if (eligible && members.size() > 1)
+      partition_rows.push_back(std::move(members));
+  }
+
+  // Applies a node's bound deltas plus fixpoint propagation over the
+  // partition rows; returns false when propagation proves infeasibility.
+  auto apply_node_bounds = [&](const Node& node) {
+    simplex.reset_bounds();
+    for (const auto& [j, lo, hi] : node.bounds) simplex.set_bounds(j, lo, hi);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& members : partition_rows) {
+        int fixed_one = -1;
+        int open_count = 0;
+        int last_open = -1;
+        for (const int j : members) {
+          const double lo = simplex.working_lower(j);
+          const double hi = simplex.working_upper(j);
+          if (lo > 0.5) {
+            if (fixed_one >= 0) return false;  // two ones in one row
+            fixed_one = j;
+          } else if (hi > 0.5) {
+            ++open_count;
+            last_open = j;
+          }
+        }
+        if (fixed_one >= 0) {
+          for (const int j : members) {
+            if (j == fixed_one) continue;
+            if (simplex.working_upper(j) > 0.5) {
+              simplex.set_bounds(j, 0.0, 0.0);
+              changed = true;
+            }
+          }
+        } else if (open_count == 0) {
+          return false;  // nobody can take the 1
+        } else if (open_count == 1) {
+          simplex.set_bounds(last_open, 1.0, 1.0);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  long next_id = 0;
+  open.push(Node{{}, -kInf, 0, next_id++, -1, false, 0.0});
+  std::optional<Node> dive;  // depth-first child processed before the queue
+
+  std::vector<Pseudocost> pseudo(static_cast<std::size_t>(model.num_vars()));
+
+  bool aborted_time = false;
+  bool aborted_nodes = false;
+  bool numerical_failure = false;
+
+  auto fractional = [&](const std::vector<double>& x, int j) {
+    const double v = x[static_cast<std::size_t>(j)];
+    return std::fabs(v - std::round(v)) > options_.integrality_tol;
+  };
+
+  // Fix-and-solve rounding heuristic on the current relaxation.
+  auto rounding_heuristic = [&](const std::vector<double>& relaxation,
+                                const Node& node) {
+    std::vector<double> rounded = relaxation;
+    for (int j : int_vars) {
+      double v = std::round(rounded[static_cast<std::size_t>(j)]);
+      v = std::clamp(v, simplex.working_lower(j), simplex.working_upper(j));
+      rounded[static_cast<std::size_t>(j)] = v;
+      simplex.set_bounds(j, v, v);
+    }
+    const lp::SolveStatus st = simplex.solve();
+    if (st == lp::SolveStatus::kOptimal) try_incumbent(simplex.primal_solution());
+    simplex.reset_bounds();
+    for (const auto& [j, lo, hi] : node.bounds) simplex.set_bounds(j, lo, hi);
+  };
+
+  long nodes_since_heuristic = 0;
+
+  while (dive || !open.empty()) {
+    if (deadline.expired()) { aborted_time = true; break; }
+    if (options_.max_nodes > 0 && result.nodes >= options_.max_nodes) {
+      aborted_nodes = true;
+      break;
+    }
+
+    Node node;
+    if (dive) {
+      node = std::move(*dive);
+      dive.reset();
+    } else {
+      node = open.top();
+      open.pop();
+    }
+
+    // Bound-based pruning against the incumbent.
+    if (node.parent_bound >= incumbent_lp_obj - 1e-9) continue;
+
+    if (!apply_node_bounds(node)) {
+      ++result.nodes;
+      continue;  // propagation proved the node infeasible
+    }
+    simplex.set_time_limit(deadline.unlimited() ? 0.0 : deadline.remaining());
+
+    lp::SolveStatus lp_status = simplex.solve();
+    if (lp_status == lp::SolveStatus::kIterationLimit ||
+        lp_status == lp::SolveStatus::kNumericalFailure) {
+      simplex.invalidate_basis();
+      lp_status = simplex.solve();
+    }
+    ++result.nodes;
+    ++nodes_since_heuristic;
+    result.phase1_iterations += simplex.stats().phase1_iterations;
+    result.phase2_iterations += simplex.stats().phase2_iterations;
+    result.dual_iterations += simplex.stats().dual_iterations;
+    if (result.nodes > 1 && simplex.stats().phase1_iterations +
+                                    simplex.stats().phase2_iterations >
+                                0)
+      ++result.dual_fallbacks;
+
+    if (lp_status == lp::SolveStatus::kTimeLimit) { aborted_time = true; break; }
+    if (lp_status == lp::SolveStatus::kInfeasible) continue;
+    if (lp_status == lp::SolveStatus::kUnbounded) {
+      if (node.depth == 0 && !initial_solution) {
+        result.status = MipStatus::kUnbounded;
+        result.seconds = watch.seconds();
+        return result;
+      }
+      continue;  // bounded elsewhere; treat as prunable anomaly
+    }
+    if (lp_status != lp::SolveStatus::kOptimal) {
+      numerical_failure = true;
+      break;
+    }
+
+    const double node_bound = simplex.objective();
+
+    // Pseudocost update from the realized bound degradation.
+    if (node.branch_var >= 0 && node.parent_bound > -kInf) {
+      const double degradation = std::max(0.0, node_bound - node.parent_bound);
+      auto& pc = pseudo[static_cast<std::size_t>(node.branch_var)];
+      if (node.branch_up) {
+        pc.up_sum += degradation / std::max(1e-6, 1.0 - node.branch_frac);
+        ++pc.up_count;
+      } else {
+        pc.down_sum += degradation / std::max(1e-6, node.branch_frac);
+        ++pc.down_count;
+      }
+    }
+
+    if (node_bound >= incumbent_lp_obj - 1e-9) continue;  // pruned
+
+    const std::vector<double> x = simplex.primal_solution();
+
+    // Branching variable selection: highest user priority first, then a
+    // pseudocost product rule with a most-fractional bootstrap component.
+    int branch = -1;
+    double branch_frac = 0.0;
+    double best_score = -1.0;
+    int best_priority = std::numeric_limits<int>::min();
+    for (int j : int_vars) {
+      if (!fractional(x, j)) continue;
+      const int priority = model.branch_priority(Var{j});
+      if (priority < best_priority) continue;
+      const double v = x[static_cast<std::size_t>(j)];
+      const double frac = v - std::floor(v);
+      const auto& pc = pseudo[static_cast<std::size_t>(j)];
+      const double down = pc.down_estimate(1.0) * frac;
+      const double up = pc.up_estimate(1.0) * (1.0 - frac);
+      const double score = std::max(down, 1e-8) * std::max(up, 1e-8) +
+                           0.01 * std::min(frac, 1.0 - frac);
+      if (priority > best_priority || score > best_score) {
+        best_priority = priority;
+        best_score = score;
+        branch = j;
+        branch_frac = frac;
+      }
+    }
+
+    if (branch < 0) {
+      try_incumbent(x);  // integral LP solution
+      continue;
+    }
+
+    // Periodic rounding heuristic; aggressive until the first incumbent
+    // exists (the gap is infinite without one — the paper's "∞" case).
+    const long heuristic_period =
+        options_.heuristic_frequency <= 0
+            ? 0
+            : (incumbent.empty()
+                   ? std::min<long>(options_.heuristic_frequency, 25)
+                   : options_.heuristic_frequency);
+    if (heuristic_period > 0 && nodes_since_heuristic >= heuristic_period) {
+      nodes_since_heuristic = 0;
+      rounding_heuristic(x, node);
+    }
+
+    const double v = x[static_cast<std::size_t>(branch)];
+    const double floor_v = std::floor(v);
+    const double ceil_v = std::ceil(v);
+
+    Node down = node;
+    down.bounds.emplace_back(branch, simplex.working_lower(branch), floor_v);
+    down.parent_bound = node_bound;
+    down.depth = node.depth + 1;
+    down.id = next_id++;
+    down.branch_var = branch;
+    down.branch_up = false;
+    down.branch_frac = branch_frac;
+
+    Node up = node;
+    up.bounds.emplace_back(branch, ceil_v, simplex.working_upper(branch));
+    up.parent_bound = node_bound;
+    up.depth = node.depth + 1;
+    up.id = next_id++;
+    up.branch_var = branch;
+    up.branch_up = true;
+    up.branch_frac = branch_frac;
+
+    // Dive into the child the relaxation leans towards, with a bias
+    // towards rounding up: in assignment-structured models fixing a
+    // variable to 1 completes a partial assignment, fixing to 0 defers
+    // the decision.
+    if (branch_frac < 0.3) {
+      dive = std::move(down);
+      open.push(std::move(up));
+    } else {
+      dive = std::move(up);
+      open.push(std::move(down));
+    }
+  }
+
+  result.lp_pivots = simplex.total_pivots();
+  result.seconds = watch.seconds();
+  result.has_solution = !incumbent.empty();
+  if (result.has_solution) {
+    result.solution = incumbent;
+    result.objective = to_model_obj(incumbent_lp_obj);
+  }
+
+  const bool exhausted = !dive && open.empty();
+  if (exhausted && !aborted_time && !aborted_nodes && !numerical_failure) {
+    if (result.has_solution) {
+      result.status = MipStatus::kOptimal;
+      result.best_bound = result.objective;
+    } else {
+      result.status = MipStatus::kInfeasible;  // objective/bound stay zero
+    }
+    return result;
+  }
+
+  // Aborted: the proven bound is the weakest among the open frontier, the
+  // interrupted dive chain, and the incumbent.
+  double final_lp_bound = incumbent_lp_obj;
+  if (!open.empty())
+    final_lp_bound = std::min(final_lp_bound, open.top().parent_bound);
+  if (dive) final_lp_bound = std::min(final_lp_bound, dive->parent_bound);
+  result.best_bound =
+      std::isfinite(final_lp_bound) || result.has_solution
+          ? to_model_obj(final_lp_bound)
+          : to_model_obj(-kInf);
+
+  if (numerical_failure && !result.has_solution)
+    result.status = MipStatus::kNumericalFailure;
+  else if (aborted_time) result.status = MipStatus::kTimeLimit;
+  else if (aborted_nodes) result.status = MipStatus::kNodeLimit;
+  else result.status = MipStatus::kNumericalFailure;
+  return result;
+}
+
+}  // namespace tvnep::mip

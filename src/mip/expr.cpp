@@ -1,0 +1,73 @@
+#include "mip/expr.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tvnep::mip {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  constant_ += other.constant_;
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  constant_ -= other.constant_;
+  for (const auto& [id, coeff] : other.terms_) terms_.emplace_back(id, -coeff);
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double scale) {
+  constant_ *= scale;
+  for (auto& [id, coeff] : terms_) coeff *= scale;
+  return *this;
+}
+
+void LinExpr::add_term(Var v, double coeff) {
+  if (coeff != 0.0) terms_.emplace_back(v.id, coeff);
+}
+
+std::vector<std::pair<int, double>> LinExpr::merged_terms() const {
+  std::vector<std::pair<int, double>> merged(terms_);
+  std::sort(merged.begin(), merged.end());
+  std::size_t out = 0;
+  std::size_t i = 0;
+  while (i < merged.size()) {
+    int id = merged[i].first;
+    double sum = 0.0;
+    while (i < merged.size() && merged[i].first == id) sum += merged[i++].second;
+    if (sum != 0.0) merged[out++] = {id, sum};
+  }
+  merged.resize(out);
+  return merged;
+}
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs) { return lhs += rhs; }
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs) { return lhs -= rhs; }
+LinExpr operator*(double scale, LinExpr expr) { return expr *= scale; }
+LinExpr operator*(LinExpr expr, double scale) { return expr *= scale; }
+LinExpr operator*(double scale, Var v) { return LinExpr(v) *= scale; }
+LinExpr operator*(Var v, double scale) { return LinExpr(v) *= scale; }
+LinExpr operator-(Var v) { return LinExpr(v) *= -1.0; }
+LinExpr operator-(LinExpr expr) { return expr *= -1.0; }
+
+Constraint operator<=(LinExpr lhs, const LinExpr& rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), -kInf, 0.0};
+}
+
+Constraint operator>=(LinExpr lhs, const LinExpr& rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), 0.0, kInf};
+}
+
+Constraint operator==(LinExpr lhs, const LinExpr& rhs) {
+  lhs -= rhs;
+  return {std::move(lhs), 0.0, 0.0};
+}
+
+}  // namespace tvnep::mip

@@ -1,0 +1,66 @@
+// Linear expression DSL for building MIP models readably:
+//
+//   model.add_constr(2.0 * x + y - z <= 5.0, "cap");
+//
+// LinExpr keeps an unordered term list; duplicates are merged when the
+// expression is lowered into the LP matrix.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace tvnep::mip {
+
+/// Lightweight handle to a model variable (index into the owning Model).
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// constant + sum(coeff_i * var_i).
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(Var v) { terms_.emplace_back(v.id, 1.0); }
+
+  double constant() const { return constant_; }
+  const std::vector<std::pair<int, double>>& terms() const { return terms_; }
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double scale);
+
+  /// Adds a single term without constructing a temporary.
+  void add_term(Var v, double coeff);
+  void add_constant(double value) { constant_ += value; }
+
+  /// Merges duplicate variable ids (summing coefficients) and drops zeros.
+  std::vector<std::pair<int, double>> merged_terms() const;
+
+ private:
+  double constant_ = 0.0;
+  std::vector<std::pair<int, double>> terms_;
+};
+
+LinExpr operator+(LinExpr lhs, const LinExpr& rhs);
+LinExpr operator-(LinExpr lhs, const LinExpr& rhs);
+LinExpr operator*(double scale, LinExpr expr);
+LinExpr operator*(LinExpr expr, double scale);
+LinExpr operator*(double scale, Var v);
+LinExpr operator*(Var v, double scale);
+LinExpr operator-(Var v);
+LinExpr operator-(LinExpr expr);
+
+/// One-sided or two-sided linear constraint produced by comparison operators.
+struct Constraint {
+  LinExpr expr;    // constraint body (constant folded into bounds later)
+  double lower;    // -infinity for pure <=
+  double upper;    // +infinity for pure >=
+};
+
+Constraint operator<=(LinExpr lhs, const LinExpr& rhs);
+Constraint operator>=(LinExpr lhs, const LinExpr& rhs);
+Constraint operator==(LinExpr lhs, const LinExpr& rhs);
+
+}  // namespace tvnep::mip

@@ -1,0 +1,119 @@
+#include "mip/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace tvnep::mip {
+
+Var Model::add_var(double lower, double upper, VarType type,
+                   std::string name) {
+  TVNEP_REQUIRE(lower <= upper, "variable bounds crossed: " + name);
+  if (type == VarType::kBinary) {
+    lower = std::max(lower, 0.0);
+    upper = std::min(upper, 1.0);
+  }
+  vars_.push_back({lower, upper, type, std::move(name)});
+  return Var{num_vars() - 1};
+}
+
+int Model::add_constr(const Constraint& constraint, std::string name) {
+  auto terms = constraint.expr.merged_terms();
+  for (const auto& [id, coeff] : terms) {
+    (void)coeff;
+    TVNEP_REQUIRE(id >= 0 && id < num_vars(),
+                  "constraint references unknown variable: " + name);
+  }
+  // Fold the expression constant into the row bounds.
+  const double shift = constraint.expr.constant();
+  constraints_.push_back({std::move(terms), constraint.lower - shift,
+                          constraint.upper - shift, std::move(name)});
+  return num_constraints() - 1;
+}
+
+void Model::fix(Var v, double value) { set_bounds(v, value, value); }
+
+void Model::set_bounds(Var v, double lower, double upper) {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "set_bounds: unknown var");
+  TVNEP_REQUIRE(lower <= upper, "set_bounds: crossed bounds");
+  auto& data = vars_[static_cast<std::size_t>(v.id)];
+  data.lower = lower;
+  data.upper = upper;
+}
+
+void Model::set_branch_priority(Var v, int priority) {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "priority: unknown var");
+  vars_[static_cast<std::size_t>(v.id)].branch_priority = priority;
+}
+
+int Model::branch_priority(Var v) const {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "priority: unknown var");
+  return vars_[static_cast<std::size_t>(v.id)].branch_priority;
+}
+
+void Model::set_objective(Sense sense, const LinExpr& objective) {
+  sense_ = sense;
+  objective_ = objective;
+}
+
+int Model::num_integer_vars() const {
+  int count = 0;
+  for (const auto& v : vars_)
+    if (v.type != VarType::kContinuous) ++count;
+  return count;
+}
+
+VarType Model::var_type(Var v) const {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "var_type: unknown var");
+  return vars_[static_cast<std::size_t>(v.id)].type;
+}
+
+double Model::var_lower(Var v) const {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "var_lower: unknown var");
+  return vars_[static_cast<std::size_t>(v.id)].lower;
+}
+
+double Model::var_upper(Var v) const {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "var_upper: unknown var");
+  return vars_[static_cast<std::size_t>(v.id)].upper;
+}
+
+const std::string& Model::var_name(Var v) const {
+  TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "var_name: unknown var");
+  return vars_[static_cast<std::size_t>(v.id)].name;
+}
+
+double Model::eval_objective(const std::vector<double>& values) const {
+  TVNEP_REQUIRE(values.size() == static_cast<std::size_t>(num_vars()),
+                "eval_objective: assignment length mismatch");
+  double total = objective_.constant();
+  for (const auto& [id, coeff] : objective_.merged_terms())
+    total += coeff * values[static_cast<std::size_t>(id)];
+  return total;
+}
+
+lp::Problem Model::to_lp(std::vector<bool>* is_integer) const {
+  lp::Problem problem;
+  const double scale = objective_scale();
+  std::vector<double> costs(static_cast<std::size_t>(num_vars()), 0.0);
+  for (const auto& [id, coeff] : objective_.merged_terms())
+    costs[static_cast<std::size_t>(id)] = coeff * scale;
+  for (int j = 0; j < num_vars(); ++j) {
+    const auto& v = vars_[static_cast<std::size_t>(j)];
+    problem.add_column(v.lower, v.upper, costs[static_cast<std::size_t>(j)],
+                       v.name);
+  }
+  for (const auto& c : constraints_)
+    problem.add_row(c.lower, c.upper, c.terms, c.name);
+  problem.finalize();
+  if (is_integer) {
+    is_integer->assign(static_cast<std::size_t>(num_vars()), false);
+    for (int j = 0; j < num_vars(); ++j)
+      (*is_integer)[static_cast<std::size_t>(j)] =
+          vars_[static_cast<std::size_t>(j)].type != VarType::kContinuous;
+  }
+  return problem;
+}
+
+}  // namespace tvnep::mip

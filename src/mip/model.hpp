@@ -1,0 +1,93 @@
+// Mixed-integer programming model: variables, linear constraints, and a
+// linear objective. The model lowers itself into an lp::Problem plus an
+// integrality mask for the branch-and-bound solver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+#include "mip/expr.hpp"
+
+namespace tvnep::mip {
+
+enum class VarType : unsigned char { kContinuous, kBinary, kInteger };
+enum class Sense : unsigned char { kMinimize, kMaximize };
+
+class Model {
+ public:
+  /// Adds a variable. For kBinary the bounds are clipped to [0, 1].
+  Var add_var(double lower, double upper, VarType type,
+              std::string name = {});
+
+  Var add_continuous(double lower, double upper, std::string name = {}) {
+    return add_var(lower, upper, VarType::kContinuous, std::move(name));
+  }
+  Var add_binary(std::string name = {}) {
+    return add_var(0.0, 1.0, VarType::kBinary, std::move(name));
+  }
+
+  /// Adds a linear constraint built via the comparison operators.
+  /// Returns the row index.
+  int add_constr(const Constraint& constraint, std::string name = {});
+
+  /// Fixes a variable to a value (tightens both bounds).
+  void fix(Var v, double value);
+
+  /// Tightens bounds of an existing variable.
+  void set_bounds(Var v, double lower, double upper);
+
+  /// Branching priority (higher = branched first among fractional
+  /// integers at a node). Default 0. Structured models use this to decide
+  /// high-level variables (admission) before low-level ones (orderings).
+  void set_branch_priority(Var v, int priority);
+  int branch_priority(Var v) const;
+
+  void set_objective(Sense sense, const LinExpr& objective);
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+  int num_integer_vars() const;
+
+  VarType var_type(Var v) const;
+  double var_lower(Var v) const;
+  double var_upper(Var v) const;
+  const std::string& var_name(Var v) const;
+  Sense sense() const { return sense_; }
+  const LinExpr& objective() const { return objective_; }
+
+  /// Evaluates the objective for a full assignment (by variable id).
+  double eval_objective(const std::vector<double>& values) const;
+
+  /// Lowers to the LP relaxation (finalized) and fills `is_integer` with
+  /// one flag per column. The LP is always a minimization; for kMaximize
+  /// the costs are negated (callers use objective_scale() to map back).
+  lp::Problem to_lp(std::vector<bool>* is_integer) const;
+
+  /// Multiply LP objective values by this to recover model-space objective.
+  double objective_scale() const {
+    return sense_ == Sense::kMaximize ? -1.0 : 1.0;
+  }
+
+ private:
+  struct VarData {
+    double lower;
+    double upper;
+    VarType type;
+    std::string name;
+    int branch_priority = 0;
+  };
+  struct ConstrData {
+    std::vector<std::pair<int, double>> terms;
+    double lower;
+    double upper;
+    std::string name;
+  };
+
+  std::vector<VarData> vars_;
+  std::vector<ConstrData> constraints_;
+  LinExpr objective_;
+  Sense sense_ = Sense::kMinimize;
+};
+
+}  // namespace tvnep::mip

@@ -1,0 +1,61 @@
+#include "net/instance.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace tvnep::net {
+
+int TvnepInstance::add_request(VnetRequest request,
+                               std::optional<std::vector<NodeId>> node_mapping) {
+  if (node_mapping) {
+    TVNEP_REQUIRE(static_cast<int>(node_mapping->size()) == request.num_nodes(),
+                  "node mapping arity mismatch for request " + request.name());
+    for (const NodeId s : *node_mapping)
+      TVNEP_REQUIRE(s >= 0 && s < substrate_.num_nodes(),
+                    "node mapping targets unknown substrate node");
+  }
+  requests_.push_back(std::move(request));
+  mappings_.push_back(std::move(node_mapping));
+  return num_requests() - 1;
+}
+
+const VnetRequest& TvnepInstance::request(int r) const {
+  TVNEP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return requests_[static_cast<std::size_t>(r)];
+}
+
+VnetRequest& TvnepInstance::mutable_request(int r) {
+  TVNEP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return requests_[static_cast<std::size_t>(r)];
+}
+
+bool TvnepInstance::has_fixed_mapping(int r) const {
+  TVNEP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return mappings_[static_cast<std::size_t>(r)].has_value();
+}
+
+const std::vector<NodeId>& TvnepInstance::fixed_mapping(int r) const {
+  TVNEP_REQUIRE(has_fixed_mapping(r), "request has no fixed node mapping");
+  return *mappings_[static_cast<std::size_t>(r)];
+}
+
+void TvnepInstance::fit_horizon() {
+  double latest = 0.0;
+  for (const auto& r : requests_) latest = std::max(latest, r.latest_end());
+  horizon_ = latest;
+}
+
+void TvnepInstance::validate() const {
+  TVNEP_REQUIRE(horizon_ > 0.0 || requests_.empty(),
+                "horizon must be positive for non-empty instances");
+  for (int r = 0; r < num_requests(); ++r) {
+    const auto& req = request(r);
+    TVNEP_REQUIRE(req.num_nodes() > 0, "request without virtual nodes");
+    TVNEP_REQUIRE(req.latest_end() <= horizon_ + 1e-9,
+                  "request window exceeds the horizon: " + req.name());
+    TVNEP_REQUIRE(req.duration() > 0.0, "request duration must be positive");
+  }
+}
+
+}  // namespace tvnep::net

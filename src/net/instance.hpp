@@ -1,0 +1,55 @@
+// A complete TVNEP instance: substrate, requests, time horizon, and
+// (optionally) a-priori fixed virtual-node mappings as used throughout the
+// paper's evaluation (Section VI-A fixes node mappings and lets the solver
+// decide admission, scheduling, and link embedding).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/request.hpp"
+#include "net/substrate.hpp"
+
+namespace tvnep::net {
+
+class TvnepInstance {
+ public:
+  TvnepInstance(SubstrateNetwork substrate, double horizon)
+      : substrate_(std::move(substrate)), horizon_(horizon) {}
+
+  /// Adds a request; `node_mapping` (virtual node → substrate node) fixes
+  /// the node placement a priori; an empty optional leaves placement to
+  /// the embedding model. Returns the request index.
+  int add_request(VnetRequest request,
+                  std::optional<std::vector<NodeId>> node_mapping =
+                      std::nullopt);
+
+  const SubstrateNetwork& substrate() const { return substrate_; }
+  int num_requests() const { return static_cast<int>(requests_.size()); }
+  const VnetRequest& request(int r) const;
+  VnetRequest& mutable_request(int r);
+
+  bool has_fixed_mapping(int r) const;
+  /// Mapping of virtual nodes to substrate nodes for request r (must exist).
+  const std::vector<NodeId>& fixed_mapping(int r) const;
+
+  /// Time horizon T; all requests must end by T.
+  double horizon() const { return horizon_; }
+  void set_horizon(double horizon) { horizon_ = horizon; }
+
+  /// Re-derives the horizon as the maximum latest end over all requests.
+  void fit_horizon();
+
+  /// Validates internal consistency (mappings in range, windows within the
+  /// horizon, virtual links referencing existing nodes). Throws CheckError
+  /// on violation.
+  void validate() const;
+
+ private:
+  SubstrateNetwork substrate_;
+  std::vector<VnetRequest> requests_;
+  std::vector<std::optional<std::vector<NodeId>>> mappings_;
+  double horizon_;
+};
+
+}  // namespace tvnep::net

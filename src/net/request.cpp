@@ -1,0 +1,49 @@
+#include "net/request.hpp"
+
+#include "support/check.hpp"
+
+namespace tvnep::net {
+
+int VnetRequest::add_node(double demand) {
+  TVNEP_REQUIRE(demand >= 0.0, "virtual node demand must be non-negative");
+  node_demand_.push_back(demand);
+  return num_nodes() - 1;
+}
+
+int VnetRequest::add_link(int from, int to, double demand) {
+  TVNEP_REQUIRE(from >= 0 && from < num_nodes(), "virtual link from unknown");
+  TVNEP_REQUIRE(to >= 0 && to < num_nodes(), "virtual link to unknown");
+  TVNEP_REQUIRE(from != to, "virtual self-loops are not allowed");
+  TVNEP_REQUIRE(demand >= 0.0, "virtual link demand must be non-negative");
+  links_.push_back({from, to, demand});
+  return num_links() - 1;
+}
+
+double VnetRequest::node_demand(int v) const {
+  TVNEP_REQUIRE(v >= 0 && v < num_nodes(), "node_demand: unknown node");
+  return node_demand_[static_cast<std::size_t>(v)];
+}
+
+const VirtualLink& VnetRequest::link(int e) const {
+  TVNEP_REQUIRE(e >= 0 && e < num_links(), "link: unknown virtual link");
+  return links_[static_cast<std::size_t>(e)];
+}
+
+double VnetRequest::total_node_demand() const {
+  double total = 0.0;
+  for (double d : node_demand_) total += d;
+  return total;
+}
+
+void VnetRequest::set_temporal(double earliest_start, double latest_end,
+                               double duration) {
+  TVNEP_REQUIRE(duration > 0.0, "duration must be positive: " + name_);
+  TVNEP_REQUIRE(earliest_start >= 0.0, "earliest start must be >= 0");
+  TVNEP_REQUIRE(earliest_start + duration <= latest_end + 1e-12,
+                "window [t^s, t^e] cannot contain duration: " + name_);
+  earliest_start_ = earliest_start;
+  latest_end_ = latest_end;
+  duration_ = duration;
+}
+
+}  // namespace tvnep::net

@@ -1,0 +1,66 @@
+// Virtual network (VNet) request: a directed virtual topology with node
+// and link resource demands (Table II) plus the temporal specification of
+// the TVNEP (Table VI): duration d and feasibility window [t^s, t^e].
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tvnep::net {
+
+/// Directed virtual link with bandwidth demand.
+struct VirtualLink {
+  int from = -1;
+  int to = -1;
+  double demand = 0.0;
+};
+
+class VnetRequest {
+ public:
+  explicit VnetRequest(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Adds a virtual node with the given resource demand; returns its index.
+  int add_node(double demand);
+
+  /// Adds a directed virtual link; both endpoints must exist.
+  int add_link(int from, int to, double demand);
+
+  int num_nodes() const { return static_cast<int>(node_demand_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  double node_demand(int v) const;
+  const VirtualLink& link(int e) const;
+  const std::string& name() const { return name_; }
+
+  /// Sum of virtual node demands — the paper's revenue weight for the
+  /// access-control objective.
+  double total_node_demand() const;
+
+  // ----- temporal specification (Table VI) -----
+
+  /// Sets duration d > 0 and window [earliest_start, latest_end];
+  /// the window must be able to contain the duration.
+  void set_temporal(double earliest_start, double latest_end, double duration);
+
+  double earliest_start() const { return earliest_start_; }  // t^s
+  double latest_end() const { return latest_end_; }          // t^e
+  double duration() const { return duration_; }              // d
+
+  /// Scheduling slack: (t^e - t^s) - d; zero means a fixed schedule.
+  double flexibility() const {
+    return (latest_end_ - earliest_start_) - duration_;
+  }
+
+  /// Latest admissible start time: t^e - d.
+  double latest_start() const { return latest_end_ - duration_; }
+
+ private:
+  std::string name_;
+  std::vector<double> node_demand_;
+  std::vector<VirtualLink> links_;
+  double earliest_start_ = 0.0;
+  double latest_end_ = 0.0;
+  double duration_ = 0.0;
+};
+
+}  // namespace tvnep::net

@@ -1,0 +1,63 @@
+#include "net/substrate.hpp"
+
+#include "support/check.hpp"
+
+namespace tvnep::net {
+
+NodeId SubstrateNetwork::add_node(double capacity, std::string name) {
+  TVNEP_REQUIRE(capacity >= 0.0, "node capacity must be non-negative");
+  nodes_.push_back({capacity, std::move(name), {}, {}});
+  return num_nodes() - 1;
+}
+
+LinkId SubstrateNetwork::add_link(NodeId from, NodeId to, double capacity) {
+  TVNEP_REQUIRE(from >= 0 && from < num_nodes(), "link from-node unknown");
+  TVNEP_REQUIRE(to >= 0 && to < num_nodes(), "link to-node unknown");
+  TVNEP_REQUIRE(from != to, "self-loop links are not allowed");
+  TVNEP_REQUIRE(capacity >= 0.0, "link capacity must be non-negative");
+  const LinkId id = num_links();
+  links_.push_back({from, to, capacity});
+  nodes_[static_cast<std::size_t>(from)].out.push_back(id);
+  nodes_[static_cast<std::size_t>(to)].in.push_back(id);
+  return id;
+}
+
+double SubstrateNetwork::node_capacity(NodeId v) const {
+  TVNEP_REQUIRE(v >= 0 && v < num_nodes(), "node_capacity: unknown node");
+  return nodes_[static_cast<std::size_t>(v)].capacity;
+}
+
+const std::string& SubstrateNetwork::node_name(NodeId v) const {
+  TVNEP_REQUIRE(v >= 0 && v < num_nodes(), "node_name: unknown node");
+  return nodes_[static_cast<std::size_t>(v)].name;
+}
+
+const SubstrateLink& SubstrateNetwork::link(LinkId e) const {
+  TVNEP_REQUIRE(e >= 0 && e < num_links(), "link: unknown link");
+  return links_[static_cast<std::size_t>(e)];
+}
+
+const std::vector<LinkId>& SubstrateNetwork::out_links(NodeId v) const {
+  TVNEP_REQUIRE(v >= 0 && v < num_nodes(), "out_links: unknown node");
+  return nodes_[static_cast<std::size_t>(v)].out;
+}
+
+const std::vector<LinkId>& SubstrateNetwork::in_links(NodeId v) const {
+  TVNEP_REQUIRE(v >= 0 && v < num_nodes(), "in_links: unknown node");
+  return nodes_[static_cast<std::size_t>(v)].in;
+}
+
+double SubstrateNetwork::resource_capacity(int r) const {
+  TVNEP_REQUIRE(r >= 0 && r < num_resources(), "resource out of range");
+  return resource_is_node(r) ? node_capacity(r)
+                             : link(r - num_nodes()).capacity;
+}
+
+std::string SubstrateNetwork::resource_name(int r) const {
+  TVNEP_REQUIRE(r >= 0 && r < num_resources(), "resource out of range");
+  if (resource_is_node(r)) return "node:" + std::to_string(r);
+  const auto& l = link(r - num_nodes());
+  return "link:" + std::to_string(l.from) + "->" + std::to_string(l.to);
+}
+
+}  // namespace tvnep::net

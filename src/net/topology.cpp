@@ -1,0 +1,68 @@
+#include "net/topology.hpp"
+
+#include "support/check.hpp"
+
+namespace tvnep::net {
+
+SubstrateNetwork make_grid(int rows, int cols, double node_capacity,
+                           double link_capacity) {
+  TVNEP_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  SubstrateNetwork s;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      s.add_node(node_capacity,
+                 "g" + std::to_string(r) + "," + std::to_string(c));
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        s.add_link(id(r, c), id(r, c + 1), link_capacity);
+        s.add_link(id(r, c + 1), id(r, c), link_capacity);
+      }
+      if (r + 1 < rows) {
+        s.add_link(id(r, c), id(r + 1, c), link_capacity);
+        s.add_link(id(r + 1, c), id(r, c), link_capacity);
+      }
+    }
+  }
+  return s;
+}
+
+SubstrateNetwork make_complete(int n, double node_capacity,
+                               double link_capacity) {
+  TVNEP_REQUIRE(n >= 1, "complete graph needs at least one node");
+  SubstrateNetwork s;
+  for (int v = 0; v < n; ++v) s.add_node(node_capacity);
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      if (a != b) s.add_link(a, b, link_capacity);
+  return s;
+}
+
+VnetRequest make_star(int leaves, bool towards_center, double node_demand,
+                      double link_demand, std::string name) {
+  TVNEP_REQUIRE(leaves >= 1, "star needs at least one leaf");
+  VnetRequest r(std::move(name));
+  const int center = r.add_node(node_demand);
+  for (int i = 0; i < leaves; ++i) {
+    const int leaf = r.add_node(node_demand);
+    if (towards_center) r.add_link(leaf, center, link_demand);
+    else r.add_link(center, leaf, link_demand);
+  }
+  return r;
+}
+
+VnetRequest make_chain(int length, double node_demand, double link_demand,
+                       std::string name) {
+  TVNEP_REQUIRE(length >= 1, "chain needs at least one node");
+  VnetRequest r(std::move(name));
+  int prev = r.add_node(node_demand);
+  for (int i = 1; i < length; ++i) {
+    const int next = r.add_node(node_demand);
+    r.add_link(prev, next, link_demand);
+    prev = next;
+  }
+  return r;
+}
+
+}  // namespace tvnep::net

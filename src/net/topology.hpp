@@ -1,0 +1,33 @@
+// Topology builders for substrates and requests.
+//
+// The paper's evaluation (Section VI-A) uses a directed 4×5 grid substrate
+// and five-node star requests (all links towards or away from the center).
+#pragma once
+
+#include "net/request.hpp"
+#include "net/substrate.hpp"
+
+namespace tvnep::net {
+
+/// Directed grid: rows × cols nodes; each lattice adjacency contributes two
+/// opposite directed links. A 4×5 grid has 20 nodes and 62 directed links,
+/// matching the paper.
+SubstrateNetwork make_grid(int rows, int cols, double node_capacity,
+                           double link_capacity);
+
+/// Complete directed graph on n nodes (every ordered pair).
+SubstrateNetwork make_complete(int n, double node_capacity,
+                               double link_capacity);
+
+/// Star request: one center and `leaves` surrounding nodes. All links are
+/// directed towards the center when `towards_center`, away otherwise
+/// (master-slave / virtual-cluster patterns in the paper). Node 0 is the
+/// center. All nodes carry `node_demand`, all links `link_demand`.
+VnetRequest make_star(int leaves, bool towards_center, double node_demand,
+                      double link_demand, std::string name = {});
+
+/// Directed chain v_0 → v_1 → ... → v_{n-1} (service-chain style request).
+VnetRequest make_chain(int length, double node_demand, double link_demand,
+                       std::string name = {});
+
+}  // namespace tvnep::net

@@ -1,0 +1,40 @@
+// Checked preconditions and invariants.
+//
+// TVNEP_CHECK is active in all build types: solver correctness depends on
+// invariants (basis consistency, feasibility tolerances) whose violation
+// must never be silently ignored, and the checks are off the hot path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tvnep {
+
+/// Thrown when a TVNEP_CHECK / TVNEP_REQUIRE condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* cond, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace tvnep
+
+/// Invariant check; always active. Use for internal consistency.
+#define TVNEP_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) ::tvnep::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Invariant check with message payload (streamable into a std::string).
+#define TVNEP_CHECK_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::tvnep::detail::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Precondition on public API arguments.
+#define TVNEP_REQUIRE(cond, msg) TVNEP_CHECK_MSG(cond, msg)

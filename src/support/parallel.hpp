@@ -1,0 +1,23 @@
+// Minimal fork-join parallelism for embarrassingly parallel scenario sweeps.
+//
+// The evaluation harness runs hundreds of independent (seed, flexibility)
+// scenarios; parallel_for distributes them over hardware threads. Exceptions
+// thrown by workers are captured and rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace tvnep {
+
+/// Number of worker threads parallel_for will use (>= 1).
+std::size_t hardware_parallelism();
+
+/// Runs body(i) for i in [0, count). Iterations may execute concurrently;
+/// body must therefore only touch disjoint state per index. If any
+/// invocation throws, one of the exceptions is rethrown here after all
+/// workers finished. `threads == 0` means use hardware_parallelism().
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace tvnep

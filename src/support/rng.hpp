@@ -1,0 +1,54 @@
+// Deterministic random number generation for workload synthesis.
+//
+// xoshiro256++ is used instead of std::mt19937 so that streams are cheap to
+// split per scenario (jump function) and results are identical across
+// standard library implementations — std::*_distribution output is not
+// portable, so the distributions here are hand-rolled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tvnep {
+
+/// xoshiro256++ generator (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next();
+
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with given mean (= 1/rate), mean > 0.
+  double exponential(double mean);
+
+  /// Weibull with shape k > 0 and scale lambda > 0.
+  double weibull(double shape, double scale);
+
+  /// Equivalent of 2^128 calls to next(); used to derive independent
+  /// per-scenario streams from one master seed.
+  void jump();
+
+  /// A new generator whose stream is disjoint from this one.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace tvnep

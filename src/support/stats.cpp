@@ -1,0 +1,55 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace tvnep {
+
+double quantile(std::span<const double> data, double q) {
+  TVNEP_REQUIRE(!data.empty(), "quantile of empty data");
+  TVNEP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction out of [0,1]");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> data) {
+  TVNEP_REQUIRE(!data.empty(), "mean of empty data");
+  double sum = 0.0;
+  for (double v : data) sum += v;
+  return sum / static_cast<double>(data.size());
+}
+
+double median(std::span<const double> data) { return quantile(data, 0.5); }
+
+Summary summarize(std::span<const double> data) {
+  Summary s;
+  if (data.empty()) return s;
+  s.count = data.size();
+  s.min = quantile(data, 0.0);
+  s.q1 = quantile(data, 0.25);
+  s.median = quantile(data, 0.5);
+  s.q3 = quantile(data, 0.75);
+  s.max = quantile(data, 1.0);
+  s.mean = mean(data);
+  return s;
+}
+
+double geometric_mean(std::span<const double> data) {
+  TVNEP_REQUIRE(!data.empty(), "geometric_mean of empty data");
+  double log_sum = 0.0;
+  for (double v : data) {
+    TVNEP_REQUIRE(v > 0.0, "geometric_mean requires positive entries");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(data.size()));
+}
+
+}  // namespace tvnep

@@ -1,0 +1,36 @@
+// Descriptive statistics used by the evaluation harness to summarize
+// per-scenario series (runtime, gap, objective) the way the paper's
+// boxplot figures do.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tvnep {
+
+/// Five-number summary plus mean, as drawn in a boxplot.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Linear-interpolation quantile (same convention as numpy's default);
+/// q in [0,1]; data need not be sorted. Empty input is a precondition error.
+double quantile(std::span<const double> data, double q);
+
+double mean(std::span<const double> data);
+double median(std::span<const double> data);
+
+/// Full five-number summary of `data` (empty input → all-zero Summary with
+/// count==0).
+Summary summarize(std::span<const double> data);
+
+/// Geometric mean; all entries must be positive.
+double geometric_mean(std::span<const double> data);
+
+}  // namespace tvnep

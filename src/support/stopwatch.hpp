@@ -1,0 +1,44 @@
+// Wall-clock stopwatch and deadline helper for solver time limits.
+#pragma once
+
+#include <chrono>
+
+namespace tvnep {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget; `expired()` is cheap enough to poll in inner loops.
+class Deadline {
+ public:
+  /// A non-positive budget means "no limit".
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool unlimited() const { return budget_ <= 0.0; }
+  bool expired() const { return !unlimited() && watch_.seconds() >= budget_; }
+  double remaining() const {
+    if (unlimited()) return 1e300;
+    return budget_ - watch_.seconds();
+  }
+  double elapsed() const { return watch_.seconds(); }
+
+ private:
+  Stopwatch watch_;
+  double budget_;
+};
+
+}  // namespace tvnep

@@ -1,0 +1,38 @@
+// Plain-text table and CSV emission for benchmark reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tvnep {
+
+/// Accumulates rows of string cells and renders either an aligned
+/// fixed-width table (for terminals) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders an aligned table with a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to `path`, creating/truncating the file.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tvnep

@@ -1,0 +1,17 @@
+#include "tvnep/csigma_model.hpp"
+
+namespace tvnep::core {
+
+CSigmaModel::CSigmaModel(const net::TvnepInstance& instance,
+                         BuildOptions options)
+    : EventFormulation(instance, std::move(options), EventScheme::kCompact) {
+  build_embedding();
+  build_events();
+  build_temporal();
+  build_precedence_cuts();
+  build_pairwise_cuts();
+  build_state_allocations();
+  apply_objective();
+}
+
+}  // namespace tvnep::core

@@ -1,0 +1,18 @@
+// cΣ-Model (Section IV): the paper's main contribution. Uses only |R|+1
+// event points — starts bijective onto e_1..e_|R|, ends many-to-one onto
+// e_2..e_|R|+1 with interval semantics — which halves the state space and
+// removes the 2^k end-ordering symmetries (Section IV-D). Combined with
+// the temporal dependency graph cuts (Section IV-C) this is the model the
+// paper solves moderately sized TVNEP instances to optimality with.
+#pragma once
+
+#include "tvnep/event_formulation.hpp"
+
+namespace tvnep::core {
+
+class CSigmaModel : public EventFormulation {
+ public:
+  CSigmaModel(const net::TvnepInstance& instance, BuildOptions options);
+};
+
+}  // namespace tvnep::core

@@ -1,0 +1,109 @@
+#include "tvnep/delta_model.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace tvnep::core {
+
+DeltaModel::DeltaModel(const net::TvnepInstance& instance,
+                       BuildOptions options)
+    : EventFormulation(instance, std::move(options),
+                       EventScheme::kTwoPerRequest) {
+  build_embedding();
+  build_events();
+  build_temporal();
+  build_precedence_cuts();
+  build_pairwise_cuts();
+  build_delta_states();
+  apply_objective();
+}
+
+void DeltaModel::build_delta_states() {
+  const auto& inst = instance();
+  const auto& substrate = inst.substrate();
+  const int num_r = inst.num_requests();
+  const int num_rsc = substrate.num_resources();
+
+  // Δ variables per (event, resource). The magnitude of a change is at
+  // most the largest single-request allocation on that resource.
+  std::vector<std::vector<mip::Var>> delta(
+      static_cast<std::size_t>(num_events()));
+  for (int e = 1; e <= num_events(); ++e) {
+    auto& row = delta[static_cast<std::size_t>(e - 1)];
+    row.resize(static_cast<std::size_t>(num_rsc));
+    for (int rsc = 0; rsc < num_rsc; ++rsc) {
+      double magnitude = 0.0;
+      for (int r = 0; r < num_r; ++r)
+        magnitude = std::max(magnitude, alloc_upper_bound(r, rsc));
+      row[static_cast<std::size_t>(rsc)] = mutable_model().add_continuous(
+          -magnitude, magnitude,
+          "delta[" + std::to_string(e) + "," + std::to_string(rsc) + "]");
+      ++num_delta_vars_;
+    }
+  }
+
+  // Selection constraints (3)-(6): when request R's start (end) is mapped
+  // onto event e, Δ_e must equal +alloc(R) (-alloc(R)).
+  for (int e = 1; e <= num_events(); ++e) {
+    for (int rsc = 0; rsc < num_rsc; ++rsc) {
+      const mip::Var d = delta[static_cast<std::size_t>(e - 1)]
+                              [static_cast<std::size_t>(rsc)];
+      double magnitude = 0.0;
+      for (int r = 0; r < num_r; ++r)
+        magnitude = std::max(magnitude, alloc_upper_bound(r, rsc));
+      // Rows are required for every request that can map onto the event —
+      // including requests with zero possible allocation on this resource:
+      // their Δ must be forced to 0, otherwise the change variable is free
+      // to "pre-discharge" later allocations.
+      for (int r = 0; r < num_r; ++r) {
+        const double ub = alloc_upper_bound(r, rsc);
+        const double big_m = magnitude + ub;
+        if (big_m <= 0.0) continue;  // resource untouched by every request
+        const std::string tag = inst.request(r).name() + "," +
+                                std::to_string(e) + "," + std::to_string(rsc);
+        const EventRange sr = start_range(r);
+        if (e >= sr.min && e <= sr.max) {
+          const mip::LinExpr gate =
+              big_m * (mip::LinExpr(1.0) - mip::LinExpr(chi_start(r, e)));
+          mutable_model().add_constr(
+              mip::LinExpr(d) <= alloc_resource(r, rsc) + gate,
+              "d3[" + tag + "]");
+          mutable_model().add_constr(
+              mip::LinExpr(d) >= alloc_resource(r, rsc) - gate,
+              "d4[" + tag + "]");
+        }
+        const EventRange er = end_range(r);
+        if (e >= er.min && e <= er.max) {
+          const mip::LinExpr gate =
+              big_m * (mip::LinExpr(1.0) - mip::LinExpr(chi_end(r, e)));
+          mutable_model().add_constr(
+              mip::LinExpr(d) <= -alloc_resource(r, rsc) + gate,
+              "d5[" + tag + "]");
+          mutable_model().add_constr(
+              mip::LinExpr(d) >= -alloc_resource(r, rsc) - gate,
+              "d6[" + tag + "]");
+        }
+      }
+    }
+  }
+
+  // State feasibility: cumulative changes stay within capacity. The
+  // cumulative sums also feed the load-balancing objective.
+  state_usage().assign(
+      static_cast<std::size_t>(num_states()),
+      std::vector<mip::LinExpr>(static_cast<std::size_t>(num_rsc)));
+  for (int rsc = 0; rsc < num_rsc; ++rsc) {
+    mip::LinExpr prefix;
+    for (int s = 1; s <= num_states(); ++s) {
+      prefix += delta[static_cast<std::size_t>(s - 1)]
+                     [static_cast<std::size_t>(rsc)];
+      state_usage()[static_cast<std::size_t>(s - 1)]
+                   [static_cast<std::size_t>(rsc)] = prefix;
+      mutable_model().add_constr(
+          prefix <= substrate.resource_capacity(rsc),
+          "dcap[" + std::to_string(s) + "," + std::to_string(rsc) + "]");
+    }
+  }
+}
+
+}  // namespace tvnep::core

@@ -1,0 +1,25 @@
+// Δ-Model (Section III-B): continuous-time formulation representing only
+// *state changes* at the 2|R| event points. The change variables Δ_e(r)
+// are tied to the mapped request's allocation via big-M selection
+// constraints (3)-(6); state allocations are prefix sums of the changes.
+// Few variables, provably weaker LP relaxation than the Σ-Models — the
+// paper demonstrates (and Figure 3/4 reproduce) that it fails to produce
+// solutions already at moderate temporal flexibility.
+#pragma once
+
+#include "tvnep/event_formulation.hpp"
+
+namespace tvnep::core {
+
+class DeltaModel : public EventFormulation {
+ public:
+  DeltaModel(const net::TvnepInstance& instance, BuildOptions options);
+
+  int num_delta_vars() const { return num_delta_vars_; }
+
+ private:
+  void build_delta_states();
+  int num_delta_vars_ = 0;
+};
+
+}  // namespace tvnep::core

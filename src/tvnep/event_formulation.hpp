@@ -1,0 +1,100 @@
+// Event-point machinery shared by the Δ-, Σ- and cΣ-Models.
+//
+// Two event schemes exist (Section III-A vs Section IV-A):
+//
+//  * kTwoPerRequest (Δ, Σ): 2|R| events; every request start and every
+//    request end occupies exactly one event and every event carries exactly
+//    one start-or-end. An end mapped to e_i happens exactly at t_{e_i}.
+//  * kCompact (cΣ): |R|+1 events; starts are bijective onto e_1..e_|R|,
+//    ends map (many-to-one) onto e_2..e_|R|+1, and an end mapped to e_i
+//    happened within (t_{e_{i-1}}, t_{e_i}].
+//
+// This layer creates the χ+/χ- mapping variables (restricted to the event
+// ranges of Constraint (19) when dependency cuts are enabled), the event
+// time variables with ordering (13), the request time linking constraints
+// (14)-(18), the pairwise dependency cuts (20), and — for the Σ/cΣ state
+// representations — the per-state allocation variables a_R with the
+// state-space reduction of Section IV-C.
+#pragma once
+
+#include "tvnep/dependency.hpp"
+#include "tvnep/formulation.hpp"
+
+namespace tvnep::core {
+
+enum class EventScheme { kTwoPerRequest, kCompact };
+
+class EventFormulation : public Formulation {
+ public:
+  /// Number of abstract event points of the scheme.
+  int num_events() const { return num_events_; }
+  /// Number of inter-event states (|E| - 1).
+  int num_states() const { return num_events_ - 1; }
+
+  const DependencyGraph& dependency_graph() const { return dep_; }
+
+  /// Allowed event range (1-based, inclusive) of request r's start/end.
+  EventRange start_range(int r) const;
+  EventRange end_range(int r) const;
+
+  /// χ mapping variable; only valid for events inside the range.
+  mip::Var chi_start(int r, int event) const;
+  mip::Var chi_end(int r, int event) const;
+
+  /// Model statistics useful for the evaluation section.
+  int num_state_alloc_vars() const { return num_state_alloc_vars_; }
+  int num_reduced_states() const { return num_reduced_states_; }
+
+ protected:
+  EventFormulation(const net::TvnepInstance& instance, BuildOptions options,
+                   EventScheme scheme);
+
+  EventScheme scheme() const { return scheme_; }
+
+  /// χ variables and the event-assignment constraints (Table VII resp.
+  /// Table XI, Constraints (10)-(12)).
+  void build_events();
+
+  /// Event times, ordering (13), request time linking (14)-(18) and the
+  /// per-request window bounds.
+  void build_temporal();
+
+  /// Pairwise ordering cuts, Constraint (20).
+  void build_pairwise_cuts();
+
+  /// Valid inequalities forcing prefix(end) <= prefix(start shifted).
+  void build_precedence_cuts();
+
+  /// Per-state a_R variables, Constraint (7)-(9) analogue, including the
+  /// Σ-fixing state-space reduction. Used by the Σ- and cΣ-Models (the
+  /// Δ-Model represents states differently). Fills state_usage().
+  void build_state_allocations();
+
+  /// Prefix-sum expressions: Σ_{j<=event} χ+ / χ- (constants outside the
+  /// allowed ranges).
+  mip::LinExpr started_by(int r, int event) const;
+  mip::LinExpr ended_by(int r, int event) const;
+
+  /// Range-based certainty tests driving the state-space reduction.
+  bool surely_started_by(int r, int event) const;
+  bool surely_not_started_by(int r, int event) const;
+  bool surely_ended_by(int r, int event) const;
+  bool surely_not_ended_by(int r, int event) const;
+
+  mip::Var event_time(int event) const;
+
+ private:
+  EventScheme scheme_;
+  DependencyGraph dep_;
+  int num_events_;
+  std::vector<EventRange> start_range_;
+  std::vector<EventRange> end_range_;
+  // χ variables, indexed [r][event-1]; invalid outside the range.
+  std::vector<std::vector<mip::Var>> chi_start_;
+  std::vector<std::vector<mip::Var>> chi_end_;
+  std::vector<mip::Var> event_time_;
+  int num_state_alloc_vars_ = 0;
+  int num_reduced_states_ = 0;
+};
+
+}  // namespace tvnep::core

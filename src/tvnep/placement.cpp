@@ -1,0 +1,130 @@
+#include "tvnep/placement.hpp"
+
+#include <algorithm>
+
+#include "lp/simplex.hpp"
+#include "support/check.hpp"
+
+namespace tvnep::core {
+
+std::optional<std::vector<net::NodeId>> place_request(
+    const net::TvnepInstance& instance, int r,
+    const PlacementOptions& options) {
+  const auto& substrate = instance.substrate();
+  const auto& req = instance.request(r);
+  const int num_nodes = substrate.num_nodes();
+  const int num_links = substrate.num_links();
+
+  // Static embedding LP (the VNEP constraints (1)-(2) with x_R = 1 and
+  // the placement binaries relaxed): variables are x_V[nv][ns] in [0,1]
+  // and x_E[lv][ls] in [0,1].
+  lp::Problem problem;
+  std::vector<int> xv(static_cast<std::size_t>(req.num_nodes() * num_nodes));
+  for (int nv = 0; nv < req.num_nodes(); ++nv)
+    for (int ns = 0; ns < num_nodes; ++ns)
+      xv[static_cast<std::size_t>(nv * num_nodes + ns)] =
+          problem.add_column(0.0, 1.0, 0.0);
+  std::vector<int> xe(static_cast<std::size_t>(req.num_links() * num_links));
+  for (int lv = 0; lv < req.num_links(); ++lv)
+    for (int ls = 0; ls < num_links; ++ls) {
+      // Objective: prefer short paths (cheap total bandwidth footprint).
+      xe[static_cast<std::size_t>(lv * num_links + ls)] =
+          problem.add_column(0.0, 1.0, req.link(lv).demand);
+    }
+
+  // Each virtual node fully placed.
+  for (int nv = 0; nv < req.num_nodes(); ++nv) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int ns = 0; ns < num_nodes; ++ns)
+      coeffs.emplace_back(xv[static_cast<std::size_t>(nv * num_nodes + ns)],
+                          1.0);
+    problem.add_row(1.0, 1.0, coeffs);
+  }
+  // Substrate node capacities.
+  for (int ns = 0; ns < num_nodes; ++ns) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int nv = 0; nv < req.num_nodes(); ++nv)
+      coeffs.emplace_back(xv[static_cast<std::size_t>(nv * num_nodes + ns)],
+                          req.node_demand(nv));
+    problem.add_row(-lp::kInfinity, substrate.node_capacity(ns), coeffs);
+  }
+  // Flow conservation per virtual link and substrate node.
+  for (int lv = 0; lv < req.num_links(); ++lv) {
+    const auto& vlink = req.link(lv);
+    for (int ns = 0; ns < num_nodes; ++ns) {
+      std::vector<std::pair<int, double>> coeffs;
+      for (const int ls : substrate.out_links(ns))
+        coeffs.emplace_back(xe[static_cast<std::size_t>(lv * num_links + ls)],
+                            1.0);
+      for (const int ls : substrate.in_links(ns))
+        coeffs.emplace_back(xe[static_cast<std::size_t>(lv * num_links + ls)],
+                            -1.0);
+      coeffs.emplace_back(
+          xv[static_cast<std::size_t>(vlink.from * num_nodes + ns)], -1.0);
+      coeffs.emplace_back(
+          xv[static_cast<std::size_t>(vlink.to * num_nodes + ns)], 1.0);
+      problem.add_row(0.0, 0.0, coeffs);
+    }
+  }
+  // Substrate link capacities.
+  for (int ls = 0; ls < num_links; ++ls) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int lv = 0; lv < req.num_links(); ++lv)
+      coeffs.emplace_back(xe[static_cast<std::size_t>(lv * num_links + ls)],
+                          req.link(lv).demand);
+    problem.add_row(-lp::kInfinity, substrate.link(ls).capacity, coeffs);
+  }
+  problem.finalize();
+
+  lp::Simplex simplex(problem);
+  if (simplex.solve() != lp::SolveStatus::kOptimal) return std::nullopt;
+  const std::vector<double> x = simplex.primal_solution();
+
+  // Deterministic rounding: per virtual node pick the substrate node with
+  // the largest fractional weight, greedily respecting node capacities.
+  std::vector<double> residual(static_cast<std::size_t>(num_nodes));
+  for (int ns = 0; ns < num_nodes; ++ns)
+    residual[static_cast<std::size_t>(ns)] = substrate.node_capacity(ns);
+  std::vector<net::NodeId> mapping(static_cast<std::size_t>(req.num_nodes()),
+                                   -1);
+  for (int nv = 0; nv < req.num_nodes(); ++nv) {
+    // Candidates sorted by fractional weight, best first.
+    std::vector<int> order(static_cast<std::size_t>(num_nodes));
+    for (int ns = 0; ns < num_nodes; ++ns)
+      order[static_cast<std::size_t>(ns)] = ns;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return x[static_cast<std::size_t>(xv[static_cast<std::size_t>(
+                 nv * num_nodes + a)])] >
+             x[static_cast<std::size_t>(xv[static_cast<std::size_t>(
+                 nv * num_nodes + b)])];
+    });
+    for (const int ns : order) {
+      if (options.capacity_aware &&
+          residual[static_cast<std::size_t>(ns)] <
+              req.node_demand(nv) - 1e-9)
+        continue;
+      mapping[static_cast<std::size_t>(nv)] = ns;
+      residual[static_cast<std::size_t>(ns)] -= req.node_demand(nv);
+      break;
+    }
+    if (mapping[static_cast<std::size_t>(nv)] < 0) return std::nullopt;
+  }
+  return mapping;
+}
+
+net::TvnepInstance with_lp_placements(const net::TvnepInstance& instance,
+                                      const PlacementOptions& options) {
+  net::TvnepInstance out(instance.substrate(), instance.horizon());
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    if (instance.has_fixed_mapping(r)) {
+      out.add_request(instance.request(r), instance.fixed_mapping(r));
+      continue;
+    }
+    auto mapping = place_request(instance, r, options);
+    if (mapping) out.add_request(instance.request(r), std::move(mapping));
+    else out.add_request(instance.request(r));
+  }
+  return out;
+}
+
+}  // namespace tvnep::core

@@ -1,0 +1,41 @@
+// LP-guided virtual node placement.
+//
+// The paper fixes node mappings uniformly at random in its evaluation and
+// notes (Section V) that "alternative embeddings could be computed e.g.
+// by employing the approach presented in [12]" — Chowdhury et al.'s
+// coordinated node/link mapping relaxation. This module implements that
+// option: per request, a *static* (time-free) embedding LP with free
+// placement binaries relaxed to [0,1] is solved against the residual
+// substrate, and the fractional mapping is rounded deterministically
+// (largest fractional weight per virtual node, capacity-aware). The
+// resulting mappings can replace the random ones before running the
+// greedy or the exact models.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/instance.hpp"
+
+namespace tvnep::core {
+
+struct PlacementOptions {
+  /// Refuse placements whose rounded node loads exceed the capacity a
+  /// single request may use on one node.
+  bool capacity_aware = true;
+};
+
+/// Computes a node mapping for request `r` of `instance` via the relaxed
+/// static embedding LP. Returns std::nullopt when even the relaxation is
+/// infeasible (the request cannot be embedded at all).
+std::optional<std::vector<net::NodeId>> place_request(
+    const net::TvnepInstance& instance, int r,
+    const PlacementOptions& options = {});
+
+/// Returns a copy of the instance in which every request *without* a fixed
+/// mapping receives an LP-guided one (requests whose relaxation is
+/// infeasible keep free placement).
+net::TvnepInstance with_lp_placements(const net::TvnepInstance& instance,
+                                      const PlacementOptions& options = {});
+
+}  // namespace tvnep::core

@@ -1,0 +1,18 @@
+#include "tvnep/sigma_model.hpp"
+
+namespace tvnep::core {
+
+SigmaModel::SigmaModel(const net::TvnepInstance& instance,
+                       BuildOptions options)
+    : EventFormulation(instance, std::move(options),
+                       EventScheme::kTwoPerRequest) {
+  build_embedding();
+  build_events();
+  build_temporal();
+  build_precedence_cuts();
+  build_pairwise_cuts();
+  build_state_allocations();
+  apply_objective();
+}
+
+}  // namespace tvnep::core

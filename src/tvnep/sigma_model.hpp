@@ -1,0 +1,16 @@
+// Σ-Model (Section III-C): explicit per-request per-state allocation
+// variables a_R driven by the prefix-sum macro Σ(R, e_i) over 2|R| event
+// points. Provably stronger LP relaxation than the Δ-Model at the cost of
+// O(|S|·|R|) extra variables.
+#pragma once
+
+#include "tvnep/event_formulation.hpp"
+
+namespace tvnep::core {
+
+class SigmaModel : public EventFormulation {
+ public:
+  SigmaModel(const net::TvnepInstance& instance, BuildOptions options);
+};
+
+}  // namespace tvnep::core

@@ -1,0 +1,184 @@
+#include "tvnep/solution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace tvnep::core {
+
+int TvnepSolution::num_accepted() const {
+  int count = 0;
+  for (const auto& r : requests)
+    if (r.accepted) ++count;
+  return count;
+}
+
+double TvnepSolution::revenue(const net::TvnepInstance& instance) const {
+  TVNEP_REQUIRE(static_cast<int>(requests.size()) == instance.num_requests(),
+                "solution arity mismatch");
+  double total = 0.0;
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    if (!requests[static_cast<std::size_t>(r)].accepted) continue;
+    const auto& req = instance.request(r);
+    total += req.duration() * req.total_node_demand();
+  }
+  return total;
+}
+
+void ValidationResult::fail(std::string message) {
+  ok = false;
+  errors.push_back(std::move(message));
+}
+
+namespace {
+
+std::string req_tag(const net::TvnepInstance& instance, int r) {
+  const std::string& name = instance.request(r).name();
+  return name.empty() ? "request " + std::to_string(r) : name;
+}
+
+}  // namespace
+
+ValidationResult validate_solution(const net::TvnepInstance& instance,
+                                   const TvnepSolution& solution,
+                                   double tol) {
+  ValidationResult result;
+  const auto& substrate = instance.substrate();
+  const int num_links = substrate.num_links();
+
+  if (static_cast<int>(solution.requests.size()) != instance.num_requests()) {
+    result.fail("solution has wrong number of requests");
+    return result;
+  }
+
+  // --- Conditions 1 & 2: per-request static embedding and schedule. ---
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const auto& req = instance.request(r);
+    const auto& emb = solution.requests[static_cast<std::size_t>(r)];
+    const std::string tag = req_tag(instance, r);
+
+    // Schedule window and duration (Definition 2.1, condition 2) apply to
+    // all requests, accepted or not.
+    if (std::fabs((emb.end - emb.start) - req.duration()) > tol)
+      result.fail(tag + ": scheduled length != duration");
+    if (emb.start < req.earliest_start() - tol)
+      result.fail(tag + ": starts before t^s");
+    if (emb.end > req.latest_end() + tol)
+      result.fail(tag + ": ends after t^e");
+
+    if (!emb.accepted) continue;
+
+    // Node mapping must be complete and in range.
+    if (static_cast<int>(emb.node_mapping.size()) != req.num_nodes()) {
+      result.fail(tag + ": node mapping arity mismatch");
+      continue;
+    }
+    for (int v = 0; v < req.num_nodes(); ++v) {
+      const int s = emb.node_mapping[static_cast<std::size_t>(v)];
+      if (s < 0 || s >= substrate.num_nodes()) {
+        result.fail(tag + ": node mapped outside the substrate");
+      } else if (instance.has_fixed_mapping(r) &&
+                 instance.fixed_mapping(r)[static_cast<std::size_t>(v)] != s) {
+        result.fail(tag + ": node mapping deviates from the fixed mapping");
+      }
+    }
+
+    // Flow conservation per virtual link (condition 1 / Constraint (2)):
+    // unit splittable flow from the mapped tail to the mapped head.
+    if (static_cast<int>(emb.link_flow.size()) !=
+        req.num_links() * num_links) {
+      result.fail(tag + ": link flow arity mismatch");
+      continue;
+    }
+    for (int lv = 0; lv < req.num_links(); ++lv) {
+      const auto& vlink = req.link(lv);
+      const int src = emb.node_mapping[static_cast<std::size_t>(vlink.from)];
+      const int dst = emb.node_mapping[static_cast<std::size_t>(vlink.to)];
+      for (int ns = 0; ns < substrate.num_nodes(); ++ns) {
+        double balance = 0.0;
+        for (const int ls : substrate.out_links(ns))
+          balance += emb.link_flow[static_cast<std::size_t>(
+              lv * num_links + ls)];
+        for (const int ls : substrate.in_links(ns))
+          balance -= emb.link_flow[static_cast<std::size_t>(
+              lv * num_links + ls)];
+        double expected = 0.0;
+        if (ns == src) expected += 1.0;
+        if (ns == dst) expected -= 1.0;
+        if (std::fabs(balance - expected) > tol) {
+          std::ostringstream os;
+          os << tag << ": flow conservation violated for vlink " << lv
+             << " at substrate node " << ns << " (balance " << balance
+             << ", expected " << expected << ")";
+          result.fail(os.str());
+        }
+      }
+      for (int ls = 0; ls < num_links; ++ls) {
+        const double f =
+            emb.link_flow[static_cast<std::size_t>(lv * num_links + ls)];
+        if (f < -tol || f > 1.0 + tol)
+          result.fail(tag + ": flow fraction outside [0,1]");
+      }
+    }
+  }
+
+  // --- Condition 3: capacities at every point in time. Allocations are
+  // invariant between consecutive schedule events; checking one point per
+  // interval (the midpoint) covers all of [0, T]. The paper uses open
+  // intervals (t+, t-): allocations at the boundary do not overlap.
+  std::set<double> times;
+  for (const auto& emb : solution.requests) {
+    times.insert(emb.start);
+    times.insert(emb.end);
+  }
+  std::vector<double> ordered(times.begin(), times.end());
+  for (std::size_t k = 0; k + 1 < ordered.size(); ++k) {
+    // Intervals below the tolerance are rounding slivers (e.g. one request
+    // ending at 2+ε while another starts at 2-ε): not a real overlap.
+    if (ordered[k + 1] - ordered[k] <= tol) continue;
+    const double mid = 0.5 * (ordered[k] + ordered[k + 1]);
+    std::vector<double> node_load(static_cast<std::size_t>(substrate.num_nodes()), 0.0);
+    std::vector<double> link_load(static_cast<std::size_t>(num_links), 0.0);
+    for (int r = 0; r < instance.num_requests(); ++r) {
+      const auto& emb = solution.requests[static_cast<std::size_t>(r)];
+      if (!emb.accepted) continue;
+      if (mid <= emb.start || mid >= emb.end) continue;
+      const auto& req = instance.request(r);
+      for (int v = 0; v < req.num_nodes(); ++v)
+        node_load[static_cast<std::size_t>(
+            emb.node_mapping[static_cast<std::size_t>(v)])] +=
+            req.node_demand(v);
+      for (int lv = 0; lv < req.num_links(); ++lv)
+        for (int ls = 0; ls < num_links; ++ls)
+          link_load[static_cast<std::size_t>(ls)] +=
+              req.link(lv).demand *
+              emb.link_flow[static_cast<std::size_t>(lv * num_links + ls)];
+    }
+    for (int ns = 0; ns < substrate.num_nodes(); ++ns) {
+      if (node_load[static_cast<std::size_t>(ns)] >
+          substrate.node_capacity(ns) + tol) {
+        std::ostringstream os;
+        os << "node " << ns << " over capacity at t=" << mid << " ("
+           << node_load[static_cast<std::size_t>(ns)] << " > "
+           << substrate.node_capacity(ns) << ")";
+        result.fail(os.str());
+      }
+    }
+    for (int ls = 0; ls < num_links; ++ls) {
+      if (link_load[static_cast<std::size_t>(ls)] >
+          substrate.link(ls).capacity + tol) {
+        std::ostringstream os;
+        os << "link " << ls << " over capacity at t=" << mid << " ("
+           << link_load[static_cast<std::size_t>(ls)] << " > "
+           << substrate.link(ls).capacity << ")";
+        result.fail(os.str());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tvnep::core

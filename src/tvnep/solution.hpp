@@ -1,0 +1,56 @@
+// Solution container and the independent continuous-time validator.
+//
+// The validator re-checks Definition 2.1 directly on the event-interval
+// partition of [0, T]; it shares no code with the MIP formulations so that
+// a formulation bug cannot certify its own output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+
+namespace tvnep::core {
+
+/// Per-request embedding and schedule.
+struct RequestEmbedding {
+  bool accepted = false;
+  double start = 0.0;  // t+_R
+  double end = 0.0;    // t-_R
+  /// Virtual node → substrate node (size = request.num_nodes()).
+  std::vector<int> node_mapping;
+  /// Flow fraction per (virtual link, substrate link); indexed
+  /// [vlink * num_substrate_links + slink], values in [0, 1].
+  std::vector<double> link_flow;
+};
+
+struct TvnepSolution {
+  std::vector<RequestEmbedding> requests;
+  double objective = 0.0;
+
+  int num_accepted() const;
+
+  /// Sum over accepted requests of d_R * Σ c_R(N_v): the access-control
+  /// revenue of Section IV-E.1.
+  double revenue(const net::TvnepInstance& instance) const;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string message);
+};
+
+/// Checks the three conditions of Definition 2.1:
+///  1. the static embedding satisfies node mapping and flow conservation,
+///  2. windows/durations hold: t-_R - t+_R = d_R, t^s <= t+, t- <= t^e,
+///  3. node and link capacities hold at every point in time (checked on
+///     the finite interval partition induced by all starts/ends).
+/// Rejected requests are allowed arbitrary schedules inside their window
+/// (the Definition fixes their times but they consume nothing).
+ValidationResult validate_solution(const net::TvnepInstance& instance,
+                                   const TvnepSolution& solution,
+                                   double tol = 1e-5);
+
+}  // namespace tvnep::core

@@ -1,0 +1,51 @@
+#include "tvnep/solver.hpp"
+
+#include "support/check.hpp"
+#include "tvnep/csigma_model.hpp"
+#include "tvnep/delta_model.hpp"
+#include "tvnep/sigma_model.hpp"
+
+namespace tvnep::core {
+
+std::unique_ptr<Formulation> build_formulation(
+    const net::TvnepInstance& instance, ModelKind kind, BuildOptions options) {
+  switch (kind) {
+    case ModelKind::kDelta:
+      return std::make_unique<DeltaModel>(instance, std::move(options));
+    case ModelKind::kSigma:
+      return std::make_unique<SigmaModel>(instance, std::move(options));
+    case ModelKind::kCSigma:
+      return std::make_unique<CSigmaModel>(instance, std::move(options));
+  }
+  TVNEP_CHECK_MSG(false, "unknown model kind");
+  return nullptr;
+}
+
+TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
+                       const SolveParams& params) {
+  const std::unique_ptr<Formulation> formulation =
+      build_formulation(instance, kind, params.build);
+
+  mip::MipOptions mip_options = params.mip;
+  mip_options.time_limit_seconds = params.time_limit_seconds;
+  if (params.max_nodes > 0) mip_options.max_nodes = params.max_nodes;
+  mip::MipSolver solver(mip_options);
+  const mip::MipResult mip_result = solver.solve(formulation->model());
+
+  TvnepSolveResult result;
+  result.status = mip_result.status;
+  result.has_solution = mip_result.has_solution;
+  result.objective = mip_result.objective;
+  result.best_bound = mip_result.best_bound;
+  result.gap = mip_result.gap();
+  result.seconds = mip_result.seconds;
+  result.nodes = mip_result.nodes;
+  result.model_vars = formulation->model().num_vars();
+  result.model_constraints = formulation->model().num_constraints();
+  result.model_integer_vars = formulation->model().num_integer_vars();
+  if (mip_result.has_solution)
+    result.solution = formulation->extract(mip_result.solution);
+  return result;
+}
+
+}  // namespace tvnep::core

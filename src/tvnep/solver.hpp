@@ -1,0 +1,44 @@
+// High-level entry point: build a formulation, hand it to the MIP solver,
+// validate and return the schedule. This is the API the examples, benches
+// and the greedy algorithm drive.
+#pragma once
+
+#include <memory>
+
+#include "mip/branch_and_bound.hpp"
+#include "tvnep/formulation.hpp"
+#include "tvnep/types.hpp"
+
+namespace tvnep::core {
+
+struct SolveParams {
+  BuildOptions build;
+  double time_limit_seconds = 60.0;
+  long max_nodes = 0;
+  mip::MipOptions mip;  // fine-grained solver control (gap, lp options)
+};
+
+struct TvnepSolveResult {
+  mip::MipStatus status = mip::MipStatus::kNumericalFailure;
+  bool has_solution = false;
+  TvnepSolution solution;
+  double objective = 0.0;
+  double best_bound = 0.0;
+  double gap = 0.0;  // +inf when no incumbent (paper's "∞" marker)
+  double seconds = 0.0;
+  long nodes = 0;
+  int model_vars = 0;
+  int model_constraints = 0;
+  int model_integer_vars = 0;
+};
+
+/// Builds the requested formulation.
+std::unique_ptr<Formulation> build_formulation(
+    const net::TvnepInstance& instance, ModelKind kind, BuildOptions options);
+
+/// Builds and solves; the returned solution (when any) has been extracted
+/// from the best incumbent.
+TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
+                       const SolveParams& params);
+
+}  // namespace tvnep::core

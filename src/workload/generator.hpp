@@ -1,0 +1,61 @@
+// Synthetic workload generator reimplementing Section VI-A of the paper:
+//
+//  * substrate: directed rows×cols grid, node capacity 3.5, link capacity 5;
+//  * requests: five-node stars, all links towards or away from the center
+//    (chosen uniformly), demands uniform in [1, 2];
+//  * arrivals: Poisson process with exponential inter-arrival mean 1 hour;
+//  * durations: Weibull(shape 2, scale 4) — expected ≈ 3.5 hours;
+//  * node mappings fixed uniformly at random per virtual node;
+//  * temporal flexibility: t^e = arrival + duration + flexibility.
+//
+// All parameters are exposed so the benches can run both the paper's scale
+// (20 requests on 4×5) and scaled-down defaults suited to this machine.
+#pragma once
+
+#include <cstdint>
+
+#include "net/instance.hpp"
+
+namespace tvnep::workload {
+
+struct WorkloadParams {
+  // Substrate (paper: 4×5 grid, caps 3.5 / 5).
+  int grid_rows = 4;
+  int grid_cols = 5;
+  double node_capacity = 3.5;
+  double link_capacity = 5.0;
+
+  // Requests (paper: 20 five-node stars, demands U[1,2]).
+  int num_requests = 20;
+  int star_leaves = 4;  // 1 center + leaves ⇒ five-node stars by default
+  double demand_min = 1.0;
+  double demand_max = 2.0;
+
+  // Temporal processes (paper: exp(1h) arrivals, Weibull(2,4) durations).
+  double interarrival_mean = 1.0;  // hours
+  double weibull_shape = 2.0;
+  double weibull_scale = 4.0;
+
+  // Slack added to each request's window: t^e = t^s + d + flexibility.
+  double flexibility = 0.0;  // hours
+
+  // Fix node mappings uniformly at random (paper methodology). When false
+  // the instance leaves placement to the embedding model.
+  bool fix_node_mappings = true;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates one workload instance. The horizon is fitted to the latest
+/// request end. Deterministic in `params.seed`.
+net::TvnepInstance generate_workload(const WorkloadParams& params);
+
+/// The same workload re-generated with a different flexibility value —
+/// request structure, arrival times, durations, demands and mappings are
+/// identical; only the windows widen. This matches the paper's sweep where
+/// "initially there are none [flexibilities]" and each scenario increments
+/// the flexibility of the *same* day of work.
+net::TvnepInstance generate_workload_with_flexibility(
+    const WorkloadParams& params, double flexibility);
+
+}  // namespace tvnep::workload

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "eval/args.hpp"
+#include "support/check.hpp"
+
+namespace tvnep::eval {
+namespace {
+
+Args make(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, SpaceSeparatedValues) {
+  const Args a = make({"--requests", "8", "--time-limit", "2.5"});
+  EXPECT_EQ(a.get_int("requests", 0), 8);
+  EXPECT_DOUBLE_EQ(a.get_double("time-limit", 0.0), 2.5);
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = make({"--seeds=5", "--name=fig3"});
+  EXPECT_EQ(a.get_int("seeds", 0), 5);
+  EXPECT_EQ(a.get_string("name", ""), "fig3");
+}
+
+TEST(Args, BooleanFlags) {
+  const Args a = make({"--paper-scale", "--verbose=false"});
+  EXPECT_TRUE(a.get_bool("paper-scale", false));
+  EXPECT_FALSE(a.get_bool("verbose", true));
+  EXPECT_TRUE(a.get_bool("absent", true));
+  EXPECT_FALSE(a.get_bool("absent2", false));
+}
+
+TEST(Args, Defaults) {
+  const Args a = make({});
+  EXPECT_EQ(a.get_int("requests", 7), 7);
+  EXPECT_EQ(a.get_string("x", "y"), "y");
+  EXPECT_FALSE(a.has("requests"));
+}
+
+TEST(Args, UnusedDetection) {
+  const Args a = make({"--known", "1", "--typo", "2"});
+  (void)a.get_int("known", 0);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  EXPECT_THROW(make({"positional"}), CheckError);
+}
+
+TEST(Args, TrailingFlagIsBoolean) {
+  const Args a = make({"--requests", "3", "--quick"});
+  EXPECT_EQ(a.get_int("requests", 0), 3);
+  EXPECT_TRUE(a.get_bool("quick", false));
+}
+
+}  // namespace
+}  // namespace tvnep::eval

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/instance_io.hpp"
+#include "io/mps_writer.hpp"
+#include "net/topology.hpp"
+#include "support/check.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::io {
+namespace {
+
+net::TvnepInstance sample_instance() {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.num_requests = 3;
+  params.star_leaves = 2;
+  params.seed = 5;
+  params.flexibility = 1.5;
+  return workload::generate_workload(params);
+}
+
+TEST(InstanceIo, RoundTripsExactly) {
+  const net::TvnepInstance original = sample_instance();
+  std::stringstream buffer;
+  write_instance(original, buffer);
+  const net::TvnepInstance loaded = read_instance(buffer);
+
+  EXPECT_EQ(loaded.substrate().num_nodes(), original.substrate().num_nodes());
+  EXPECT_EQ(loaded.substrate().num_links(), original.substrate().num_links());
+  EXPECT_DOUBLE_EQ(loaded.horizon(), original.horizon());
+  ASSERT_EQ(loaded.num_requests(), original.num_requests());
+  for (int r = 0; r < original.num_requests(); ++r) {
+    const auto& a = original.request(r);
+    const auto& b = loaded.request(r);
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_DOUBLE_EQ(a.earliest_start(), b.earliest_start());
+    EXPECT_DOUBLE_EQ(a.latest_end(), b.latest_end());
+    EXPECT_DOUBLE_EQ(a.duration(), b.duration());
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    for (int v = 0; v < a.num_nodes(); ++v)
+      EXPECT_DOUBLE_EQ(a.node_demand(v), b.node_demand(v));
+    ASSERT_EQ(a.num_links(), b.num_links());
+    for (int e = 0; e < a.num_links(); ++e) {
+      EXPECT_EQ(a.link(e).from, b.link(e).from);
+      EXPECT_EQ(a.link(e).to, b.link(e).to);
+      EXPECT_DOUBLE_EQ(a.link(e).demand, b.link(e).demand);
+    }
+    ASSERT_EQ(original.has_fixed_mapping(r), loaded.has_fixed_mapping(r));
+    if (original.has_fixed_mapping(r))
+      EXPECT_EQ(original.fixed_mapping(r), loaded.fixed_mapping(r));
+  }
+}
+
+TEST(InstanceIo, RoundTripPreservesOptimum) {
+  const net::TvnepInstance original = sample_instance();
+  std::stringstream buffer;
+  write_instance(original, buffer);
+  const net::TvnepInstance loaded = read_instance(buffer);
+
+  core::SolveParams params;
+  params.time_limit_seconds = 60.0;
+  const auto a = core::solve(original, core::ModelKind::kCSigma, params);
+  const auto b = core::solve(loaded, core::ModelKind::kCSigma, params);
+  ASSERT_EQ(a.status, mip::MipStatus::kOptimal);
+  ASSERT_EQ(b.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+}
+
+TEST(InstanceIo, FreePlacementRoundTrips) {
+  net::TvnepInstance inst(net::make_grid(2, 2, 1.0, 1.0), 5.0);
+  net::VnetRequest r("free");
+  r.add_node(0.5);
+  r.set_temporal(0.0, 4.0, 2.0);
+  inst.add_request(r);  // no mapping line expected
+  std::stringstream buffer;
+  write_instance(inst, buffer);
+  EXPECT_EQ(buffer.str().find("mapping"), std::string::npos);
+  const net::TvnepInstance loaded = read_instance(buffer);
+  EXPECT_FALSE(loaded.has_fixed_mapping(0));
+}
+
+TEST(InstanceIo, RejectsBadHeader) {
+  std::stringstream buffer("not-a-tvnep-file\n");
+  EXPECT_THROW(read_instance(buffer), CheckError);
+}
+
+TEST(InstanceIo, RejectsUnknownKeyword) {
+  std::stringstream buffer("tvnep 1\nbogus 1 2 3\n");
+  EXPECT_THROW(read_instance(buffer), CheckError);
+}
+
+TEST(InstanceIo, RejectsDanglingVnode) {
+  std::stringstream buffer("tvnep 1\nhorizon 5\nvnode 1.0\n");
+  EXPECT_THROW(read_instance(buffer), CheckError);
+}
+
+TEST(MpsWriter, ContainsAllSections) {
+  mip::Model m;
+  const mip::Var x = m.add_binary("x");
+  const mip::Var y = m.add_continuous(0.0, 4.0, "y");
+  m.add_constr(2.0 * x + y <= 5.0);
+  m.add_constr(x + y >= 1.0);
+  m.add_constr(1.0 * y == 2.0);
+  m.set_objective(mip::Sense::kMaximize, 3.0 * x + y);
+
+  std::stringstream buffer;
+  write_mps(m, buffer, "test");
+  const std::string mps = buffer.str();
+  for (const char* section :
+       {"NAME", "OBJSENSE", "MAX", "ROWS", "COLUMNS", "RHS", "BOUNDS",
+        "ENDATA", "'INTORG'", "'INTEND'"})
+    EXPECT_NE(mps.find(section), std::string::npos) << section;
+  // Three constraint rows plus the objective row.
+  EXPECT_NE(mps.find(" L  c0"), std::string::npos);
+  EXPECT_NE(mps.find(" G  c1"), std::string::npos);
+  EXPECT_NE(mps.find(" E  c2"), std::string::npos);
+}
+
+TEST(MpsWriter, RangedRowsEmitRanges) {
+  mip::Model m;
+  const mip::Var x = m.add_continuous(0.0, 10.0, "x");
+  mip::Constraint c{mip::LinExpr(x), 2.0, 7.0};
+  m.add_constr(c);
+  m.set_objective(mip::Sense::kMinimize, mip::LinExpr(x));
+  std::stringstream buffer;
+  write_mps(m, buffer);
+  EXPECT_NE(buffer.str().find("RANGES"), std::string::npos);
+  EXPECT_NE(buffer.str().find("rng  c0  5"), std::string::npos);
+}
+
+TEST(MpsWriter, WritesFormulationWithoutError) {
+  const net::TvnepInstance inst = sample_instance();
+  const auto formulation =
+      core::build_formulation(inst, core::ModelKind::kCSigma, {});
+  std::stringstream buffer;
+  write_mps(formulation->model(), buffer, "csigma");
+  EXPECT_GT(buffer.str().size(), 1000u);
+  EXPECT_NE(buffer.str().find("ENDATA"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvnep::io

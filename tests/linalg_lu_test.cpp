@@ -1,0 +1,112 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tvnep::linalg {
+namespace {
+
+DenseMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  DenseMatrix a(n, n);
+  std::uint64_t s = seed;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      a(r, c) = static_cast<double>(static_cast<std::int64_t>(s >> 20) % 1000) /
+                100.0;
+    }
+  // Diagonal dominance not enforced: partial pivoting must handle it.
+  return a;
+}
+
+TEST(Lu, SolvesIdentity) {
+  auto lu = LuFactorization::factorize(DenseMatrix::identity(4));
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> b{1, 2, 3, 4};
+  lu->solve(b);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 4.0);
+}
+
+TEST(Lu, SolveMatchesMultiply) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const DenseMatrix a = random_matrix(8, seed);
+    auto lu = LuFactorization::factorize(a);
+    ASSERT_TRUE(lu.has_value()) << "seed " << seed;
+    std::vector<double> x_true(8);
+    for (std::size_t i = 0; i < 8; ++i) x_true[i] = static_cast<double>(i) - 3.5;
+    std::vector<double> b(8);
+    a.multiply(x_true, b);
+    lu->solve(b);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Lu, SolveTransposedMatchesMultiplyTransposed) {
+  const DenseMatrix a = random_matrix(6, 42);
+  auto lu = LuFactorization::factorize(a);
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> x_true{1, -2, 3, -4, 5, -6};
+  std::vector<double> b(6);
+  a.multiply_transposed(x_true, b);
+  lu->solve_transposed(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  const DenseMatrix a = random_matrix(5, 7);
+  auto lu = LuFactorization::factorize(a);
+  ASSERT_TRUE(lu.has_value());
+  const DenseMatrix inv = lu->inverse();
+  // Check A * inv == I column by column.
+  for (std::size_t c = 0; c < 5; ++c) {
+    std::vector<double> col(5), out(5);
+    for (std::size_t r = 0; r < 5; ++r) col[r] = inv(r, c);
+    a.multiply(col, out);
+    for (std::size_t r = 0; r < 5; ++r)
+      EXPECT_NEAR(out[r], r == c ? 1.0 : 0.0, 1e-9);
+  }
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 2; a(1, 1) = 4; a(1, 2) = 6;  // row 1 = 2 * row 0
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 1;
+  EXPECT_FALSE(LuFactorization::factorize(a).has_value());
+}
+
+TEST(Lu, DeterminantOfDiagonal) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2; a(1, 1) = 3; a(2, 2) = 4;
+  auto lu = LuFactorization::factorize(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), 24.0, 1e-12);
+}
+
+TEST(Lu, DeterminantTracksRowSwaps) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 1;  // permutation matrix [[0,1],[1,0]], det = -1
+  a(1, 0) = 1;
+  auto lu = LuFactorization::factorize(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_NEAR(lu->determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivotingMatrix) {
+  // Zero on the initial diagonal: fails without partial pivoting.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 1;
+  auto lu = LuFactorization::factorize(a);
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> b{2.0, 3.0};  // solution x = (1, 2)
+  lu->solve(b);
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tvnep::linalg

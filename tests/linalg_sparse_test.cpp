@@ -1,0 +1,105 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace tvnep::linalg {
+namespace {
+
+TEST(Sparse, BuildsColumnLayout) {
+  SparseBuilder b(3, 2);
+  b.add(0, 0, 1.0);
+  b.add(2, 0, 2.0);
+  b.add(1, 1, 3.0);
+  const SparseMatrix m(b);
+  EXPECT_EQ(m.nonzeros(), 3u);
+  const auto col0 = m.column(0);
+  ASSERT_EQ(col0.size(), 2u);
+  EXPECT_EQ(col0[0].index, 0);
+  EXPECT_DOUBLE_EQ(col0[0].value, 1.0);
+  EXPECT_EQ(col0[1].index, 2);
+  const auto col1 = m.column(1);
+  ASSERT_EQ(col1.size(), 1u);
+  EXPECT_EQ(col1[0].index, 1);
+}
+
+TEST(Sparse, RowLayoutMatchesColumns) {
+  SparseBuilder b(2, 3);
+  b.add(0, 0, 1.0);
+  b.add(0, 2, 2.0);
+  b.add(1, 1, 3.0);
+  const SparseMatrix m(b);
+  const auto row0 = m.row(0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0].index, 0);
+  EXPECT_EQ(row0[1].index, 2);
+  EXPECT_DOUBLE_EQ(row0[1].value, 2.0);
+  const auto row1 = m.row(1);
+  ASSERT_EQ(row1.size(), 1u);
+  EXPECT_EQ(row1[0].index, 1);
+}
+
+TEST(Sparse, DuplicatesAreSummed) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  const SparseMatrix m(b);
+  ASSERT_EQ(m.column(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.column(0)[0].value, 3.5);
+}
+
+TEST(Sparse, DuplicatesCancellingToZeroAreDropped) {
+  SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, -1.0);
+  const SparseMatrix m(b);
+  EXPECT_EQ(m.nonzeros(), 0u);
+  EXPECT_TRUE(m.column(0).empty());
+}
+
+TEST(Sparse, ExplicitZeroIsIgnored) {
+  SparseBuilder b(1, 1);
+  b.add(0, 0, 0.0);
+  EXPECT_EQ(b.nonzeros(), 0u);
+}
+
+TEST(Sparse, AddColumnTo) {
+  SparseBuilder b(3, 1);
+  b.add(0, 0, 2.0);
+  b.add(2, 0, -1.0);
+  const SparseMatrix m(b);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  m.add_column_to(0, 3.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0);
+}
+
+TEST(Sparse, ColumnDot) {
+  SparseBuilder b(3, 1);
+  b.add(0, 0, 2.0);
+  b.add(1, 0, 3.0);
+  const SparseMatrix m(b);
+  const std::vector<double> x{1.0, 10.0, 100.0};
+  EXPECT_DOUBLE_EQ(m.column_dot(0, x), 32.0);
+}
+
+TEST(Sparse, OutOfRangeIndicesRejected) {
+  SparseBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1.0), CheckError);
+  EXPECT_THROW(b.add(0, -1, 1.0), CheckError);
+}
+
+TEST(Sparse, EmptyMatrix) {
+  SparseBuilder b(0, 0);
+  const SparseMatrix m(b);
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.nonzeros(), 0u);
+}
+
+}  // namespace
+}  // namespace tvnep::linalg

@@ -1,0 +1,71 @@
+#include "lp/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace tvnep::lp {
+namespace {
+
+TEST(Problem, AddColumnsAndRows) {
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, 2.0, "x");
+  const int y = p.add_column(-1.0, kInfinity, -1.0, "y");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(y, 1);
+  const int r = p.add_row(-kInfinity, 5.0, {{x, 1.0}, {y, 2.0}}, "r");
+  EXPECT_EQ(r, 0);
+  p.finalize();
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.num_rows(), 1);
+  EXPECT_DOUBLE_EQ(p.column(0).cost, 2.0);
+  EXPECT_DOUBLE_EQ(p.row(0).upper, 5.0);
+  EXPECT_EQ(p.matrix().nonzeros(), 2u);
+}
+
+TEST(Problem, DuplicateCoefficientsSummed) {
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, 0.0);
+  p.add_row(0.0, 0.0, {{x, 1.0}, {x, 2.0}});
+  p.finalize();
+  ASSERT_EQ(p.matrix().column(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(p.matrix().column(0)[0].value, 3.0);
+}
+
+TEST(Problem, RejectsCrossedBounds) {
+  Problem p;
+  EXPECT_THROW(p.add_column(1.0, 0.0, 0.0), CheckError);
+  p.add_column(0.0, 1.0, 0.0);
+  EXPECT_THROW(p.add_row(2.0, 1.0, {}), CheckError);
+}
+
+TEST(Problem, RejectsUnknownColumnInRow) {
+  Problem p;
+  p.add_column(0.0, 1.0, 0.0);
+  EXPECT_THROW(p.add_row(0.0, 1.0, {{5, 1.0}}), CheckError);
+}
+
+TEST(Problem, RejectsMutationAfterFinalize) {
+  Problem p;
+  p.add_column(0.0, 1.0, 0.0);
+  p.finalize();
+  EXPECT_THROW(p.add_column(0.0, 1.0, 0.0), CheckError);
+  EXPECT_THROW(p.add_row(0.0, 1.0, {}), CheckError);
+  EXPECT_THROW(p.finalize(), CheckError);
+}
+
+TEST(Problem, SetCostAllowedAfterFinalize) {
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, 1.0);
+  p.finalize();
+  p.set_cost(x, 3.0);
+  EXPECT_DOUBLE_EQ(p.column(x).cost, 3.0);
+}
+
+TEST(Problem, MatrixBeforeFinalizeThrows) {
+  Problem p;
+  EXPECT_THROW(p.matrix(), CheckError);
+}
+
+}  // namespace
+}  // namespace tvnep::lp

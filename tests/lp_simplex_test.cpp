@@ -1,0 +1,223 @@
+// Hand-crafted LP cases with known optima, covering: maximizing/minimizing,
+// equality rows, ranged rows, free variables, bound flips, infeasibility,
+// unboundedness, warm restarts after bound changes (the branch-and-bound
+// access pattern), and degenerate problems.
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tvnep::lp {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnlyMinimize) {
+  Problem p;
+  p.add_column(1.0, 4.0, 2.0, "x");  // min 2x → x = 1
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), 2.0, 1e-8);
+  EXPECT_NEAR(s.value(0), 1.0, 1e-8);
+}
+
+TEST(Simplex, TrivialBoundsOnlyNegativeCost) {
+  Problem p;
+  p.add_column(1.0, 4.0, -2.0, "x");  // min -2x → x = 4
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(0), 4.0, 1e-8);
+  EXPECT_NEAR(s.objective(), -8.0, 1e-8);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Known optimum (Dantzig's example): x = 2, y = 6, obj = 36.
+  Problem p;
+  const int x = p.add_column(0.0, kInfinity, -3.0, "x");
+  const int y = p.add_column(0.0, kInfinity, -5.0, "y");
+  p.add_row(-kInfinity, 4.0, {{x, 1.0}});
+  p.add_row(-kInfinity, 12.0, {{y, 2.0}});
+  p.add_row(-kInfinity, 18.0, {{x, 3.0}, {y, 2.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -36.0, 1e-7);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-7);
+  EXPECT_NEAR(s.value(y), 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityRow) {
+  // min x + y s.t. x + y = 3, 0 <= x <= 2, 0 <= y <= 2.
+  Problem p;
+  const int x = p.add_column(0.0, 2.0, 1.0);
+  const int y = p.add_column(0.0, 2.0, 1.0);
+  p.add_row(3.0, 3.0, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), 3.0, 1e-8);
+  EXPECT_NEAR(s.value(x) + s.value(y), 3.0, 1e-8);
+}
+
+TEST(Simplex, RangedRow) {
+  // min x s.t. 2 <= x + y <= 5, 0 <= x,y <= 10, cost y = 0.
+  Problem p;
+  const int x = p.add_column(0.0, 10.0, 1.0);
+  const int y = p.add_column(0.0, 10.0, 0.0);
+  p.add_row(2.0, 5.0, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), 0.0, 1e-8);
+  EXPECT_GE(s.value(y), 2.0 - 1e-8);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min x s.t. x >= -7 via row (free column).
+  Problem p;
+  const int x = p.add_column(-kInfinity, kInfinity, 1.0);
+  p.add_row(-7.0, kInfinity, {{x, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), -7.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 simultaneously.
+  Problem p;
+  const int x = p.add_column(0.0, kInfinity, 0.0);
+  p.add_row(-kInfinity, 1.0, {{x, 1.0}});
+  p.add_row(2.0, kInfinity, {{x, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  EXPECT_EQ(s.solve(), SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualPair) {
+  Problem p;
+  const int x = p.add_column(0.0, 10.0, 0.0);
+  const int y = p.add_column(0.0, 10.0, 0.0);
+  p.add_row(4.0, 4.0, {{x, 1.0}, {y, 1.0}});
+  p.add_row(9.0, 9.0, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  EXPECT_EQ(s.solve(), SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with x >= 0 unconstrained above.
+  Problem p;
+  const int x = p.add_column(0.0, kInfinity, -1.0);
+  p.add_row(0.0, kInfinity, {{x, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  EXPECT_EQ(s.solve(), SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeLowerBoundsRhs) {
+  // min x + y s.t. x + y >= -4, bounds [-10, 10]: optimum -4.
+  Problem p;
+  const int x = p.add_column(-10.0, 10.0, 1.0);
+  const int y = p.add_column(-10.0, 10.0, 1.0);
+  p.add_row(-4.0, kInfinity, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -4.0, 1e-8);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Problem p;
+  const int x = p.add_column(0.0, kInfinity, -1.0);
+  const int y = p.add_column(0.0, kInfinity, -1.0);
+  p.add_row(-kInfinity, 2.0, {{x, 1.0}, {y, 1.0}});
+  p.add_row(-kInfinity, 2.0, {{x, 1.0}, {y, 1.0}});
+  p.add_row(-kInfinity, 4.0, {{x, 2.0}, {y, 2.0}});
+  p.add_row(-kInfinity, 1.0, {{x, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -2.0, 1e-8);
+}
+
+TEST(Simplex, WarmRestartAfterBoundTightening) {
+  // The branch-and-bound access pattern: solve, tighten a bound, re-solve.
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, -1.0);
+  const int y = p.add_column(0.0, 1.0, -1.0);
+  p.add_row(-kInfinity, 1.5, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -1.5, 1e-8);
+
+  s.set_bounds(x, 0.0, 0.0);  // "branch x = 0"
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -1.0, 1e-8);
+  EXPECT_NEAR(s.value(x), 0.0, 1e-8);
+  EXPECT_TRUE(s.stats().warm_started);
+
+  s.set_bounds(x, 1.0, 1.0);  // "branch x = 1"
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -1.5, 1e-8);
+  EXPECT_NEAR(s.value(y), 0.5, 1e-8);
+
+  s.reset_bounds();
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -1.5, 1e-8);
+}
+
+TEST(Simplex, WarmRestartDetectsChildInfeasibility) {
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, -1.0);
+  const int y = p.add_column(0.0, 1.0, -1.0);
+  p.add_row(1.8, kInfinity, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  s.set_bounds(x, 0.0, 0.0);
+  s.set_bounds(y, 0.0, 0.0);
+  EXPECT_EQ(s.solve(), SolveStatus::kInfeasible);
+  s.reset_bounds();
+  EXPECT_EQ(s.solve(), SolveStatus::kOptimal);
+}
+
+TEST(Simplex, FixedVariablesRespected) {
+  Problem p;
+  const int x = p.add_column(2.0, 2.0, 1.0);
+  const int y = p.add_column(0.0, 5.0, 1.0);
+  p.add_row(3.0, kInfinity, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 2.0, 1e-9);
+  EXPECT_NEAR(s.value(y), 1.0, 1e-8);
+}
+
+TEST(Simplex, EmptyProblemNoRows) {
+  Problem p;
+  p.add_column(0.0, 3.0, -1.0);
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -3.0, 1e-9);
+}
+
+TEST(Simplex, DualValuesOnActiveRow) {
+  // min -x with x <= 5 (row): dual reflects the binding row.
+  Problem p;
+  const int x = p.add_column(0.0, kInfinity, -1.0);
+  p.add_row(-kInfinity, 5.0, {{x, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.value(x), 5.0, 1e-8);
+  EXPECT_NEAR(std::fabs(s.dual_value(0)), 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace tvnep::lp

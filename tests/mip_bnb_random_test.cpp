@@ -1,0 +1,121 @@
+// Property tests: branch & bound against exhaustive 0/1 enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "mip/branch_and_bound.hpp"
+#include "support/rng.hpp"
+
+namespace tvnep::mip {
+namespace {
+
+struct RandomBinaryMip {
+  Model model;
+  int n = 0;
+};
+
+RandomBinaryMip make_random_binary_mip(Rng& rng) {
+  RandomBinaryMip out;
+  out.n = static_cast<int>(rng.uniform_int(2, 8));
+  std::vector<Var> vars;
+  LinExpr obj;
+  for (int j = 0; j < out.n; ++j) {
+    vars.push_back(out.model.add_binary());
+    obj += static_cast<double>(rng.uniform_int(-5, 9)) * vars.back();
+  }
+  const int m = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < m; ++i) {
+    LinExpr lhs;
+    for (int j = 0; j < out.n; ++j)
+      lhs += static_cast<double>(rng.uniform_int(-3, 4)) * vars[static_cast<std::size_t>(j)];
+    const double rhs = static_cast<double>(rng.uniform_int(0, 8));
+    if (rng.uniform01() < 0.7) out.model.add_constr(lhs <= rhs);
+    else out.model.add_constr(lhs >= -rhs);
+  }
+  out.model.set_objective(
+      rng.uniform01() < 0.5 ? Sense::kMaximize : Sense::kMinimize, obj);
+  return out;
+}
+
+std::optional<double> brute_force(const RandomBinaryMip& mip) {
+  std::optional<double> best;
+  std::vector<double> assignment(static_cast<std::size_t>(mip.n));
+  for (unsigned mask = 0; mask < (1u << mip.n); ++mask) {
+    for (int j = 0; j < mip.n; ++j)
+      assignment[static_cast<std::size_t>(j)] = (mask >> j) & 1u ? 1.0 : 0.0;
+    if (!MipSolver::is_feasible(mip.model, assignment, 1e-9)) continue;
+    const double obj = mip.model.eval_objective(assignment);
+    if (!best) best = obj;
+    else if (mip.model.sense() == Sense::kMaximize) best = std::max(*best, obj);
+    else best = std::min(*best, obj);
+  }
+  return best;
+}
+
+TEST(BnbRandom, MatchesExhaustiveEnumeration) {
+  Rng rng(4242);
+  int solved = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    RandomBinaryMip mip = make_random_binary_mip(rng);
+    const std::optional<double> reference = brute_force(mip);
+    MipSolver solver;
+    const MipResult r = solver.solve(mip.model);
+    if (reference) {
+      ASSERT_EQ(r.status, MipStatus::kOptimal) << "trial " << trial;
+      EXPECT_NEAR(r.objective, *reference, 1e-6) << "trial " << trial;
+      ASSERT_TRUE(r.has_solution);
+      EXPECT_TRUE(MipSolver::is_feasible(mip.model, r.solution, 1e-6))
+          << "trial " << trial;
+      ++solved;
+    } else {
+      EXPECT_EQ(r.status, MipStatus::kInfeasible) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(solved, 60);
+}
+
+TEST(BnbRandom, WarmIncumbentNeverWorsensResult) {
+  Rng rng(1717);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomBinaryMip mip = make_random_binary_mip(rng);
+    MipSolver solver;
+    const MipResult base = solver.solve(mip.model);
+    if (base.status != MipStatus::kOptimal) continue;
+    // Use the optimum itself as the warm start: must stay optimal.
+    const MipResult warm = solver.solve(mip.model, base.solution);
+    ASSERT_EQ(warm.status, MipStatus::kOptimal) << "trial " << trial;
+    EXPECT_NEAR(warm.objective, base.objective, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(BnbRandom, BoundsAlwaysValid) {
+  // Even under a node limit, the reported bound must enclose the true
+  // optimum and the incumbent must be feasible.
+  Rng rng(999);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomBinaryMip mip = make_random_binary_mip(rng);
+    const std::optional<double> reference = brute_force(mip);
+    if (!reference) continue;
+    MipOptions options;
+    options.max_nodes = 3;
+    options.heuristic_frequency = 0;
+    MipSolver limited(options);
+    const MipResult r = limited.solve(mip.model);
+    if (mip.model.sense() == Sense::kMaximize)
+      EXPECT_GE(r.best_bound, *reference - 1e-6) << "trial " << trial;
+    else
+      EXPECT_LE(r.best_bound, *reference + 1e-6) << "trial " << trial;
+    if (r.has_solution) {
+      EXPECT_TRUE(MipSolver::is_feasible(mip.model, r.solution, 1e-6));
+      if (mip.model.sense() == Sense::kMaximize)
+        EXPECT_LE(r.objective, *reference + 1e-6);
+      else
+        EXPECT_GE(r.objective, *reference - 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::mip

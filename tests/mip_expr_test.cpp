@@ -1,0 +1,93 @@
+#include "mip/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tvnep::mip {
+namespace {
+
+TEST(LinExpr, VarPromotion) {
+  const Var x{0};
+  const LinExpr e = x;
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].first, 0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 1.0);
+}
+
+TEST(LinExpr, ArithmeticComposition) {
+  const Var x{0}, y{1};
+  const LinExpr e = 2.0 * x + 3.0 * y - 1.5;
+  EXPECT_DOUBLE_EQ(e.constant(), -1.5);
+  const auto merged = e.merged_terms();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(merged[1].second, 3.0);
+}
+
+TEST(LinExpr, MergingSumsDuplicates) {
+  const Var x{0};
+  const LinExpr e = 2.0 * x + 3.0 * x;
+  const auto merged = e.merged_terms();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].second, 5.0);
+}
+
+TEST(LinExpr, MergingDropsCancellations) {
+  const Var x{0}, y{1};
+  const LinExpr e = x - y + y - x + 1.0;
+  EXPECT_TRUE(e.merged_terms().empty());
+  EXPECT_DOUBLE_EQ(e.constant(), 1.0);
+}
+
+TEST(LinExpr, UnaryMinus) {
+  const Var x{0};
+  const LinExpr e = -x;
+  EXPECT_DOUBLE_EQ(e.merged_terms()[0].second, -1.0);
+}
+
+TEST(LinExpr, ScalarMultiplication) {
+  const Var x{0};
+  LinExpr e = (x + 2.0);
+  e *= 3.0;
+  EXPECT_DOUBLE_EQ(e.constant(), 6.0);
+  EXPECT_DOUBLE_EQ(e.merged_terms()[0].second, 3.0);
+}
+
+TEST(Constraint, LessEqualFoldsRhs) {
+  const Var x{0};
+  const Constraint c = (2.0 * x <= 5.0);
+  EXPECT_TRUE(std::isinf(c.lower));
+  EXPECT_LT(c.lower, 0.0);
+  // expr = 2x - 5, bound 0 → effectively 2x <= 5
+  EXPECT_DOUBLE_EQ(c.expr.constant(), -5.0);
+  EXPECT_DOUBLE_EQ(c.upper, 0.0);
+}
+
+TEST(Constraint, GreaterEqual) {
+  const Var x{0};
+  const Constraint c = (x >= 1.0);
+  EXPECT_DOUBLE_EQ(c.lower, 0.0);
+  EXPECT_TRUE(std::isinf(c.upper));
+  EXPECT_DOUBLE_EQ(c.expr.constant(), -1.0);
+}
+
+TEST(Constraint, EqualityBothBoundsZero) {
+  const Var x{0}, y{1};
+  const Constraint c = (x + y == 3.0);
+  EXPECT_DOUBLE_EQ(c.lower, 0.0);
+  EXPECT_DOUBLE_EQ(c.upper, 0.0);
+  EXPECT_DOUBLE_EQ(c.expr.constant(), -3.0);
+}
+
+TEST(Constraint, VarOnBothSides) {
+  const Var x{0}, y{1};
+  const Constraint c = (2.0 * x <= y + 1.0);
+  const auto merged = c.expr.merged_terms();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(merged[1].second, -1.0);
+}
+
+}  // namespace
+}  // namespace tvnep::mip

@@ -1,0 +1,89 @@
+#include "mip/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace tvnep::mip {
+namespace {
+
+TEST(Model, AddVariablesAndTypes) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 5.0, "x");
+  const Var b = m.add_binary("b");
+  const Var k = m.add_var(-2.0, 7.0, VarType::kInteger, "k");
+  EXPECT_EQ(m.num_vars(), 3);
+  EXPECT_EQ(m.var_type(x), VarType::kContinuous);
+  EXPECT_EQ(m.var_type(b), VarType::kBinary);
+  EXPECT_EQ(m.var_type(k), VarType::kInteger);
+  EXPECT_EQ(m.num_integer_vars(), 2);
+  EXPECT_DOUBLE_EQ(m.var_lower(b), 0.0);
+  EXPECT_DOUBLE_EQ(m.var_upper(b), 1.0);
+  EXPECT_EQ(m.var_name(x), "x");
+}
+
+TEST(Model, BinaryBoundsClipped) {
+  Model m;
+  const Var b = m.add_var(-5.0, 5.0, VarType::kBinary);
+  EXPECT_DOUBLE_EQ(m.var_lower(b), 0.0);
+  EXPECT_DOUBLE_EQ(m.var_upper(b), 1.0);
+}
+
+TEST(Model, ConstraintConstantFolding) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0);
+  m.add_constr(x + 2.0 <= 7.0);  // → x <= 5
+  std::vector<bool> is_int;
+  const lp::Problem p = m.to_lp(&is_int);
+  EXPECT_DOUBLE_EQ(p.row(0).upper, 5.0);
+}
+
+TEST(Model, MaximizeNegatesCosts) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 1.0, "x");
+  m.set_objective(Sense::kMaximize, 3.0 * x);
+  std::vector<bool> is_int;
+  const lp::Problem p = m.to_lp(&is_int);
+  EXPECT_DOUBLE_EQ(p.column(0).cost, -3.0);
+  EXPECT_DOUBLE_EQ(m.objective_scale(), -1.0);
+}
+
+TEST(Model, EvalObjectiveIncludesConstant) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0);
+  m.set_objective(Sense::kMinimize, 2.0 * x + 5.0);
+  EXPECT_DOUBLE_EQ(m.eval_objective({3.0}), 11.0);
+}
+
+TEST(Model, FixTightensBothBounds) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0);
+  m.fix(x, 4.0);
+  EXPECT_DOUBLE_EQ(m.var_lower(x), 4.0);
+  EXPECT_DOUBLE_EQ(m.var_upper(x), 4.0);
+}
+
+TEST(Model, IntegralityMask) {
+  Model m;
+  m.add_continuous(0.0, 1.0);
+  m.add_binary();
+  std::vector<bool> is_int;
+  m.to_lp(&is_int);
+  ASSERT_EQ(is_int.size(), 2u);
+  EXPECT_FALSE(is_int[0]);
+  EXPECT_TRUE(is_int[1]);
+}
+
+TEST(Model, RejectsUnknownVarInConstraint) {
+  Model m;
+  Var bogus{7};
+  EXPECT_THROW(m.add_constr(LinExpr(bogus) <= 1.0), CheckError);
+}
+
+TEST(Model, RejectsCrossedVarBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous(2.0, 1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace tvnep::mip

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "net/instance.hpp"
+#include "net/topology.hpp"
+#include "support/check.hpp"
+
+namespace tvnep::net {
+namespace {
+
+TEST(Substrate, AddNodesAndLinks) {
+  SubstrateNetwork s;
+  const NodeId a = s.add_node(3.5, "a");
+  const NodeId b = s.add_node(3.5, "b");
+  const LinkId e = s.add_link(a, b, 5.0);
+  EXPECT_EQ(s.num_nodes(), 2);
+  EXPECT_EQ(s.num_links(), 1);
+  EXPECT_DOUBLE_EQ(s.node_capacity(a), 3.5);
+  EXPECT_EQ(s.link(e).from, a);
+  EXPECT_EQ(s.link(e).to, b);
+  ASSERT_EQ(s.out_links(a).size(), 1u);
+  ASSERT_EQ(s.in_links(b).size(), 1u);
+  EXPECT_TRUE(s.out_links(b).empty());
+}
+
+TEST(Substrate, ResourceView) {
+  SubstrateNetwork s;
+  s.add_node(2.0);
+  s.add_node(3.0);
+  s.add_link(0, 1, 7.0);
+  EXPECT_EQ(s.num_resources(), 3);
+  EXPECT_TRUE(s.resource_is_node(0));
+  EXPECT_TRUE(s.resource_is_node(1));
+  EXPECT_FALSE(s.resource_is_node(2));
+  EXPECT_DOUBLE_EQ(s.resource_capacity(1), 3.0);
+  EXPECT_DOUBLE_EQ(s.resource_capacity(2), 7.0);
+}
+
+TEST(Substrate, RejectsBadLinks) {
+  SubstrateNetwork s;
+  s.add_node(1.0);
+  EXPECT_THROW(s.add_link(0, 0, 1.0), CheckError);
+  EXPECT_THROW(s.add_link(0, 5, 1.0), CheckError);
+}
+
+TEST(Topology, GridMatchesPaperDimensions) {
+  // Section VI-A: 4×5 grid with 20 nodes and 62 directed links.
+  const SubstrateNetwork s = make_grid(4, 5, 3.5, 5.0);
+  EXPECT_EQ(s.num_nodes(), 20);
+  EXPECT_EQ(s.num_links(), 62);
+  for (int v = 0; v < s.num_nodes(); ++v)
+    EXPECT_DOUBLE_EQ(s.node_capacity(v), 3.5);
+  for (int e = 0; e < s.num_links(); ++e)
+    EXPECT_DOUBLE_EQ(s.link(e).capacity, 5.0);
+}
+
+TEST(Topology, GridIsSymmetricallyDirected) {
+  const SubstrateNetwork s = make_grid(3, 3, 1.0, 1.0);
+  // Every link must have its reverse.
+  for (int e = 0; e < s.num_links(); ++e) {
+    const auto& l = s.link(e);
+    bool reverse_found = false;
+    for (const int f : s.out_links(l.to))
+      if (s.link(f).to == l.from) reverse_found = true;
+    EXPECT_TRUE(reverse_found) << "link " << e;
+  }
+}
+
+TEST(Topology, Complete) {
+  const SubstrateNetwork s = make_complete(4, 1.0, 2.0);
+  EXPECT_EQ(s.num_nodes(), 4);
+  EXPECT_EQ(s.num_links(), 12);
+}
+
+TEST(Topology, StarTowardsCenter) {
+  const VnetRequest r = make_star(4, /*towards_center=*/true, 1.5, 2.0, "s");
+  EXPECT_EQ(r.num_nodes(), 5);
+  EXPECT_EQ(r.num_links(), 4);
+  for (int e = 0; e < r.num_links(); ++e) {
+    EXPECT_EQ(r.link(e).to, 0);  // node 0 is the center
+    EXPECT_DOUBLE_EQ(r.link(e).demand, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(r.total_node_demand(), 7.5);
+}
+
+TEST(Topology, StarAwayFromCenter) {
+  const VnetRequest r = make_star(3, /*towards_center=*/false, 1.0, 1.0);
+  for (int e = 0; e < r.num_links(); ++e) EXPECT_EQ(r.link(e).from, 0);
+}
+
+TEST(Topology, Chain) {
+  const VnetRequest r = make_chain(4, 1.0, 1.0);
+  EXPECT_EQ(r.num_nodes(), 4);
+  EXPECT_EQ(r.num_links(), 3);
+  EXPECT_EQ(r.link(0).from, 0);
+  EXPECT_EQ(r.link(2).to, 3);
+}
+
+TEST(Request, TemporalSpecification) {
+  VnetRequest r("r");
+  r.add_node(1.0);
+  r.set_temporal(2.0, 8.0, 3.5);
+  EXPECT_DOUBLE_EQ(r.earliest_start(), 2.0);
+  EXPECT_DOUBLE_EQ(r.latest_end(), 8.0);
+  EXPECT_DOUBLE_EQ(r.duration(), 3.5);
+  EXPECT_DOUBLE_EQ(r.flexibility(), 2.5);
+  EXPECT_DOUBLE_EQ(r.latest_start(), 4.5);
+}
+
+TEST(Request, RejectsWindowSmallerThanDuration) {
+  VnetRequest r;
+  r.add_node(1.0);
+  EXPECT_THROW(r.set_temporal(0.0, 1.0, 2.0), CheckError);
+  EXPECT_THROW(r.set_temporal(0.0, 1.0, 0.0), CheckError);
+}
+
+TEST(Instance, FixedMappingValidation) {
+  SubstrateNetwork s = make_grid(2, 2, 1.0, 1.0);
+  TvnepInstance inst(std::move(s), 10.0);
+  VnetRequest r;
+  r.add_node(1.0);
+  r.add_node(1.0);
+  r.set_temporal(0.0, 5.0, 2.0);
+  const int idx = inst.add_request(r, std::vector<NodeId>{0, 3});
+  EXPECT_TRUE(inst.has_fixed_mapping(idx));
+  EXPECT_EQ(inst.fixed_mapping(idx)[1], 3);
+  EXPECT_THROW(inst.add_request(r, std::vector<NodeId>{0}), CheckError);
+  EXPECT_THROW(inst.add_request(r, std::vector<NodeId>{0, 9}), CheckError);
+}
+
+TEST(Instance, FitHorizon) {
+  TvnepInstance inst(make_grid(2, 2, 1.0, 1.0), 1.0);
+  VnetRequest r;
+  r.add_node(1.0);
+  r.set_temporal(1.0, 7.5, 2.0);
+  inst.add_request(r);
+  inst.fit_horizon();
+  EXPECT_DOUBLE_EQ(inst.horizon(), 7.5);
+  inst.validate();
+}
+
+TEST(Instance, ValidateCatchesWindowBeyondHorizon) {
+  TvnepInstance inst(make_grid(2, 2, 1.0, 1.0), 3.0);
+  VnetRequest r;
+  r.add_node(1.0);
+  r.set_temporal(1.0, 7.5, 2.0);
+  inst.add_request(r);
+  EXPECT_THROW(inst.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace tvnep::net

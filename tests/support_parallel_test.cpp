@@ -1,0 +1,51 @@
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tvnep {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<int> visits(n, 0);
+  parallel_for(n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << i;
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> visits(10, 0);
+  parallel_for(10, [&](std::size_t i) { ++visits[i]; }, 1);
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 10);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_for(8,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::runtime_error("boom");
+                   },
+                   4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> count{0};
+  parallel_for(2, [&](std::size_t) { ++count; }, 16);
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(HardwareParallelism, AtLeastOne) {
+  EXPECT_GE(hardware_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace tvnep

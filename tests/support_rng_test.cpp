@@ -1,0 +1,114 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tvnep {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  for (int c : counts) EXPECT_NEAR(c, n / 6, n / 60);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, WeibullMeanMatchesTheory) {
+  // Mean of Weibull(shape k, scale λ) is λ·Γ(1 + 1/k).
+  // For the paper's parameters (k=2, λ=4): 4·Γ(1.5) = 4·(√π/2) ≈ 3.545.
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 4.0 * std::sqrt(M_PI) / 2.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(23);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a1(29), a2(29);
+  Rng b1 = a1.split();
+  Rng b2 = a2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(b1.next(), b2.next());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a1.next(), a2.next());
+}
+
+TEST(Rng, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), CheckError);
+  EXPECT_THROW(rng.exponential(0.0), CheckError);
+  EXPECT_THROW(rng.weibull(-1.0, 1.0), CheckError);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace tvnep

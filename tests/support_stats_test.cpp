@@ -1,0 +1,83 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace tvnep {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> data{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(data), 3.0);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> data{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(data), 3.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(data), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> data{2.0, 8.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 8.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileSingleton) {
+  const std::vector<double> data{42.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.3), 42.0);
+}
+
+TEST(Stats, SummarizeFiveNumbers) {
+  const std::vector<double> data{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(Stats, SummarizeEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> data{1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(data), 10.0, 1e-9);
+}
+
+TEST(Stats, GeometricMeanRejectsNonPositive) {
+  const std::vector<double> data{1.0, 0.0};
+  EXPECT_THROW(geometric_mean(data), CheckError);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  EXPECT_THROW(mean({}), CheckError);
+  EXPECT_THROW(quantile({}, 0.5), CheckError);
+}
+
+TEST(Stats, QuantileRejectsBadFraction) {
+  const std::vector<double> data{1.0};
+  EXPECT_THROW(quantile(data, 1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace tvnep

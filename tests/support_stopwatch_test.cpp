@@ -1,0 +1,52 @@
+#include "support/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tvnep {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(w.seconds(), 0.015);
+  EXPECT_LT(w.seconds(), 5.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.reset();
+  EXPECT_LT(w.seconds(), 0.015);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  const Deadline d(0.0);
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 1e100);
+}
+
+TEST(Deadline, NegativeBudgetIsUnlimited) {
+  EXPECT_TRUE(Deadline(-1.0).unlimited());
+}
+
+TEST(Deadline, ExpiresAfterBudget) {
+  const Deadline d(0.01);
+  EXPECT_FALSE(d.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining(), 0.0);
+}
+
+TEST(Deadline, RemainingDecreases) {
+  const Deadline d(10.0);
+  const double first = d.remaining();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_LT(d.remaining(), first);
+  EXPECT_GT(d.elapsed(), 0.0);
+}
+
+}  // namespace
+}  // namespace tvnep

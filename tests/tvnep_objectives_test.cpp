@@ -1,0 +1,178 @@
+// Tests of the Section IV-E objective functions on the cΣ-Model.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "tvnep/solver.hpp"
+
+namespace tvnep::core {
+namespace {
+
+SolveParams params_for(ObjectiveKind objective) {
+  SolveParams p;
+  p.time_limit_seconds = 30.0;
+  p.build.objective = objective;
+  return p;
+}
+
+TEST(MaxEarliness, PrefersEarliestStart) {
+  // One flexible request alone: it should start at t^s.
+  net::SubstrateNetwork s;
+  s.add_node(2.0);
+  s.add_node(2.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  net::VnetRequest r("r0");
+  r.add_node(1.0);
+  r.set_temporal(1.0, 9.0, 2.0);
+  inst.add_request(r, std::vector<net::NodeId>{0});
+
+  const TvnepSolveResult result =
+      solve(inst, ModelKind::kCSigma, params_for(ObjectiveKind::kMaxEarliness));
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(result.solution.requests[0].start, 1.0, 1e-5);
+  EXPECT_NEAR(result.objective, 2.0, 1e-5);  // full fee d_R
+}
+
+TEST(MaxEarliness, ContentionForcesTradeoff) {
+  // Two requests on a capacity-1 node, both want [0, ...]; one must wait.
+  net::SubstrateNetwork s;
+  s.add_node(1.0);
+  s.add_node(1.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  for (int i = 0; i < 2; ++i) {
+    net::VnetRequest r("r" + std::to_string(i));
+    r.add_node(1.0);
+    r.set_temporal(0.0, 4.0, 2.0);
+    inst.add_request(r, std::vector<net::NodeId>{0});
+  }
+  const TvnepSolveResult result =
+      solve(inst, ModelKind::kCSigma, params_for(ObjectiveKind::kMaxEarliness));
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  // Best: one at t=0 (fee 2), one at t=2 (fee 2·(1-2/2)=0). Total 2.
+  EXPECT_NEAR(result.objective, 2.0, 1e-5);
+  const auto& a = result.solution.requests[0];
+  const auto& b = result.solution.requests[1];
+  EXPECT_NEAR(std::min(a.start, b.start), 0.0, 1e-5);
+  EXPECT_NEAR(std::max(a.start, b.start), 2.0, 1e-5);
+  const ValidationResult vr = validate_solution(inst, result.solution);
+  EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+}
+
+TEST(BalanceNodeLoad, CountsLightlyLoadedNodes) {
+  // Three nodes; one request pinned to node 0 with demand 1.0 of cap 2.0
+  // (50% load). With f = 0.6 all three nodes stay below the threshold;
+  // with f = 0.4 node 0 exceeds it.
+  net::SubstrateNetwork s;
+  s.add_node(2.0);
+  s.add_node(2.0);
+  s.add_node(2.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  s.add_link(1, 2, 5.0);
+  s.add_link(2, 1, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  net::VnetRequest r("r0");
+  r.add_node(1.0);
+  r.set_temporal(0.0, 5.0, 3.0);
+  inst.add_request(r, std::vector<net::NodeId>{0});
+
+  SolveParams loose = params_for(ObjectiveKind::kBalanceNodeLoad);
+  loose.build.load_balance_fraction = 0.6;
+  const TvnepSolveResult a = solve(inst, ModelKind::kCSigma, loose);
+  ASSERT_EQ(a.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(a.objective, 3.0, 1e-5);
+
+  SolveParams tight = params_for(ObjectiveKind::kBalanceNodeLoad);
+  tight.build.load_balance_fraction = 0.4;
+  const TvnepSolveResult b = solve(inst, ModelKind::kCSigma, tight);
+  ASSERT_EQ(b.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(b.objective, 2.0, 1e-5);
+}
+
+TEST(DisableLinks, UnusedLinksDisabled) {
+  // A 2x2 grid (8 directed links); one request with a single virtual link
+  // between adjacent fixed hosts: 7 links can be disabled.
+  net::TvnepInstance inst(net::make_grid(2, 2, 5.0, 5.0), 10.0);
+  net::VnetRequest r("r0");
+  r.add_node(1.0);
+  r.add_node(1.0);
+  r.add_link(0, 1, 1.0);
+  r.set_temporal(0.0, 5.0, 2.0);
+  inst.add_request(r, std::vector<net::NodeId>{0, 1});
+
+  const TvnepSolveResult result =
+      solve(inst, ModelKind::kCSigma, params_for(ObjectiveKind::kDisableLinks));
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(result.objective,
+              static_cast<double>(inst.substrate().num_links() - 1), 1e-5);
+}
+
+TEST(DisableLinks, SchedulingCannotReduceLinkNeeds) {
+  // Two requests with the same fixed endpoints: the direct link must stay
+  // on, but everything else can be disabled — temporal scheduling lets
+  // both share the single path.
+  net::TvnepInstance inst(net::make_grid(2, 2, 5.0, 5.0), 20.0);
+  for (int i = 0; i < 2; ++i) {
+    net::VnetRequest r("r" + std::to_string(i));
+    r.add_node(1.0);
+    r.add_node(1.0);
+    r.add_link(0, 1, 5.0);  // full link capacity each
+    r.set_temporal(0.0, 10.0, 2.0);
+    inst.add_request(r, std::vector<net::NodeId>{0, 1});
+  }
+  const TvnepSolveResult result =
+      solve(inst, ModelKind::kCSigma, params_for(ObjectiveKind::kDisableLinks));
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(result.objective,
+              static_cast<double>(inst.substrate().num_links() - 1), 1e-5);
+  const ValidationResult vr = validate_solution(inst, result.solution);
+  EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+}
+
+TEST(GreedyStep, AcceptsAndFinishesEarly) {
+  net::SubstrateNetwork s;
+  s.add_node(2.0);
+  s.add_node(2.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  net::VnetRequest r("r0");
+  r.add_node(1.0);
+  r.set_temporal(1.0, 9.0, 2.0);
+  inst.add_request(r, std::vector<net::NodeId>{0});
+
+  SolveParams p = params_for(ObjectiveKind::kGreedyStep);
+  p.build.greedy_target = 0;
+  const TvnepSolveResult result = solve(inst, ModelKind::kCSigma, p);
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  EXPECT_TRUE(result.solution.requests[0].accepted);
+  // Eq. 21 prefers the earliest possible completion: end at 3.0.
+  EXPECT_NEAR(result.solution.requests[0].end, 3.0, 1e-5);
+}
+
+TEST(Objectives, FixedSetObjectivesForceAllRequests) {
+  // With kMaxEarliness every request must be embedded even if admission
+  // would be more profitable otherwise; infeasible instances must report
+  // infeasibility rather than dropping requests.
+  net::SubstrateNetwork s;
+  s.add_node(1.0);
+  s.add_node(1.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  for (int i = 0; i < 2; ++i) {
+    net::VnetRequest r("r" + std::to_string(i));
+    r.add_node(1.0);
+    r.set_temporal(0.0, 2.0, 2.0);  // both pinned to [0,2] on capacity 1
+    inst.add_request(r, std::vector<net::NodeId>{0});
+  }
+  const TvnepSolveResult result =
+      solve(inst, ModelKind::kCSigma, params_for(ObjectiveKind::kMaxEarliness));
+  EXPECT_EQ(result.status, mip::MipStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace tvnep::core

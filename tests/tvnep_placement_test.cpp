@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "tvnep/placement.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::core {
+namespace {
+
+TEST(Placement, SpreadsRequestsAcrossNodes) {
+  // Two unit-demand single-node requests on two capacity-1 nodes: the LP
+  // placement must put them on different nodes.
+  net::SubstrateNetwork s;
+  s.add_node(1.0);
+  s.add_node(1.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  net::VnetRequest r("pair");
+  r.add_node(1.0);
+  r.add_node(1.0);
+  r.set_temporal(0.0, 5.0, 2.0);
+  inst.add_request(r);
+
+  const auto mapping = place_request(inst, 0);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_NE((*mapping)[0], (*mapping)[1]);
+}
+
+TEST(Placement, InfeasibleDemandReturnsNullopt) {
+  net::SubstrateNetwork s;
+  s.add_node(1.0);
+  s.add_node(1.0);
+  s.add_link(0, 1, 5.0);
+  s.add_link(1, 0, 5.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  net::VnetRequest r("too-big");
+  r.add_node(2.0);  // exceeds every node capacity
+  r.set_temporal(0.0, 5.0, 2.0);
+  inst.add_request(r);
+  EXPECT_FALSE(place_request(inst, 0).has_value());
+}
+
+TEST(Placement, RespectsLinkCapacityInRelaxation) {
+  // Star whose links each need the full substrate link bandwidth: the LP
+  // keeps center and leaves adjacent or co-located.
+  net::TvnepInstance inst(net::make_grid(2, 2, 5.0, 1.0), 10.0);
+  net::VnetRequest r = net::make_star(2, true, 1.0, 1.0, "star");
+  r.set_temporal(0.0, 5.0, 2.0);
+  inst.add_request(r);
+  const auto mapping = place_request(inst, 0);
+  ASSERT_TRUE(mapping.has_value());
+  for (const int host : *mapping) {
+    EXPECT_GE(host, 0);
+    EXPECT_LT(host, inst.substrate().num_nodes());
+  }
+}
+
+TEST(Placement, WithLpPlacementsFixesFreeRequests) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.num_requests = 3;
+  params.star_leaves = 1;
+  params.seed = 11;
+  params.flexibility = 1.0;
+  params.fix_node_mappings = false;
+  const net::TvnepInstance free_inst = workload::generate_workload(params);
+  const net::TvnepInstance placed = with_lp_placements(free_inst);
+  for (int r = 0; r < placed.num_requests(); ++r)
+    EXPECT_TRUE(placed.has_fixed_mapping(r)) << r;
+}
+
+TEST(Placement, PlacedInstanceRemainsSolvable) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.num_requests = 3;
+  params.star_leaves = 1;
+  params.seed = 13;
+  params.flexibility = 2.0;
+  params.fix_node_mappings = false;
+  const net::TvnepInstance placed =
+      with_lp_placements(workload::generate_workload(params));
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+  const TvnepSolveResult result = solve(placed, ModelKind::kCSigma, sp);
+  ASSERT_EQ(result.status, mip::MipStatus::kOptimal);
+  const ValidationResult vr = validate_solution(placed, result.solution);
+  EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+}
+
+TEST(Placement, EveryPlacedRequestIsIndividuallyEmbeddable) {
+  // The LP placement is computed per request against an empty substrate,
+  // so each placed request alone must be embeddable: the exact solver on
+  // a one-request sub-instance must accept it. (Placements of different
+  // requests may still conflict temporally — that trade-off is the
+  // scheduler's job, not the placement's.)
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.num_requests = 4;
+  params.star_leaves = 1;
+  params.seed = 17;
+  params.flexibility = 1.0;
+  params.fix_node_mappings = false;
+  const net::TvnepInstance placed =
+      with_lp_placements(workload::generate_workload(params));
+
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+  for (int r = 0; r < placed.num_requests(); ++r) {
+    ASSERT_TRUE(placed.has_fixed_mapping(r));
+    net::TvnepInstance single(placed.substrate(), placed.horizon());
+    single.add_request(placed.request(r), placed.fixed_mapping(r));
+    const TvnepSolveResult result = solve(single, ModelKind::kCSigma, sp);
+    ASSERT_EQ(result.status, mip::MipStatus::kOptimal) << "request " << r;
+    EXPECT_EQ(result.solution.num_accepted(), 1) << "request " << r;
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::core

@@ -1,0 +1,112 @@
+// Randomized cross-model property tests on small TVNEP instances:
+//  * every returned solution passes the independent validator,
+//  * Σ and cΣ agree on the optimal access-control objective
+//    (Δ included on the smallest instances),
+//  * the greedy never exceeds the exact optimum,
+//  * dependency cuts never change the optimum.
+#include <gtest/gtest.h>
+
+#include "greedy/greedy.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::core {
+namespace {
+
+workload::WorkloadParams tiny_params(std::uint64_t seed, double flex) {
+  workload::WorkloadParams p;
+  p.grid_rows = 2;
+  p.grid_cols = 2;
+  p.num_requests = 3;
+  p.star_leaves = 1;
+  p.seed = seed;
+  p.flexibility = flex;
+  return p;
+}
+
+class RandomInstances : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstances, ::testing::Range(1, 9));
+
+TEST_P(RandomInstances, SigmaAndCSigmaAgreeAndValidate) {
+  const auto params = tiny_params(static_cast<std::uint64_t>(GetParam()), 1.5);
+  const net::TvnepInstance inst = workload::generate_workload(params);
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+
+  const TvnepSolveResult sigma = solve(inst, ModelKind::kSigma, sp);
+  const TvnepSolveResult csigma = solve(inst, ModelKind::kCSigma, sp);
+  ASSERT_EQ(sigma.status, mip::MipStatus::kOptimal);
+  ASSERT_EQ(csigma.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(sigma.objective, csigma.objective, 1e-4);
+
+  for (const auto* result : {&sigma, &csigma}) {
+    const ValidationResult vr = validate_solution(inst, result->solution);
+    EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+  }
+}
+
+TEST_P(RandomInstances, DeltaAgreesOnTinyInstances) {
+  const auto params = tiny_params(static_cast<std::uint64_t>(GetParam()), 1.0);
+  const net::TvnepInstance inst = workload::generate_workload(params);
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+  const TvnepSolveResult delta = solve(inst, ModelKind::kDelta, sp);
+  const TvnepSolveResult csigma = solve(inst, ModelKind::kCSigma, sp);
+  ASSERT_EQ(csigma.status, mip::MipStatus::kOptimal);
+  if (delta.status != mip::MipStatus::kOptimal) return;  // Δ may time out
+  EXPECT_NEAR(delta.objective, csigma.objective, 1e-4);
+  const ValidationResult vr = validate_solution(inst, delta.solution);
+  EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+}
+
+TEST_P(RandomInstances, GreedyNeverExceedsExactAndValidates) {
+  const auto params = tiny_params(static_cast<std::uint64_t>(GetParam()), 2.0);
+  const net::TvnepInstance inst = workload::generate_workload(params);
+
+  const greedy::GreedyResult g = greedy::solve_greedy(inst);
+  const ValidationResult gv = validate_solution(inst, g.solution);
+  EXPECT_TRUE(gv.ok) << (gv.errors.empty() ? "" : gv.errors.front());
+
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+  const TvnepSolveResult exact = solve(inst, ModelKind::kCSigma, sp);
+  ASSERT_EQ(exact.status, mip::MipStatus::kOptimal);
+  EXPECT_LE(g.solution.revenue(inst), exact.objective + 1e-4);
+}
+
+TEST_P(RandomInstances, CutsDoNotChangeTheOptimum) {
+  const auto params = tiny_params(static_cast<std::uint64_t>(GetParam()), 1.5);
+  const net::TvnepInstance inst = workload::generate_workload(params);
+  SolveParams with;
+  with.time_limit_seconds = 60.0;
+  SolveParams without = with;
+  without.build.dependency_cuts = false;
+  without.build.pairwise_cuts = false;
+  without.build.precedence_cuts = false;
+  const TvnepSolveResult a = solve(inst, ModelKind::kCSigma, with);
+  const TvnepSolveResult b = solve(inst, ModelKind::kCSigma, without);
+  ASSERT_EQ(a.status, mip::MipStatus::kOptimal);
+  ASSERT_EQ(b.status, mip::MipStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-4);
+}
+
+TEST_P(RandomInstances, MoreFlexibilityNeverHurts) {
+  // The access-control optimum is monotone in the flexibility: every
+  // schedule feasible with a narrow window stays feasible with a wider one.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  SolveParams sp;
+  sp.time_limit_seconds = 60.0;
+  double previous = -1.0;
+  for (const double flex : {0.0, 1.0, 2.0}) {
+    const net::TvnepInstance inst =
+        workload::generate_workload(tiny_params(seed, flex));
+    const TvnepSolveResult r = solve(inst, ModelKind::kCSigma, sp);
+    ASSERT_EQ(r.status, mip::MipStatus::kOptimal) << "flex " << flex;
+    EXPECT_GE(r.objective, previous - 1e-6) << "flex " << flex;
+    previous = r.objective;
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::core

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "tvnep/solution.hpp"
+
+namespace tvnep::core {
+namespace {
+
+// Two substrate nodes joined by one link each way; node cap 2, link cap 1.
+net::TvnepInstance tiny_instance() {
+  net::SubstrateNetwork s;
+  s.add_node(2.0);
+  s.add_node(2.0);
+  s.add_link(0, 1, 1.0);
+  s.add_link(1, 0, 1.0);
+  net::TvnepInstance inst(std::move(s), 10.0);
+  // One request: two virtual nodes joined by a virtual link, demand 1.
+  net::VnetRequest r("r0");
+  r.add_node(1.0);
+  r.add_node(1.0);
+  r.add_link(0, 1, 1.0);
+  r.set_temporal(0.0, 10.0, 4.0);
+  inst.add_request(r, std::vector<net::NodeId>{0, 1});
+  return inst;
+}
+
+RequestEmbedding valid_embedding() {
+  RequestEmbedding emb;
+  emb.accepted = true;
+  emb.start = 1.0;
+  emb.end = 5.0;
+  emb.node_mapping = {0, 1};
+  emb.link_flow = {1.0, 0.0};  // vlink 0 over slink 0→1
+  return emb;
+}
+
+TEST(Validator, AcceptsValidSolution) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  const ValidationResult vr = validate_solution(inst, sol);
+  EXPECT_TRUE(vr.ok) << (vr.errors.empty() ? "" : vr.errors.front());
+}
+
+TEST(Validator, RejectsWrongDuration) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  sol.requests[0].end = 4.0;  // length 3 != duration 4
+  EXPECT_FALSE(validate_solution(inst, sol).ok);
+}
+
+TEST(Validator, RejectsWindowViolation) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  sol.requests[0].start = 7.0;
+  sol.requests[0].end = 11.0;  // beyond t^e = 10
+  EXPECT_FALSE(validate_solution(inst, sol).ok);
+}
+
+TEST(Validator, RejectsBrokenFlow) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  sol.requests[0].link_flow = {0.0, 0.0};  // no flow routed
+  EXPECT_FALSE(validate_solution(inst, sol).ok);
+}
+
+TEST(Validator, RejectsDeviationFromFixedMapping) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  sol.requests[0].node_mapping = {1, 0};
+  EXPECT_FALSE(validate_solution(inst, sol).ok);
+}
+
+TEST(Validator, ChecksScheduleOfRejectedRequests) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  RequestEmbedding emb;  // rejected, but still needs valid times
+  emb.accepted = false;
+  emb.start = 0.0;
+  emb.end = 1.0;  // wrong duration
+  sol.requests = {emb};
+  EXPECT_FALSE(validate_solution(inst, sol).ok);
+  sol.requests[0].end = 4.0;
+  EXPECT_TRUE(validate_solution(inst, sol).ok);
+}
+
+TEST(Validator, DetectsTemporalCapacityConflict) {
+  // Two requests, each needing the full link; overlapping schedules must
+  // fail, disjoint ones pass.
+  net::SubstrateNetwork s;
+  s.add_node(10.0);
+  s.add_node(10.0);
+  s.add_link(0, 1, 1.0);
+  net::TvnepInstance inst(std::move(s), 20.0);
+  for (int i = 0; i < 2; ++i) {
+    net::VnetRequest r("r" + std::to_string(i));
+    r.add_node(1.0);
+    r.add_node(1.0);
+    r.add_link(0, 1, 1.0);
+    r.set_temporal(0.0, 20.0, 4.0);
+    inst.add_request(r, std::vector<net::NodeId>{0, 1});
+  }
+  RequestEmbedding a;
+  a.accepted = true;
+  a.start = 0.0;
+  a.end = 4.0;
+  a.node_mapping = {0, 1};
+  a.link_flow = {1.0};
+  RequestEmbedding b = a;
+  b.start = 2.0;
+  b.end = 6.0;
+
+  TvnepSolution overlapping;
+  overlapping.requests = {a, b};
+  EXPECT_FALSE(validate_solution(inst, overlapping).ok);
+
+  b.start = 4.0;  // back-to-back: open intervals do not overlap
+  b.end = 8.0;
+  TvnepSolution disjoint;
+  disjoint.requests = {a, b};
+  EXPECT_TRUE(validate_solution(inst, disjoint).ok);
+}
+
+TEST(Validator, NodeCapacityOverTime) {
+  net::SubstrateNetwork s;
+  s.add_node(1.5);
+  net::TvnepInstance inst(std::move(s), 20.0);
+  for (int i = 0; i < 2; ++i) {
+    net::VnetRequest r("r" + std::to_string(i));
+    r.add_node(1.0);
+    r.set_temporal(0.0, 20.0, 4.0);
+    inst.add_request(r, std::vector<net::NodeId>{0});
+  }
+  RequestEmbedding a;
+  a.accepted = true;
+  a.start = 0.0;
+  a.end = 4.0;
+  a.node_mapping = {0};
+  RequestEmbedding b = a;
+  b.start = 3.0;
+  b.end = 7.0;
+  TvnepSolution sol;
+  sol.requests = {a, b};
+  EXPECT_FALSE(validate_solution(inst, sol).ok);  // 2.0 > 1.5 in [3,4]
+}
+
+TEST(Solution, RevenueCountsAcceptedOnly) {
+  const auto inst = tiny_instance();
+  TvnepSolution sol;
+  sol.requests = {valid_embedding()};
+  // d=4, node demands 1+1 → revenue 8.
+  EXPECT_DOUBLE_EQ(sol.revenue(inst), 8.0);
+  sol.requests[0].accepted = false;
+  EXPECT_DOUBLE_EQ(sol.revenue(inst), 0.0);
+  EXPECT_EQ(sol.num_accepted(), 0);
+}
+
+}  // namespace
+}  // namespace tvnep::core

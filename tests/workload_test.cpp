@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace tvnep::workload {
+namespace {
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.grid_rows = 3;
+  p.grid_cols = 3;
+  p.num_requests = 8;
+  p.star_leaves = 2;
+  p.seed = 7;
+  return p;
+}
+
+TEST(Workload, PaperScaleDimensions) {
+  WorkloadParams p;  // defaults are the paper's parameters
+  p.seed = 1;
+  const net::TvnepInstance inst = generate_workload(p);
+  EXPECT_EQ(inst.substrate().num_nodes(), 20);
+  EXPECT_EQ(inst.substrate().num_links(), 62);
+  EXPECT_EQ(inst.num_requests(), 20);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    EXPECT_EQ(inst.request(r).num_nodes(), 5);
+    EXPECT_EQ(inst.request(r).num_links(), 4);
+    EXPECT_TRUE(inst.has_fixed_mapping(r));
+  }
+}
+
+TEST(Workload, DemandsWithinConfiguredInterval) {
+  const net::TvnepInstance inst = generate_workload(small_params());
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    const auto& req = inst.request(r);
+    for (int v = 0; v < req.num_nodes(); ++v) {
+      EXPECT_GE(req.node_demand(v), 1.0);
+      EXPECT_LE(req.node_demand(v), 2.0);
+    }
+    for (int e = 0; e < req.num_links(); ++e) {
+      EXPECT_GE(req.link(e).demand, 1.0);
+      EXPECT_LE(req.link(e).demand, 2.0);
+    }
+  }
+}
+
+TEST(Workload, ArrivalsAreIncreasing) {
+  const net::TvnepInstance inst = generate_workload(small_params());
+  double prev = -1.0;
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    EXPECT_GT(inst.request(r).earliest_start(), prev);
+    prev = inst.request(r).earliest_start();
+  }
+}
+
+TEST(Workload, ZeroFlexibilityWindowsAreTight) {
+  const net::TvnepInstance inst = generate_workload(small_params());
+  for (int r = 0; r < inst.num_requests(); ++r)
+    EXPECT_NEAR(inst.request(r).flexibility(), 0.0, 1e-12);
+}
+
+TEST(Workload, FlexibilityWidensWindowsOnly) {
+  WorkloadParams p = small_params();
+  const net::TvnepInstance base = generate_workload(p);
+  const net::TvnepInstance flex = generate_workload_with_flexibility(p, 2.0);
+  ASSERT_EQ(base.num_requests(), flex.num_requests());
+  for (int r = 0; r < base.num_requests(); ++r) {
+    // Same arrivals, durations, demands, mappings — only wider windows.
+    EXPECT_DOUBLE_EQ(base.request(r).earliest_start(),
+                     flex.request(r).earliest_start());
+    EXPECT_DOUBLE_EQ(base.request(r).duration(), flex.request(r).duration());
+    EXPECT_NEAR(flex.request(r).flexibility(), 2.0, 1e-12);
+    EXPECT_EQ(base.fixed_mapping(r), flex.fixed_mapping(r));
+    for (int v = 0; v < base.request(r).num_nodes(); ++v)
+      EXPECT_DOUBLE_EQ(base.request(r).node_demand(v),
+                       flex.request(r).node_demand(v));
+  }
+}
+
+TEST(Workload, DeterministicInSeed) {
+  const net::TvnepInstance a = generate_workload(small_params());
+  const net::TvnepInstance b = generate_workload(small_params());
+  for (int r = 0; r < a.num_requests(); ++r) {
+    EXPECT_DOUBLE_EQ(a.request(r).earliest_start(),
+                     b.request(r).earliest_start());
+    EXPECT_DOUBLE_EQ(a.request(r).duration(), b.request(r).duration());
+    EXPECT_EQ(a.fixed_mapping(r), b.fixed_mapping(r));
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadParams p1 = small_params();
+  WorkloadParams p2 = small_params();
+  p2.seed = 8;
+  const net::TvnepInstance a = generate_workload(p1);
+  const net::TvnepInstance b = generate_workload(p2);
+  bool any_difference = false;
+  for (int r = 0; r < a.num_requests(); ++r)
+    if (a.request(r).earliest_start() != b.request(r).earliest_start())
+      any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, HorizonCoversAllWindows) {
+  const net::TvnepInstance inst =
+      generate_workload_with_flexibility(small_params(), 3.0);
+  for (int r = 0; r < inst.num_requests(); ++r)
+    EXPECT_LE(inst.request(r).latest_end(), inst.horizon() + 1e-12);
+}
+
+TEST(Workload, FreePlacementMode) {
+  WorkloadParams p = small_params();
+  p.fix_node_mappings = false;
+  const net::TvnepInstance inst = generate_workload(p);
+  for (int r = 0; r < inst.num_requests(); ++r)
+    EXPECT_FALSE(inst.has_fixed_mapping(r));
+}
+
+TEST(Workload, StarDirectionVaries) {
+  WorkloadParams p = small_params();
+  p.num_requests = 30;
+  const net::TvnepInstance inst = generate_workload(p);
+  int towards = 0, away = 0;
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (inst.request(r).link(0).to == 0) ++towards;
+    else ++away;
+  }
+  EXPECT_GT(towards, 0);
+  EXPECT_GT(away, 0);
+}
+
+}  // namespace
+}  // namespace tvnep::workload
