@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_depcuts.dir/abl_depcuts.cpp.o"
+  "CMakeFiles/abl_depcuts.dir/abl_depcuts.cpp.o.d"
+  "abl_depcuts"
+  "abl_depcuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_depcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

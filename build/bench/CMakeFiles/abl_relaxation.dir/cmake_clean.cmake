@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_relaxation.dir/abl_relaxation.cpp.o"
+  "CMakeFiles/abl_relaxation.dir/abl_relaxation.cpp.o.d"
+  "abl_relaxation"
+  "abl_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_runtime_models.dir/fig3_runtime_models.cpp.o"
+  "CMakeFiles/fig3_runtime_models.dir/fig3_runtime_models.cpp.o.d"
+  "fig3_runtime_models"
+  "fig3_runtime_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_runtime_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

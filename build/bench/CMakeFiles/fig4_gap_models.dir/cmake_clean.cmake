@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gap_models.dir/fig4_gap_models.cpp.o"
+  "CMakeFiles/fig4_gap_models.dir/fig4_gap_models.cpp.o.d"
+  "fig4_gap_models"
+  "fig4_gap_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gap_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_runtime_objectives.dir/fig5_runtime_objectives.cpp.o"
+  "CMakeFiles/fig5_runtime_objectives.dir/fig5_runtime_objectives.cpp.o.d"
+  "fig5_runtime_objectives"
+  "fig5_runtime_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_runtime_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

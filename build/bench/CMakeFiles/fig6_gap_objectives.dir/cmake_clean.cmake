@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gap_objectives.dir/fig6_gap_objectives.cpp.o"
+  "CMakeFiles/fig6_gap_objectives.dir/fig6_gap_objectives.cpp.o.d"
+  "fig6_gap_objectives"
+  "fig6_gap_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gap_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

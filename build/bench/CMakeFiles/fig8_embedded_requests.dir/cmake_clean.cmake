@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_embedded_requests.dir/fig8_embedded_requests.cpp.o"
+  "CMakeFiles/fig8_embedded_requests.dir/fig8_embedded_requests.cpp.o.d"
+  "fig8_embedded_requests"
+  "fig8_embedded_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_embedded_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

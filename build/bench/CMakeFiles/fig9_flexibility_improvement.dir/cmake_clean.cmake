@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_flexibility_improvement.dir/fig9_flexibility_improvement.cpp.o"
+  "CMakeFiles/fig9_flexibility_improvement.dir/fig9_flexibility_improvement.cpp.o.d"
+  "fig9_flexibility_improvement"
+  "fig9_flexibility_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_flexibility_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

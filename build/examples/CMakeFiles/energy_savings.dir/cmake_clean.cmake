@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_savings.dir/energy_savings.cpp.o"
+  "CMakeFiles/energy_savings.dir/energy_savings.cpp.o.d"
+  "energy_savings"
+  "energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

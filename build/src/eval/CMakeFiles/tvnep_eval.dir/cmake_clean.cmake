@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_eval.dir/args.cpp.o"
+  "CMakeFiles/tvnep_eval.dir/args.cpp.o.d"
+  "CMakeFiles/tvnep_eval.dir/runner.cpp.o"
+  "CMakeFiles/tvnep_eval.dir/runner.cpp.o.d"
+  "libtvnep_eval.a"
+  "libtvnep_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

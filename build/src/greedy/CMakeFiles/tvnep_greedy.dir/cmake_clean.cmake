@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_greedy.dir/greedy.cpp.o"
+  "CMakeFiles/tvnep_greedy.dir/greedy.cpp.o.d"
+  "libtvnep_greedy.a"
+  "libtvnep_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

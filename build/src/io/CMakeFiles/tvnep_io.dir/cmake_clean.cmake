@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_io.dir/instance_io.cpp.o"
+  "CMakeFiles/tvnep_io.dir/instance_io.cpp.o.d"
+  "CMakeFiles/tvnep_io.dir/mps_writer.cpp.o"
+  "CMakeFiles/tvnep_io.dir/mps_writer.cpp.o.d"
+  "libtvnep_io.a"
+  "libtvnep_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

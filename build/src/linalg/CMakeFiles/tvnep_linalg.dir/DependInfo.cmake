@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/tvnep_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/tvnep_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/linalg/CMakeFiles/tvnep_linalg.dir/lu.cpp.o" "gcc" "src/linalg/CMakeFiles/tvnep_linalg.dir/lu.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/linalg/CMakeFiles/tvnep_linalg.dir/sparse.cpp.o" "gcc" "src/linalg/CMakeFiles/tvnep_linalg.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tvnep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_linalg.dir/dense.cpp.o"
+  "CMakeFiles/tvnep_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/tvnep_linalg.dir/lu.cpp.o"
+  "CMakeFiles/tvnep_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/tvnep_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/tvnep_linalg.dir/sparse.cpp.o.d"
+  "libtvnep_linalg.a"
+  "libtvnep_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtvnep_linalg.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_lp.dir/problem.cpp.o"
+  "CMakeFiles/tvnep_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/tvnep_lp.dir/simplex.cpp.o"
+  "CMakeFiles/tvnep_lp.dir/simplex.cpp.o.d"
+  "libtvnep_lp.a"
+  "libtvnep_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mip/branch_and_bound.cpp" "src/mip/CMakeFiles/tvnep_mip.dir/branch_and_bound.cpp.o" "gcc" "src/mip/CMakeFiles/tvnep_mip.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/mip/expr.cpp" "src/mip/CMakeFiles/tvnep_mip.dir/expr.cpp.o" "gcc" "src/mip/CMakeFiles/tvnep_mip.dir/expr.cpp.o.d"
+  "/root/repo/src/mip/model.cpp" "src/mip/CMakeFiles/tvnep_mip.dir/model.cpp.o" "gcc" "src/mip/CMakeFiles/tvnep_mip.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/tvnep_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tvnep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tvnep_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_mip.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/tvnep_mip.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/tvnep_mip.dir/expr.cpp.o"
+  "CMakeFiles/tvnep_mip.dir/expr.cpp.o.d"
+  "CMakeFiles/tvnep_mip.dir/model.cpp.o"
+  "CMakeFiles/tvnep_mip.dir/model.cpp.o.d"
+  "libtvnep_mip.a"
+  "libtvnep_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/instance.cpp" "src/net/CMakeFiles/tvnep_net.dir/instance.cpp.o" "gcc" "src/net/CMakeFiles/tvnep_net.dir/instance.cpp.o.d"
+  "/root/repo/src/net/request.cpp" "src/net/CMakeFiles/tvnep_net.dir/request.cpp.o" "gcc" "src/net/CMakeFiles/tvnep_net.dir/request.cpp.o.d"
+  "/root/repo/src/net/substrate.cpp" "src/net/CMakeFiles/tvnep_net.dir/substrate.cpp.o" "gcc" "src/net/CMakeFiles/tvnep_net.dir/substrate.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/tvnep_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/tvnep_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tvnep_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_net.dir/instance.cpp.o"
+  "CMakeFiles/tvnep_net.dir/instance.cpp.o.d"
+  "CMakeFiles/tvnep_net.dir/request.cpp.o"
+  "CMakeFiles/tvnep_net.dir/request.cpp.o.d"
+  "CMakeFiles/tvnep_net.dir/substrate.cpp.o"
+  "CMakeFiles/tvnep_net.dir/substrate.cpp.o.d"
+  "CMakeFiles/tvnep_net.dir/topology.cpp.o"
+  "CMakeFiles/tvnep_net.dir/topology.cpp.o.d"
+  "libtvnep_net.a"
+  "libtvnep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

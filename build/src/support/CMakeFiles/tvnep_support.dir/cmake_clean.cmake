@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_support.dir/check.cpp.o"
+  "CMakeFiles/tvnep_support.dir/check.cpp.o.d"
+  "CMakeFiles/tvnep_support.dir/parallel.cpp.o"
+  "CMakeFiles/tvnep_support.dir/parallel.cpp.o.d"
+  "CMakeFiles/tvnep_support.dir/rng.cpp.o"
+  "CMakeFiles/tvnep_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tvnep_support.dir/stats.cpp.o"
+  "CMakeFiles/tvnep_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tvnep_support.dir/table.cpp.o"
+  "CMakeFiles/tvnep_support.dir/table.cpp.o.d"
+  "libtvnep_support.a"
+  "libtvnep_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

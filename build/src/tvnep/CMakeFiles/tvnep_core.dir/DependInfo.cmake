@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tvnep/csigma_model.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/csigma_model.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/csigma_model.cpp.o.d"
+  "/root/repo/src/tvnep/delta_model.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/delta_model.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/delta_model.cpp.o.d"
+  "/root/repo/src/tvnep/dependency.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/dependency.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/dependency.cpp.o.d"
+  "/root/repo/src/tvnep/event_formulation.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/event_formulation.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/event_formulation.cpp.o.d"
+  "/root/repo/src/tvnep/formulation.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/formulation.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/formulation.cpp.o.d"
+  "/root/repo/src/tvnep/placement.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/placement.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/placement.cpp.o.d"
+  "/root/repo/src/tvnep/sigma_model.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/sigma_model.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/sigma_model.cpp.o.d"
+  "/root/repo/src/tvnep/solution.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/solution.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/solution.cpp.o.d"
+  "/root/repo/src/tvnep/solver.cpp" "src/tvnep/CMakeFiles/tvnep_core.dir/solver.cpp.o" "gcc" "src/tvnep/CMakeFiles/tvnep_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tvnep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/tvnep_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tvnep_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/tvnep_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tvnep_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

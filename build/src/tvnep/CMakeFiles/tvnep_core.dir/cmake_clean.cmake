@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_core.dir/csigma_model.cpp.o"
+  "CMakeFiles/tvnep_core.dir/csigma_model.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/delta_model.cpp.o"
+  "CMakeFiles/tvnep_core.dir/delta_model.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/dependency.cpp.o"
+  "CMakeFiles/tvnep_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/event_formulation.cpp.o"
+  "CMakeFiles/tvnep_core.dir/event_formulation.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/formulation.cpp.o"
+  "CMakeFiles/tvnep_core.dir/formulation.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/placement.cpp.o"
+  "CMakeFiles/tvnep_core.dir/placement.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/sigma_model.cpp.o"
+  "CMakeFiles/tvnep_core.dir/sigma_model.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/solution.cpp.o"
+  "CMakeFiles/tvnep_core.dir/solution.cpp.o.d"
+  "CMakeFiles/tvnep_core.dir/solver.cpp.o"
+  "CMakeFiles/tvnep_core.dir/solver.cpp.o.d"
+  "libtvnep_core.a"
+  "libtvnep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

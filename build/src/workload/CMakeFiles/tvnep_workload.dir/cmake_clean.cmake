@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_workload.dir/generator.cpp.o"
+  "CMakeFiles/tvnep_workload.dir/generator.cpp.o.d"
+  "libtvnep_workload.a"
+  "libtvnep_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

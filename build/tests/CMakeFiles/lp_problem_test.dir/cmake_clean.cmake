@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_problem_test.dir/lp_problem_test.cpp.o"
+  "CMakeFiles/lp_problem_test.dir/lp_problem_test.cpp.o.d"
+  "lp_problem_test"
+  "lp_problem_test.pdb"
+  "lp_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_simplex_random_test.dir/lp_simplex_random_test.cpp.o"
+  "CMakeFiles/lp_simplex_random_test.dir/lp_simplex_random_test.cpp.o.d"
+  "lp_simplex_random_test"
+  "lp_simplex_random_test.pdb"
+  "lp_simplex_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_simplex_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_expr_test.dir/mip_expr_test.cpp.o"
+  "CMakeFiles/mip_expr_test.dir/mip_expr_test.cpp.o.d"
+  "mip_expr_test"
+  "mip_expr_test.pdb"
+  "mip_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

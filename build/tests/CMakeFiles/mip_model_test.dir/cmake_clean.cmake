@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mip_model_test.dir/mip_model_test.cpp.o"
+  "CMakeFiles/mip_model_test.dir/mip_model_test.cpp.o.d"
+  "mip_model_test"
+  "mip_model_test.pdb"
+  "mip_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mip_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

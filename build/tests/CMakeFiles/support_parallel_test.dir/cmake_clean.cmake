@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_parallel_test.dir/support_parallel_test.cpp.o"
+  "CMakeFiles/support_parallel_test.dir/support_parallel_test.cpp.o.d"
+  "support_parallel_test"
+  "support_parallel_test.pdb"
+  "support_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

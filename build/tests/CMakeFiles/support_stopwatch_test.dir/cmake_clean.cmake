@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_stopwatch_test.dir/support_stopwatch_test.cpp.o"
+  "CMakeFiles/support_stopwatch_test.dir/support_stopwatch_test.cpp.o.d"
+  "support_stopwatch_test"
+  "support_stopwatch_test.pdb"
+  "support_stopwatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

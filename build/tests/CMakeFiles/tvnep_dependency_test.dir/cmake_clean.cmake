@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_dependency_test.dir/tvnep_dependency_test.cpp.o"
+  "CMakeFiles/tvnep_dependency_test.dir/tvnep_dependency_test.cpp.o.d"
+  "tvnep_dependency_test"
+  "tvnep_dependency_test.pdb"
+  "tvnep_dependency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_dependency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

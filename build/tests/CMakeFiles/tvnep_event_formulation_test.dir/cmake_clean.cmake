@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_event_formulation_test.dir/tvnep_event_formulation_test.cpp.o"
+  "CMakeFiles/tvnep_event_formulation_test.dir/tvnep_event_formulation_test.cpp.o.d"
+  "tvnep_event_formulation_test"
+  "tvnep_event_formulation_test.pdb"
+  "tvnep_event_formulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_event_formulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_models_test.dir/tvnep_models_test.cpp.o"
+  "CMakeFiles/tvnep_models_test.dir/tvnep_models_test.cpp.o.d"
+  "tvnep_models_test"
+  "tvnep_models_test.pdb"
+  "tvnep_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

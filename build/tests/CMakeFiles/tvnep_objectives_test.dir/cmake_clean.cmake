@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_objectives_test.dir/tvnep_objectives_test.cpp.o"
+  "CMakeFiles/tvnep_objectives_test.dir/tvnep_objectives_test.cpp.o.d"
+  "tvnep_objectives_test"
+  "tvnep_objectives_test.pdb"
+  "tvnep_objectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_objectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_placement_test.dir/tvnep_placement_test.cpp.o"
+  "CMakeFiles/tvnep_placement_test.dir/tvnep_placement_test.cpp.o.d"
+  "tvnep_placement_test"
+  "tvnep_placement_test.pdb"
+  "tvnep_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

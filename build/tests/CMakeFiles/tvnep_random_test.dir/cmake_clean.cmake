@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_random_test.dir/tvnep_random_test.cpp.o"
+  "CMakeFiles/tvnep_random_test.dir/tvnep_random_test.cpp.o.d"
+  "tvnep_random_test"
+  "tvnep_random_test.pdb"
+  "tvnep_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvnep_solution_test.dir/tvnep_solution_test.cpp.o"
+  "CMakeFiles/tvnep_solution_test.dir/tvnep_solution_test.cpp.o.d"
+  "tvnep_solution_test"
+  "tvnep_solution_test.pdb"
+  "tvnep_solution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvnep_solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/support_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/support_table_test[1]_include.cmake")
+include("/root/repo/build/tests/support_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_dense_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_lu_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_problem_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_simplex_random_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_model_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_bnb_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_bnb_random_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_dependency_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_solution_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_models_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_objectives_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_args_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_random_test[1]_include.cmake")
+include("/root/repo/build/tests/support_stopwatch_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_event_formulation_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/tvnep_placement_test[1]_include.cmake")
