@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   if (!args.has("time-limit")) config.time_limit = 8.0;
   if (!args.has("seeds")) config.seeds = 2;
   if (!args.has("flex-max")) config.flexibilities = {0.0, 1.0, 2.0};
+  bench::announce_threads(config);
 
   struct Variant {
     const char* name;

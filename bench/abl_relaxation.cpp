@@ -3,7 +3,9 @@
 // model and reports the root bound relative to the best known integral
 // objective — the Δ-Model's bound is far looser, which is exactly why its
 // branch-and-bound trees explode.
+#include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "fig_common.hpp"
 
@@ -17,37 +19,47 @@ int main(int argc, char** argv) {
   if (!args.has("seeds")) config.seeds = 3;
   if (!args.has("flex-max")) config.flexibilities = {0.0, 1.0, 2.0, 3.0};
   if (!args.has("time-limit")) config.time_limit = 30.0;
+  bench::announce_threads(config);
+
+  const double kSkipped = std::numeric_limits<double>::quiet_NaN();
 
   for (const core::ModelKind kind :
        {core::ModelKind::kDelta, core::ModelKind::kSigma,
         core::ModelKind::kCSigma}) {
+    // Per-cell slots (NaN = no usable reference optimum); compacted in
+    // deterministic grid order below.
+    std::vector<std::vector<double>> cell_ratios(
+        config.flexibilities.size(),
+        std::vector<double>(static_cast<std::size_t>(config.seeds), kSkipped));
+    eval::for_each_cell(config, [&](std::size_t f, int seed, std::size_t) {
+      workload::WorkloadParams params = config.base;
+      params.seed = static_cast<std::uint64_t>(seed) + 1;
+      const net::TvnepInstance instance =
+          workload::generate_workload_with_flexibility(
+              params, config.flexibilities[f]);
+
+      // Root relaxation bound of this model.
+      core::SolveParams root;
+      root.build = config.build;
+      root.max_nodes = 1;
+      root.time_limit_seconds = config.time_limit;
+      const auto root_result = core::solve(instance, kind, root);
+
+      // Reference integral optimum from the strongest model.
+      core::SolveParams full;
+      full.build = config.build;
+      full.time_limit_seconds = config.time_limit;
+      const auto reference =
+          core::solve(instance, core::ModelKind::kCSigma, full);
+      if (!reference.has_solution || reference.objective <= 1e-9) return;
+
+      cell_ratios[f][static_cast<std::size_t>(seed)] =
+          root_result.best_bound / reference.objective;
+    });
     std::vector<std::vector<double>> ratios(config.flexibilities.size());
-    for (std::size_t f = 0; f < config.flexibilities.size(); ++f) {
-      for (int seed = 0; seed < config.seeds; ++seed) {
-        workload::WorkloadParams params = config.base;
-        params.seed = static_cast<std::uint64_t>(seed) + 1;
-        const net::TvnepInstance instance =
-            workload::generate_workload_with_flexibility(
-                params, config.flexibilities[f]);
-
-        // Root relaxation bound of this model.
-        core::SolveParams root;
-        root.build = config.build;
-        root.max_nodes = 1;
-        root.time_limit_seconds = config.time_limit;
-        const auto root_result = core::solve(instance, kind, root);
-
-        // Reference integral optimum from the strongest model.
-        core::SolveParams full;
-        full.build = config.build;
-        full.time_limit_seconds = config.time_limit;
-        const auto reference =
-            core::solve(instance, core::ModelKind::kCSigma, full);
-        if (!reference.has_solution || reference.objective <= 1e-9) continue;
-
-        ratios[f].push_back(root_result.best_bound / reference.objective);
-      }
-    }
+    for (std::size_t f = 0; f < config.flexibilities.size(); ++f)
+      for (const double v : cell_ratios[f])
+        if (!std::isnan(v)) ratios[f].push_back(v);
     bench::print_series(
         std::string("Relaxation strength — root bound / integral optimum, ") +
             core::to_string(kind) + " (1.0 = tight)",

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     config.seeds = 2;
   if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
     config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::announce_threads(config);
 
   for (const core::ModelKind kind :
        {core::ModelKind::kDelta, core::ModelKind::kSigma,

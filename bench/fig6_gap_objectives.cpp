@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     config.seeds = 2;
   if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
     config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::announce_threads(config);
 
   const core::ObjectiveKind objectives[] = {
       core::ObjectiveKind::kMaxEarliness,
@@ -30,37 +31,41 @@ int main(int argc, char** argv) {
 
   for (const core::ObjectiveKind objective : objectives) {
     std::cerr << "objective " << core::to_string(objective) << "...\n";
-    std::vector<std::vector<double>> gaps(config.flexibilities.size());
-    for (std::size_t f = 0; f < config.flexibilities.size(); ++f) {
-      for (int seed = 0; seed < config.seeds; ++seed) {
-        workload::WorkloadParams params = config.base;
-        params.seed = static_cast<std::uint64_t>(seed) + 1;
-        const net::TvnepInstance full =
-            workload::generate_workload_with_flexibility(
-                params, config.flexibilities[f]);
+    // One slot per cell, written only by that cell's worker, so the series
+    // is identical for every --threads value.
+    std::vector<std::vector<double>> gaps(
+        config.flexibilities.size(),
+        std::vector<double>(static_cast<std::size_t>(config.seeds), 0.0));
+    eval::for_each_cell(config, [&](std::size_t f, int seed, std::size_t) {
+      workload::WorkloadParams params = config.base;
+      params.seed = static_cast<std::uint64_t>(seed) + 1;
+      const net::TvnepInstance full =
+          workload::generate_workload_with_flexibility(
+              params, config.flexibilities[f]);
 
-        greedy::GreedyOptions greedy_options;
-        greedy_options.per_iteration_time_limit = config.time_limit;
-        const greedy::GreedyResult admitted =
-            greedy::solve_greedy(full, greedy_options);
-        std::vector<int> keep;
-        for (int r = 0; r < full.num_requests(); ++r)
-          if (admitted.solution.requests[static_cast<std::size_t>(r)].accepted)
-            keep.push_back(r);
-        const net::TvnepInstance instance = bench::restrict_to(full, keep);
+      greedy::GreedyOptions greedy_options;
+      greedy_options.per_iteration_time_limit = config.time_limit;
+      const greedy::GreedyResult admitted =
+          greedy::solve_greedy(full, greedy_options);
+      std::vector<int> keep;
+      for (int r = 0; r < full.num_requests(); ++r)
+        if (admitted.solution.requests[static_cast<std::size_t>(r)].accepted)
+          keep.push_back(r);
+      const net::TvnepInstance instance = bench::restrict_to(full, keep);
 
-        core::SolveParams solve_params;
-        solve_params.build = config.build;
-        solve_params.build.objective = objective;
-        solve_params.time_limit_seconds = config.time_limit;
-        const core::TvnepSolveResult result =
-            core::solve(instance, core::ModelKind::kCSigma, solve_params);
-        gaps[f].push_back(bench::capped_gap(result));
-        std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
-                  << " status=" << mip::to_string(result.status)
-                  << " gap=" << result.gap << "\n";
-      }
-    }
+      core::SolveParams solve_params;
+      solve_params.build = config.build;
+      solve_params.build.objective = objective;
+      solve_params.time_limit_seconds = config.time_limit;
+      const core::TvnepSolveResult result =
+          core::solve(instance, core::ModelKind::kCSigma, solve_params);
+      gaps[f][static_cast<std::size_t>(seed)] = bench::capped_gap(result);
+
+      std::lock_guard<std::mutex> lock(bench::log_mutex());
+      std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
+                << " status=" << mip::to_string(result.status)
+                << " gap=" << result.gap << "\n";
+    });
     bench::print_series(
         std::string("Fig 6 — cΣ gap under ") + core::to_string(objective) +
             " (10 = no incumbent, paper's ∞)",

@@ -5,7 +5,9 @@
 // Expected shape: median around 5-10%, occasionally above 10%; greedy
 // iteration runtimes a fraction of a second, far below the exact solves.
 #include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "fig_common.hpp"
 #include "greedy/greedy.hpp"
@@ -23,42 +25,56 @@ int main(int argc, char** argv) {
     config.seeds = 3;
   if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
     config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::announce_threads(config);
+
+  const std::size_t seeds = static_cast<std::size_t>(config.seeds);
+  // Per-cell slots (NaN = cell skipped because the exact solve produced no
+  // usable reference); compacted in deterministic grid order below.
+  const double kSkipped = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> cell_off_by(
+      config.flexibilities.size(), std::vector<double>(seeds, kSkipped));
+  std::vector<std::vector<double>> cell_iteration_times(
+      config.flexibilities.size() * seeds);
+
+  eval::for_each_cell(config, [&](std::size_t f, int seed, std::size_t cell) {
+    workload::WorkloadParams params = config.base;
+    params.seed = static_cast<std::uint64_t>(seed) + 1;
+    const net::TvnepInstance instance =
+        workload::generate_workload_with_flexibility(
+            params, config.flexibilities[f]);
+
+    greedy::GreedyOptions greedy_options;
+    greedy_options.per_iteration_time_limit = config.time_limit;
+    const greedy::GreedyResult g = greedy::solve_greedy(instance, greedy_options);
+    cell_iteration_times[cell] = g.iteration_seconds;
+
+    core::SolveParams solve_params;
+    solve_params.build = config.build;
+    solve_params.time_limit_seconds = config.time_limit;
+    const core::TvnepSolveResult exact =
+        core::solve(instance, core::ModelKind::kCSigma, solve_params);
+    if (!exact.has_solution || exact.objective <= 1e-9) return;
+
+    const double greedy_revenue = g.solution.revenue(instance);
+    const double relative =
+        100.0 * std::max(0.0, exact.objective - greedy_revenue) /
+        exact.objective;
+    cell_off_by[f][static_cast<std::size_t>(seed)] = relative;
+
+    std::lock_guard<std::mutex> lock(bench::log_mutex());
+    std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
+              << " exact=" << exact.objective << " greedy=" << greedy_revenue
+              << " off=" << relative << "%\n";
+  });
 
   std::vector<std::vector<double>> off_by(config.flexibilities.size());
+  for (std::size_t f = 0; f < config.flexibilities.size(); ++f)
+    for (const double v : cell_off_by[f])
+      if (!std::isnan(v)) off_by[f].push_back(v);
   std::vector<double> greedy_iteration_times;
-
-  for (std::size_t f = 0; f < config.flexibilities.size(); ++f) {
-    for (int seed = 0; seed < config.seeds; ++seed) {
-      workload::WorkloadParams params = config.base;
-      params.seed = static_cast<std::uint64_t>(seed) + 1;
-      const net::TvnepInstance instance =
-          workload::generate_workload_with_flexibility(
-              params, config.flexibilities[f]);
-
-      greedy::GreedyOptions greedy_options;
-      greedy_options.per_iteration_time_limit = config.time_limit;
-      const greedy::GreedyResult g = greedy::solve_greedy(instance, greedy_options);
-      greedy_iteration_times.insert(greedy_iteration_times.end(),
-                                    g.iteration_seconds.begin(),
-                                    g.iteration_seconds.end());
-
-      core::SolveParams solve_params;
-      solve_params.build = config.build;
-      solve_params.time_limit_seconds = config.time_limit;
-      const core::TvnepSolveResult exact =
-          core::solve(instance, core::ModelKind::kCSigma, solve_params);
-      if (!exact.has_solution || exact.objective <= 1e-9) continue;
-
-      const double greedy_revenue = g.solution.revenue(instance);
-      const double relative =
-          100.0 * std::max(0.0, exact.objective - greedy_revenue) /
-          exact.objective;
-      off_by[f].push_back(relative);
-      std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
-                << " exact=" << exact.objective << " greedy=" << greedy_revenue
-                << " off=" << relative << "%\n";
-    }
-  }
+  for (const auto& times : cell_iteration_times)
+    greedy_iteration_times.insert(greedy_iteration_times.end(), times.begin(),
+                                  times.end());
 
   bench::print_series(
       "Fig 7 — greedy cΣ_A^G objective shortfall vs exact cΣ [%]",

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
     config.seeds = 3;
   if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
     config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::announce_threads(config);
 
   const auto outcomes = eval::run_model_sweep(config, core::ModelKind::kCSigma,
                                               bench::announce_progress);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,21 @@
 #include "support/table.hpp"
 
 namespace tvnep::bench {
+
+/// Serializes progress lines written from parallel sweep cells. The sweep
+/// runner already serializes its own announce callback; benches that log
+/// from inside eval::for_each_cell bodies must lock this themselves.
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Announces the sweep fan-out once at the start of a bench run.
+inline void announce_threads(const eval::SweepConfig& config) {
+  std::cerr << "sweep: " << config.flexibilities.size() << " flexibilities × "
+            << config.seeds << " seeds over "
+            << eval::effective_threads(config) << " threads\n";
+}
 
 /// Prints per-flexibility five-number summaries of `values` (one vector of
 /// per-seed values per flexibility level), the way the paper's boxplots
@@ -63,7 +79,12 @@ inline void announce_progress(const eval::ScenarioOutcome& outcome) {
   std::cerr << "  flex=" << outcome.flexibility << " seed=" << outcome.seed
             << " status=" << mip::to_string(outcome.result.status)
             << " obj=" << outcome.result.objective
-            << " t=" << outcome.result.seconds << "s\n";
+            << " t=" << outcome.result.seconds << "s"
+            << " wall=" << outcome.wall_seconds << "s"
+            << " nodes=" << outcome.result.nodes
+            << " pivots=" << outcome.result.lp_pivots;
+  if (outcome.failed) std::cerr << " FAILED(" << outcome.error << ")";
+  std::cerr << '\n';
 }
 
 }  // namespace tvnep::bench

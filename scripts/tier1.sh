@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: full build + test suite, then the concurrency-bearing
+# pieces (the parallel sweep engine and support/parallel) again under
+# ThreadSanitizer (-DTVNEP_SANITIZE=thread, preset "tsan").
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "$jobs"
+(cd build && ctest --output-on-failure -j "$jobs")
+
+cmake -B build-tsan -S . -DTVNEP_SANITIZE=thread
+cmake --build build-tsan -j "$jobs"
+(cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
+   ctest --output-on-failure -j "$jobs" \
+   -R 'ParallelFor|HardwareParallelism|ForEachCell|RunModelSweep|RunGreedySweep')

@@ -1,8 +1,11 @@
 #include "eval/runner.hpp"
 
 #include <cmath>
+#include <mutex>
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
+#include "support/stopwatch.hpp"
 
 namespace tvnep::eval {
 
@@ -28,6 +31,7 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
   config.base.link_capacity = args.get_double("link-capacity", 5.0);
   config.seeds = args.get_int("seeds", config.seeds);
   config.time_limit = args.get_double("time-limit", config.time_limit);
+  config.threads = args.get_int("threads", 0);
 
   const double flex_max =
       args.get_double("flex-max", args.get_bool("paper-scale", false) ? 6.0 : 6.0);
@@ -43,56 +47,101 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
   return config;
 }
 
-std::vector<ScenarioOutcome> run_model_sweep(
-    const SweepConfig& config, core::ModelKind kind,
-    const std::function<void(const ScenarioOutcome&)>& announce) {
-  std::vector<ScenarioOutcome> outcomes;
-  for (const double flex : config.flexibilities) {
-    for (int seed = 0; seed < config.seeds; ++seed) {
+int effective_threads(const SweepConfig& config) {
+  if (config.threads > 0) return config.threads;
+  return static_cast<int>(hardware_parallelism());
+}
+
+void for_each_cell(
+    const SweepConfig& config,
+    const std::function<void(std::size_t, int, std::size_t)>& body) {
+  TVNEP_REQUIRE(config.seeds >= 0, "seeds must be non-negative");
+  const std::size_t seeds = static_cast<std::size_t>(config.seeds);
+  const std::size_t cells = config.flexibilities.size() * seeds;
+  parallel_for(
+      cells,
+      [&](std::size_t cell) {
+        body(cell / seeds, static_cast<int>(cell % seeds), cell);
+      },
+      static_cast<std::size_t>(effective_threads(config)));
+}
+
+namespace {
+
+// Shared per-cell harness: fills identity/timing, runs `solve` with
+// failure isolation, then hands the finished outcome to the serialized
+// announce callback. Outcome slots are pre-sized by the caller so each
+// worker touches only its own cell.
+template <typename Outcome, typename Solve>
+std::vector<Outcome> run_cells(
+    const SweepConfig& config, Solve&& solve,
+    const std::function<void(const Outcome&)>& announce) {
+  std::vector<Outcome> outcomes(config.flexibilities.size() *
+                                static_cast<std::size_t>(config.seeds));
+  std::mutex announce_mutex;
+  for_each_cell(config, [&](std::size_t f, int seed, std::size_t cell) {
+    Stopwatch cell_watch;
+    Outcome& outcome = outcomes[cell];
+    outcome.flexibility = config.flexibilities[f];
+    outcome.seed = seed;
+    try {
       workload::WorkloadParams params = config.base;
       params.seed = static_cast<std::uint64_t>(seed) + 1;
       const net::TvnepInstance instance =
-          workload::generate_workload_with_flexibility(params, flex);
-
-      core::SolveParams solve_params;
-      solve_params.build = config.build;
-      solve_params.time_limit_seconds = config.time_limit;
-
-      ScenarioOutcome outcome;
-      outcome.flexibility = flex;
-      outcome.seed = seed;
-      outcome.result = core::solve(instance, kind, solve_params);
-      if (announce) announce(outcome);
-      outcomes.push_back(std::move(outcome));
+          workload::generate_workload_with_flexibility(params,
+                                                       outcome.flexibility);
+      solve(instance, outcome);
+    } catch (const std::exception& e) {
+      outcome.failed = true;
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.failed = true;
+      outcome.error = "unknown exception";
     }
-  }
+    outcome.wall_seconds = cell_watch.seconds();
+    if (announce) {
+      std::lock_guard<std::mutex> lock(announce_mutex);
+      announce(outcome);
+    }
+  });
   return outcomes;
+}
+
+}  // namespace
+
+std::vector<ScenarioOutcome> run_model_sweep(
+    const SweepConfig& config, core::ModelKind kind,
+    const std::function<void(const ScenarioOutcome&)>& announce) {
+  return run_cells<ScenarioOutcome>(
+      config,
+      [&](const net::TvnepInstance& instance, ScenarioOutcome& outcome) {
+        core::SolveParams solve_params;
+        solve_params.build = config.build;
+        solve_params.time_limit_seconds = config.time_limit;
+        outcome.result =
+            config.solve_override
+                ? config.solve_override(instance, kind, solve_params)
+                : core::solve(instance, kind, solve_params);
+        if (outcome.result.status == mip::MipStatus::kNumericalFailure) {
+          outcome.failed = true;
+          outcome.error = "solver reported a numerical failure";
+        }
+      },
+      announce);
 }
 
 std::vector<GreedyOutcome> run_greedy_sweep(
     const SweepConfig& config,
     const std::function<void(const GreedyOutcome&)>& announce) {
-  std::vector<GreedyOutcome> outcomes;
-  for (const double flex : config.flexibilities) {
-    for (int seed = 0; seed < config.seeds; ++seed) {
-      workload::WorkloadParams params = config.base;
-      params.seed = static_cast<std::uint64_t>(seed) + 1;
-      const net::TvnepInstance instance =
-          workload::generate_workload_with_flexibility(params, flex);
-
-      greedy::GreedyOptions options;
-      options.dependency_cuts = config.build.dependency_cuts;
-      options.per_iteration_time_limit = config.time_limit;
-
-      GreedyOutcome outcome;
-      outcome.flexibility = flex;
-      outcome.seed = seed;
-      outcome.result = greedy::solve_greedy(instance, options);
-      if (announce) announce(outcome);
-      outcomes.push_back(std::move(outcome));
-    }
-  }
-  return outcomes;
+  return run_cells<GreedyOutcome>(
+      config,
+      [&](const net::TvnepInstance& instance, GreedyOutcome& outcome) {
+        greedy::GreedyOptions options;
+        options.dependency_cuts = config.build.dependency_cuts;
+        options.per_iteration_time_limit = config.time_limit;
+        outcome.result = greedy::solve_greedy(instance, options);
+      },
+      announce);
 }
 
 std::vector<std::vector<double>> series_by_flexibility(

@@ -1,9 +1,19 @@
 // Scenario sweeps for the evaluation section: (seed × flexibility) grids
 // over a model/objective combination, mirroring the paper's 24 workloads ×
 // 11 flexibility steps methodology at a configurable scale.
+//
+// Every cell of the grid is independent, so the sweeps fan out over
+// support/parallel.hpp's work-stealing parallel_for (`--threads N`,
+// default = hardware_parallelism()). Determinism guarantee: the outcome
+// vector is pre-sized and every worker writes only its own cell slot, so
+// ordering and per-cell results are identical to the serial `--threads 1`
+// run (timing fields excepted). Progress callbacks are serialized by an
+// internal mutex. A cell whose solve throws (or reports a numerical
+// failure) records a failed outcome instead of aborting the sweep.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "eval/args.hpp"
@@ -18,26 +28,47 @@ struct SweepConfig {
   std::vector<double> flexibilities;    // hours
   int seeds = 3;
   double time_limit = 10.0;             // per solve, seconds
+  int threads = 0;                      // workers; 0 → hardware_parallelism()
   core::BuildOptions build;
+
+  /// Replaces core::solve for every cell — the seam tests use to inject
+  /// failures and alternative backends can hook into. Empty → core::solve.
+  std::function<core::TvnepSolveResult(const net::TvnepInstance&,
+                                       core::ModelKind,
+                                       const core::SolveParams&)>
+      solve_override;
 };
 
 /// Builds the scaled default configuration used by the figure benches and
 /// overrides it from command-line flags:
 ///   --requests N --grid-rows R --grid-cols C --leaves L --seeds S
-///   --time-limit SEC --flex-max HOURS --flex-step HOURS
+///   --time-limit SEC --flex-max HOURS --flex-step HOURS --threads N
 ///   --no-dependency-cuts --no-pairwise-cuts --paper-scale
 SweepConfig sweep_from_args(const Args& args, int default_requests,
                             int default_rows, int default_cols,
                             int default_leaves);
 
+/// Worker count a sweep over `config` will actually use (>= 1).
+int effective_threads(const SweepConfig& config);
+
 struct ScenarioOutcome {
   double flexibility = 0.0;
   int seed = 0;
   core::TvnepSolveResult result;
+  /// Wall clock of the whole cell (workload generation + model build +
+  /// solve) on its worker thread — the throughput number for BENCH_*.json.
+  double wall_seconds = 0.0;
+  /// The cell's solve threw or ended in MipStatus::kNumericalFailure.
+  /// Sibling cells are unaffected; `error` carries the exception text.
+  bool failed = false;
+  std::string error;
 };
 
-/// Solves every (flexibility, seed) cell with the given model. `announce`
-/// (optional) is called with each finished outcome for progress reporting.
+/// Solves every (flexibility, seed) cell with the given model, fanning the
+/// cells out over config.threads workers. `announce` (optional) is called
+/// with each finished outcome for progress reporting; calls are serialized
+/// but may arrive out of grid order. The returned vector is always in grid
+/// order (flexibility-major, seed-minor), identical to the serial run.
 std::vector<ScenarioOutcome> run_model_sweep(
     const SweepConfig& config, core::ModelKind kind,
     const std::function<void(const ScenarioOutcome&)>& announce = nullptr);
@@ -46,15 +77,31 @@ struct GreedyOutcome {
   double flexibility = 0.0;
   int seed = 0;
   greedy::GreedyResult result;
+  double wall_seconds = 0.0;
+  bool failed = false;
+  std::string error;
 };
 
-/// Runs the greedy cΣ_A^G over the same grid.
+/// Runs the greedy cΣ_A^G over the same grid, with the same parallel
+/// fan-out, ordering and failure-isolation guarantees as run_model_sweep.
 std::vector<GreedyOutcome> run_greedy_sweep(
     const SweepConfig& config,
     const std::function<void(const GreedyOutcome&)>& announce = nullptr);
 
+/// Runs body(flex_index, seed, cell_index) for every cell of the grid,
+/// fanned out over config.threads workers; cell_index enumerates the grid
+/// flexibility-major (cell = flex_index * seeds + seed). The body must
+/// only write state owned by its own cell. Benches with bespoke per-cell
+/// work (fig5/6/7, abl_relaxation) build on this directly.
+void for_each_cell(
+    const SweepConfig& config,
+    const std::function<void(std::size_t flex_index, int seed,
+                             std::size_t cell_index)>& body);
+
 /// Collects the values of `extract(outcome)` per flexibility level, in
-/// seed order — the series the figures plot.
+/// seed order — the series the figures plot. Failed cells are included
+/// (their result carries default values); filter on `failed` upstream if
+/// they should not enter a summary.
 std::vector<std::vector<double>> series_by_flexibility(
     const SweepConfig& config, const std::vector<ScenarioOutcome>& outcomes,
     const std::function<double(const ScenarioOutcome&)>& extract);

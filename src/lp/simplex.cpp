@@ -768,6 +768,7 @@ SolveStatus Simplex::solve() {
     }
     // Warm basis is not dual feasible (or failed numerically): primal
     // phases from the current basis are still a better start than cold.
+    stats_.dual_fallback = true;
     SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
     if (p1 == SolveStatus::kNumericalFailure) {
       cold_start();

@@ -67,6 +67,10 @@ struct SolveStats {
   int dual_iterations = 0;
   int refactorizations = 0;
   bool warm_started = false;
+  // A warm-start basis existed but the dual simplex could not finish the
+  // solve (dual-infeasible start, stall, or numerical failure) and the
+  // primal phases completed it instead.
+  bool dual_fallback = false;
 };
 
 class Simplex {

@@ -30,7 +30,12 @@ double MipResult::gap() const {
   if (!has_solution) return kInf;
   const double diff = std::fabs(objective - best_bound);
   if (diff <= 1e-9) return 0.0;
-  return diff / std::max(1e-9, std::fabs(objective));
+  // Normalize by the larger of the two magnitudes: dividing by |objective|
+  // alone explodes when the incumbent is ~0 (e.g. every request rejected
+  // under the acceptance objective) even though the bound is informative.
+  const double denom =
+      std::max({std::fabs(objective), std::fabs(best_bound), 1e-9});
+  return diff / denom;
 }
 
 namespace {
@@ -273,7 +278,11 @@ MipResult MipSolver::solve(
       ++result.nodes;
       continue;  // propagation proved the node infeasible
     }
-    simplex.set_time_limit(deadline.unlimited() ? 0.0 : deadline.remaining());
+    // Clamp to a positive epsilon: between the loop-top expiry check and
+    // this call the deadline may slip to zero, and a non-positive limit
+    // would make the node LP run unlimited, overrunning the MIP budget.
+    simplex.set_time_limit(
+        deadline.unlimited() ? 0.0 : std::max(deadline.remaining(), 1e-3));
 
     lp::SolveStatus lp_status = simplex.solve();
     if (lp_status == lp::SolveStatus::kIterationLimit ||
@@ -286,10 +295,10 @@ MipResult MipSolver::solve(
     result.phase1_iterations += simplex.stats().phase1_iterations;
     result.phase2_iterations += simplex.stats().phase2_iterations;
     result.dual_iterations += simplex.stats().dual_iterations;
-    if (result.nodes > 1 && simplex.stats().phase1_iterations +
-                                    simplex.stats().phase2_iterations >
-                                0)
-      ++result.dual_fallbacks;
+    // Only genuine fallbacks: a warm basis existed but the dual simplex
+    // handed the solve over to the primal phases. Cold (re)solves perform
+    // primal iterations too and must not inflate this counter.
+    if (simplex.stats().dual_fallback) ++result.dual_fallbacks;
 
     if (lp_status == lp::SolveStatus::kTimeLimit) { aborted_time = true; break; }
     if (lp_status == lp::SolveStatus::kInfeasible) continue;

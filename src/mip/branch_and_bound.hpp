@@ -58,8 +58,10 @@ struct MipResult {
   long dual_iterations = 0;
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
 
-  /// Relative gap as the paper reports it: |incumbent - bound| over the
-  /// incumbent magnitude; +infinity when no incumbent exists.
+  /// Relative gap as the paper reports it: |incumbent - bound| over
+  /// max(|incumbent|, |bound|, 1e-9) — the max keeps gaps finite and
+  /// meaningful when the incumbent objective is ~0 (e.g. all requests
+  /// rejected under acceptance); +infinity when no incumbent exists.
   double gap() const;
 };
 

@@ -21,7 +21,17 @@ void parallel_for(std::size_t count,
   threads = std::min(threads, count);
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    // Same contract as the threaded path: every index is attempted and the
+    // first exception is rethrown only after the loop finished.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 

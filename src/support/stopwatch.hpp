@@ -1,6 +1,7 @@
 // Wall-clock stopwatch and deadline helper for solver time limits.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 
 namespace tvnep {
@@ -30,9 +31,12 @@ class Deadline {
 
   bool unlimited() const { return budget_ <= 0.0; }
   bool expired() const { return !unlimited() && watch_.seconds() >= budget_; }
+  /// Budget left, clamped to zero once the deadline has passed. Callers
+  /// that forward this to an API where "<= 0" means "unlimited" (e.g.
+  /// Simplex::set_time_limit) must clamp to a positive epsilon themselves.
   double remaining() const {
     if (unlimited()) return 1e300;
-    return budget_ - watch_.seconds();
+    return std::max(0.0, budget_ - watch_.seconds());
   }
   double elapsed() const { return watch_.seconds(); }
 

@@ -40,6 +40,11 @@ TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
   result.gap = mip_result.gap();
   result.seconds = mip_result.seconds;
   result.nodes = mip_result.nodes;
+  result.lp_pivots = mip_result.lp_pivots;
+  result.lp_iterations = mip_result.phase1_iterations +
+                         mip_result.phase2_iterations +
+                         mip_result.dual_iterations;
+  result.dual_fallbacks = mip_result.dual_fallbacks;
   result.model_vars = formulation->model().num_vars();
   result.model_constraints = formulation->model().num_constraints();
   result.model_integer_vars = formulation->model().num_integer_vars();

@@ -27,6 +27,11 @@ struct TvnepSolveResult {
   double gap = 0.0;  // +inf when no incumbent (paper's "∞" marker)
   double seconds = 0.0;
   long nodes = 0;
+  // Solver-effort telemetry (exported per sweep cell by src/eval so the
+  // bench trajectories can track throughput, not just wall clock).
+  long lp_pivots = 0;
+  long lp_iterations = 0;   // primal phase 1 + phase 2 + dual, summed
+  long dual_fallbacks = 0;  // warm starts that fell back to primal phases
   int model_vars = 0;
   int model_constraints = 0;
   int model_integer_vars = 0;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "eval/args.hpp"
+#include "eval/runner.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 
 namespace tvnep::eval {
 namespace {
@@ -55,6 +57,21 @@ TEST(Args, TrailingFlagIsBoolean) {
   const Args a = make({"--requests", "3", "--quick"});
   EXPECT_EQ(a.get_int("requests", 0), 3);
   EXPECT_TRUE(a.get_bool("quick", false));
+}
+
+TEST(SweepFromArgs, ThreadsFlagControlsFanOut) {
+  const Args a = make({"--threads", "3"});
+  const SweepConfig config = sweep_from_args(a, 4, 2, 3, 2);
+  EXPECT_EQ(config.threads, 3);
+  EXPECT_EQ(effective_threads(config), 3);
+}
+
+TEST(SweepFromArgs, ThreadsDefaultsToHardwareParallelism) {
+  const Args a = make({});
+  const SweepConfig config = sweep_from_args(a, 4, 2, 3, 2);
+  EXPECT_EQ(config.threads, 0);
+  EXPECT_EQ(effective_threads(config),
+            static_cast<int>(hardware_parallelism()));
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// The parallel sweep engine's guarantees: grid-ordered deterministic
+// outcomes identical to the serial run, serialized announce callbacks, and
+// per-cell failure isolation (a throwing or numerically failing cell never
+// takes its siblings down).
+#include "eval/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace tvnep::eval {
+namespace {
+
+SweepConfig tiny_config(int threads) {
+  SweepConfig config;
+  config.base.num_requests = 2;
+  config.base.grid_rows = 2;
+  config.base.grid_cols = 2;
+  config.base.star_leaves = 1;
+  config.flexibilities = {0.0, 1.0};
+  config.seeds = 2;
+  // Generous enough that no cell ever hits it: the search path (and with
+  // it nodes/pivots) must not depend on scheduling noise.
+  config.time_limit = 60.0;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ForEachCell, EnumeratesGridFlexibilityMajor) {
+  const SweepConfig config = tiny_config(4);
+  std::vector<int> visits(4, 0);
+  std::vector<std::pair<std::size_t, int>> cells(4);
+  std::mutex mutex;
+  for_each_cell(config, [&](std::size_t f, int seed, std::size_t cell) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_LT(cell, visits.size());
+    ++visits[cell];
+    cells[cell] = {f, seed};
+  });
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    EXPECT_EQ(visits[cell], 1) << cell;
+    EXPECT_EQ(cells[cell].first, cell / 2);
+    EXPECT_EQ(cells[cell].second, static_cast<int>(cell % 2));
+  }
+}
+
+TEST(RunModelSweep, ParallelMatchesSerialExactly) {
+  const auto serial =
+      run_model_sweep(tiny_config(1), core::ModelKind::kCSigma);
+  const auto parallel =
+      run_model_sweep(tiny_config(4), core::ModelKind::kCSigma);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].flexibility, parallel[i].flexibility);
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].failed, parallel[i].failed);
+    EXPECT_EQ(serial[i].result.status, parallel[i].result.status);
+    EXPECT_EQ(serial[i].result.has_solution, parallel[i].result.has_solution);
+    EXPECT_EQ(serial[i].result.objective, parallel[i].result.objective);
+    EXPECT_EQ(serial[i].result.best_bound, parallel[i].result.best_bound);
+    EXPECT_EQ(serial[i].result.nodes, parallel[i].result.nodes);
+    EXPECT_EQ(serial[i].result.lp_pivots, parallel[i].result.lp_pivots);
+    EXPECT_EQ(serial[i].result.model_vars, parallel[i].result.model_vars);
+    EXPECT_EQ(serial[i].result.model_constraints,
+              parallel[i].result.model_constraints);
+    EXPECT_GT(parallel[i].wall_seconds, 0.0);
+  }
+}
+
+TEST(RunModelSweep, AnnounceSeesEveryCellOnce) {
+  SweepConfig config = tiny_config(4);
+  config.solve_override = [](const net::TvnepInstance&, core::ModelKind,
+                             const core::SolveParams&) {
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kOptimal;
+    return r;
+  };
+  // The runner serializes announce; no locking needed in the callback.
+  std::vector<std::pair<double, int>> announced;
+  const auto outcomes = run_model_sweep(
+      config, core::ModelKind::kCSigma, [&](const ScenarioOutcome& o) {
+        announced.emplace_back(o.flexibility, o.seed);
+      });
+  EXPECT_EQ(announced.size(), outcomes.size());
+  std::sort(announced.begin(), announced.end());
+  for (std::size_t i = 1; i < announced.size(); ++i)
+    EXPECT_NE(announced[i - 1], announced[i]);  // each cell exactly once
+}
+
+TEST(RunModelSweep, ThrowingCellDoesNotLoseSiblings) {
+  SweepConfig config = tiny_config(4);
+  std::atomic<bool> thrown{false};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams&)
+      -> core::TvnepSolveResult {
+    if (!thrown.exchange(true)) throw std::runtime_error("cell exploded");
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kOptimal;
+    return r;
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 4u);
+  int failures = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    // Grid order survives regardless of which worker hit the throw.
+    EXPECT_EQ(outcomes[i].flexibility, i < 2 ? 0.0 : 1.0);
+    EXPECT_EQ(outcomes[i].seed, static_cast<int>(i % 2));
+    if (outcomes[i].failed) {
+      ++failures;
+      EXPECT_EQ(outcomes[i].error, "cell exploded");
+    } else {
+      EXPECT_EQ(outcomes[i].result.status, mip::MipStatus::kOptimal);
+    }
+  }
+  EXPECT_EQ(failures, 1);
+}
+
+TEST(RunModelSweep, NumericalFailureMarksCellFailed) {
+  SweepConfig config = tiny_config(2);
+  config.solve_override = [](const net::TvnepInstance&, core::ModelKind,
+                             const core::SolveParams&) {
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kNumericalFailure;
+    return r;
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& o : outcomes) {
+    EXPECT_TRUE(o.failed);
+    EXPECT_FALSE(o.error.empty());
+  }
+}
+
+TEST(RunGreedySweep, ParallelMatchesSerial) {
+  const auto serial = run_greedy_sweep(tiny_config(1));
+  const auto parallel = run_greedy_sweep(tiny_config(4));
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].flexibility, parallel[i].flexibility);
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].failed, parallel[i].failed);
+    EXPECT_EQ(serial[i].result.accepted, parallel[i].result.accepted);
+    EXPECT_EQ(serial[i].result.complete, parallel[i].result.complete);
+    ASSERT_EQ(serial[i].result.solution.requests.size(),
+              parallel[i].result.solution.requests.size());
+    for (std::size_t r = 0; r < serial[i].result.solution.requests.size();
+         ++r)
+      EXPECT_EQ(serial[i].result.solution.requests[r].accepted,
+                parallel[i].result.solution.requests[r].accepted);
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::eval

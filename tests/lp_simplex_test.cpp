@@ -171,6 +171,35 @@ TEST(Simplex, WarmRestartAfterBoundTightening) {
   EXPECT_NEAR(s.objective(), -1.5, 1e-8);
 }
 
+TEST(Simplex, DualFallbackFlaggedOnlyWhenPrimalFinishesWarmSolve) {
+  // min -2x - y, x + y <= 1.5, x,y in [0,1] → x=1 (at upper), y=0.5.
+  Problem p;
+  const int x = p.add_column(0.0, 1.0, -2.0);
+  const int y = p.add_column(0.0, 1.0, -1.0);
+  p.add_row(-kInfinity, 1.5, {{x, 1.0}, {y, 1.0}});
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -2.5, 1e-8);
+  EXPECT_FALSE(s.stats().dual_fallback);  // cold solve is no fallback
+
+  // Bound tightening keeps the basis dual feasible: the dual simplex
+  // finishes the warm solve and no fallback may be recorded.
+  s.set_bounds(x, 0.0, 0.0);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_TRUE(s.stats().warm_started);
+  EXPECT_FALSE(s.stats().dual_fallback);
+  s.reset_bounds();
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+
+  // Flipping x's cost to strongly positive makes the at-upper x dual
+  // infeasible: the warm start must hand over to the primal phases.
+  s.set_cost(x, 100.0);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -1.0, 1e-8);  // x=0, y=1
+  EXPECT_TRUE(s.stats().dual_fallback);
+}
+
 TEST(Simplex, WarmRestartDetectsChildInfeasibility) {
   Problem p;
   const int x = p.add_column(0.0, 1.0, -1.0);

@@ -126,6 +126,33 @@ TEST(BranchAndBound, GapIsInfiniteWithoutIncumbent) {
   EXPECT_TRUE(std::isinf(r.gap()));
 }
 
+TEST(BranchAndBound, GapNearZeroObjectiveUsesBoundMagnitude) {
+  // Regression: dividing by |objective| alone reported gaps of ~1e8 for
+  // instances whose incumbent is ~0 (e.g. every request rejected under the
+  // acceptance objective) even when the bound was perfectly informative.
+  MipResult r;
+  r.has_solution = true;
+  r.objective = 0.0;
+  r.best_bound = 0.5;
+  EXPECT_NEAR(r.gap(), 1.0, 1e-12);
+}
+
+TEST(BranchAndBound, GapZeroWhenBoundMatchesNearZeroObjective) {
+  MipResult r;
+  r.has_solution = true;
+  r.objective = 0.0;
+  r.best_bound = 0.0;
+  EXPECT_EQ(r.gap(), 0.0);
+}
+
+TEST(BranchAndBound, GapRegularCase) {
+  MipResult r;
+  r.has_solution = true;
+  r.objective = 90.0;
+  r.best_bound = 100.0;
+  EXPECT_NEAR(r.gap(), 0.1, 1e-12);
+}
+
 TEST(BranchAndBound, NodeLimitReportsBoundAndStatus) {
   // A problem needing some search; with max_nodes=1 we stop early.
   Model m;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace tvnep {
@@ -37,10 +40,59 @@ TEST(ParallelFor, PropagatesWorkerException) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, ExceptionDoesNotLoseSiblingIterations) {
+  const std::size_t n = 64;
+  std::vector<std::atomic<int>> visits(n);
+  EXPECT_THROW(parallel_for(n,
+                            [&](std::size_t i) {
+                              ++visits[i];
+                              if (i == 10) throw std::runtime_error("boom");
+                            },
+                            4),
+               std::runtime_error);
+  // Every index was still attempted exactly once; the throw only
+  // propagates after the workers drained the range.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, SerialPathPropagatesExceptionAfterDrainingRange) {
+  std::vector<int> visits(8, 0);
+  EXPECT_THROW(parallel_for(8,
+                            [&](std::size_t i) {
+                              ++visits[i];
+                              if (i == 2) throw std::runtime_error("boom");
+                            },
+                            1),
+               std::runtime_error);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(visits[i], 1) << i;
+}
+
+TEST(ParallelFor, FirstOfSeveralExceptionsIsRethrown) {
+  EXPECT_THROW(
+      parallel_for(16, [](std::size_t) { throw std::runtime_error("boom"); },
+                   4),
+      std::runtime_error);
+}
+
 TEST(ParallelFor, MoreThreadsThanWork) {
   std::atomic<int> count{0};
   parallel_for(2, [&](std::size_t) { ++count; }, 16);
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelFor, ThreadCountClampedToWorkCount) {
+  std::mutex mutex;
+  std::set<std::thread::id> workers;
+  std::vector<int> visits(3, 0);
+  parallel_for(3,
+               [&](std::size_t i) {
+                 std::lock_guard<std::mutex> lock(mutex);
+                 workers.insert(std::this_thread::get_id());
+                 ++visits[i];
+               },
+               64);
+  EXPECT_LE(workers.size(), 3u);  // never more workers than items
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i], 1) << i;
 }
 
 TEST(HardwareParallelism, AtLeastOne) {

@@ -40,6 +40,15 @@ TEST(Deadline, ExpiresAfterBudget) {
   EXPECT_LE(d.remaining(), 0.0);
 }
 
+TEST(Deadline, RemainingNeverNegative) {
+  // Regression: remaining() used to go negative after expiry; forwarded to
+  // an API where "<= 0" means unlimited, that leaked the whole time budget.
+  const Deadline d(1e-6);
+  while (!d.expired()) {
+  }
+  EXPECT_EQ(d.remaining(), 0.0);
+}
+
 TEST(Deadline, RemainingDecreases) {
   const Deadline d(10.0);
   const double first = d.remaining();
