@@ -13,9 +13,9 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/4,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("time-limit")) config.time_limit = 8.0;
-  if (!args.has("seeds")) config.seeds = 2;
-  if (!args.has("flex-max")) config.flexibilities = {0.0, 1.0, 2.0};
+  bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
+                              {0.0, 1.0, 2.0},
+                              /*respect_paper_scale=*/false);
   bench::announce_threads(config);
 
   struct Variant {
@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
     cfg.build.pairwise_cuts = variant.pairwise_cuts;
     const auto outcomes = eval::run_model_sweep(
         cfg, core::ModelKind::kCSigma, bench::announce_progress);
+    bench::save_outcomes_csv("abl_depcuts_cells.csv", variant.name, outcomes,
+                             /*append=*/&variant != &variants[0]);
     const auto runtimes = eval::series_by_flexibility(
         cfg, outcomes,
         [](const eval::ScenarioOutcome& o) { return o.result.seconds; });

@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/4,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("seeds")) config.seeds = 3;
-  if (!args.has("flex-max")) config.flexibilities = {0.0, 1.0, 2.0, 3.0};
-  if (!args.has("time-limit")) config.time_limit = 30.0;
+  bench::apply_quick_defaults(args, config, /*time_limit=*/30.0, /*seeds=*/3,
+                              {0.0, 1.0, 2.0, 3.0},
+                              /*respect_paper_scale=*/false);
   bench::announce_threads(config);
 
   const double kSkipped = std::numeric_limits<double>::quiet_NaN();
@@ -43,12 +43,14 @@ int main(int argc, char** argv) {
       root.build = config.build;
       root.max_nodes = 1;
       root.time_limit_seconds = config.time_limit;
+      root.mip.presolve = config.presolve;
       const auto root_result = core::solve(instance, kind, root);
 
       // Reference integral optimum from the strongest model.
       core::SolveParams full;
       full.build = config.build;
       full.time_limit_seconds = config.time_limit;
+      full.mip.presolve = config.presolve;
       const auto reference =
           core::solve(instance, core::ModelKind::kCSigma, full);
       if (!reference.has_solution || reference.objective <= 1e-9) return;

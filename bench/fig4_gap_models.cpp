@@ -17,20 +17,20 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/4,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("time-limit") && !args.get_bool("paper-scale", false))
-    config.time_limit = 8.0;
-  if (!args.has("seeds") && !args.get_bool("paper-scale", false))
-    config.seeds = 2;
-  if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
-    config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
+                              {0.0, 1.0, 2.0, 3.0});
   bench::announce_threads(config);
 
+  bool first_model = true;
   for (const core::ModelKind kind :
        {core::ModelKind::kDelta, core::ModelKind::kSigma,
         core::ModelKind::kCSigma}) {
     std::cerr << "model " << core::to_string(kind) << "...\n";
     const auto outcomes =
         eval::run_model_sweep(config, kind, bench::announce_progress);
+    bench::save_outcomes_csv("fig4_cells.csv", core::to_string(kind), outcomes,
+                             /*append=*/!first_model);
+    first_model = false;
     const auto gaps = eval::series_by_flexibility(
         config, outcomes, [&](const eval::ScenarioOutcome& o) {
           return bench::capped_gap(o.result);

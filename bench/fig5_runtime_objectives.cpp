@@ -18,12 +18,8 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/5,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("time-limit") && !args.get_bool("paper-scale", false))
-    config.time_limit = 8.0;
-  if (!args.has("seeds") && !args.get_bool("paper-scale", false))
-    config.seeds = 2;
-  if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
-    config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
+                              {0.0, 1.0, 2.0, 3.0});
   bench::announce_threads(config);
 
   const core::ObjectiveKind objectives[] = {
@@ -47,6 +43,7 @@ int main(int argc, char** argv) {
 
       greedy::GreedyOptions greedy_options;
       greedy_options.per_iteration_time_limit = config.time_limit;
+      greedy_options.mip.presolve = config.presolve;
       const greedy::GreedyResult admitted =
           greedy::solve_greedy(full, greedy_options);
       std::vector<int> keep;
@@ -59,6 +56,7 @@ int main(int argc, char** argv) {
       solve_params.build = config.build;
       solve_params.build.objective = objective;
       solve_params.time_limit_seconds = config.time_limit;
+      solve_params.mip.presolve = config.presolve;
       const core::TvnepSolveResult result =
           core::solve(instance, core::ModelKind::kCSigma, solve_params);
       runtimes[f][static_cast<std::size_t>(seed)] = result.seconds;

@@ -19,12 +19,8 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/5,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("time-limit") && !args.get_bool("paper-scale", false))
-    config.time_limit = 10.0;
-  if (!args.has("seeds") && !args.get_bool("paper-scale", false))
-    config.seeds = 3;
-  if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
-    config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::apply_quick_defaults(args, config, /*time_limit=*/10.0, /*seeds=*/3,
+                              {0.0, 1.0, 2.0, 3.0});
   bench::announce_threads(config);
 
   const std::size_t seeds = static_cast<std::size_t>(config.seeds);
@@ -45,12 +41,14 @@ int main(int argc, char** argv) {
 
     greedy::GreedyOptions greedy_options;
     greedy_options.per_iteration_time_limit = config.time_limit;
+    greedy_options.mip.presolve = config.presolve;
     const greedy::GreedyResult g = greedy::solve_greedy(instance, greedy_options);
     cell_iteration_times[cell] = g.iteration_seconds;
 
     core::SolveParams solve_params;
     solve_params.build = config.build;
     solve_params.time_limit_seconds = config.time_limit;
+    solve_params.mip.presolve = config.presolve;
     const core::TvnepSolveResult exact =
         core::solve(instance, core::ModelKind::kCSigma, solve_params);
     if (!exact.has_solution || exact.objective <= 1e-9) return;

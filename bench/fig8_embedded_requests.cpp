@@ -13,16 +13,14 @@ int main(int argc, char** argv) {
   eval::SweepConfig config = eval::sweep_from_args(args, /*requests=*/5,
                                                    /*rows=*/2, /*cols=*/3,
                                                    /*leaves=*/2);
-  if (!args.has("time-limit") && !args.get_bool("paper-scale", false))
-    config.time_limit = 10.0;
-  if (!args.has("seeds") && !args.get_bool("paper-scale", false))
-    config.seeds = 3;
-  if (!args.has("flex-max") && !args.get_bool("paper-scale", false))
-    config.flexibilities = {0.0, 1.0, 2.0, 3.0};
+  bench::apply_quick_defaults(args, config, /*time_limit=*/10.0, /*seeds=*/3,
+                              {0.0, 1.0, 2.0, 3.0});
   bench::announce_threads(config);
 
   const auto outcomes = eval::run_model_sweep(config, core::ModelKind::kCSigma,
                                               bench::announce_progress);
+  bench::save_outcomes_csv("fig8_cells.csv",
+                           core::to_string(core::ModelKind::kCSigma), outcomes);
   const auto accepted = eval::series_by_flexibility(
       config, outcomes, [](const eval::ScenarioOutcome& o) {
         return o.result.has_solution

@@ -2,6 +2,7 @@
 // summary printing, CSV export.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -12,6 +13,24 @@
 #include "support/table.hpp"
 
 namespace tvnep::bench {
+
+/// Quick-run defaults shared by every figure bench: unless the user passed
+/// the flag (or asked for --paper-scale, when `respect_paper_scale`), the
+/// sweep is shrunk so a default invocation finishes in minutes, not hours.
+/// The ablation benches pass respect_paper_scale = false — their quick
+/// defaults apply even under --paper-scale because the ablation axis, not
+/// the workload scale, is the point.
+inline void apply_quick_defaults(const eval::Args& args,
+                                 eval::SweepConfig& config, double time_limit,
+                                 int seeds,
+                                 const std::vector<double>& flexibilities,
+                                 bool respect_paper_scale = true) {
+  const bool paper =
+      respect_paper_scale && args.get_bool("paper-scale", false);
+  if (!args.has("time-limit") && !paper) config.time_limit = time_limit;
+  if (!args.has("seeds") && !paper) config.seeds = seeds;
+  if (!args.has("flex-max") && !paper) config.flexibilities = flexibilities;
+}
 
 /// Serializes progress lines written from parallel sweep cells. The sweep
 /// runner already serializes its own announce callback; benches that log
@@ -82,9 +101,52 @@ inline void announce_progress(const eval::ScenarioOutcome& outcome) {
             << " t=" << outcome.result.seconds << "s"
             << " wall=" << outcome.wall_seconds << "s"
             << " nodes=" << outcome.result.nodes
-            << " pivots=" << outcome.result.lp_pivots;
+            << " pivots=" << outcome.result.lp_pivots
+            << " pre=-" << outcome.result.presolve_rows_removed << "r/-"
+            << outcome.result.presolve_cols_removed << "c";
   if (outcome.failed) std::cerr << " FAILED(" << outcome.error << ")";
   std::cerr << '\n';
+}
+
+/// Writes one row per sweep cell with the full solver + presolve telemetry
+/// (the per-cell companion of print_series' per-flexibility summaries).
+/// Appends when `append` so multi-model benches can collect every model's
+/// cells in one file; the header is only written for a fresh file.
+inline void save_outcomes_csv(const std::string& path,
+                              const std::string& model_label,
+                              const std::vector<eval::ScenarioOutcome>& outcomes,
+                              bool append = false) {
+  bool write_header = true;
+  if (append) {
+    std::ifstream probe(path);
+    write_header =
+        !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
+  }
+  std::ofstream os(path, append ? std::ios::app : std::ios::trunc);
+  if (!os) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  if (write_header)
+    os << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
+          "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
+          "dual_fallbacks,model_vars,model_constraints,model_integer_vars,"
+          "presolve_rows_removed,presolve_cols_removed,"
+          "presolve_coeffs_tightened,presolve_bounds_tightened,"
+          "presolve_infeasible,presolve_seconds\n";
+  for (const auto& o : outcomes) {
+    const auto& r = o.result;
+    os << model_label << ',' << o.flexibility << ',' << o.seed << ','
+       << mip::to_string(r.status) << ',' << (o.failed ? 1 : 0) << ','
+       << r.objective << ',' << r.best_bound << ',' << r.gap << ','
+       << r.seconds << ',' << o.wall_seconds << ',' << r.nodes << ','
+       << r.lp_pivots << ',' << r.lp_iterations << ',' << r.dual_fallbacks
+       << ',' << r.model_vars << ',' << r.model_constraints << ','
+       << r.model_integer_vars << ',' << r.presolve_rows_removed << ','
+       << r.presolve_cols_removed << ',' << r.presolve_coeffs_tightened << ','
+       << r.presolve_bounds_tightened << ',' << (r.presolve_infeasible ? 1 : 0)
+       << ',' << r.presolve_seconds << '\n';
+  }
 }
 
 }  // namespace tvnep::bench

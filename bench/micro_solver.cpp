@@ -4,6 +4,7 @@
 
 #include "lp/simplex.hpp"
 #include "mip/branch_and_bound.hpp"
+#include "presolve/presolve.hpp"
 #include "support/rng.hpp"
 #include "tvnep/dependency.hpp"
 #include "tvnep/solver.hpp"
@@ -72,6 +73,69 @@ void BM_MipKnapsack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(20)->Arg(30);
+
+// The presolve ablation pair: the full cΣ solve on a small grid workload
+// with presolve on (Args {requests, 1}) vs off (Args {requests, 0}).
+// Counters expose the B&B node count and the presolve reductions so the
+// two variants can be compared side by side in one report.
+void BM_CSigmaSolve(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.star_leaves = 2;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 1;
+  params.flexibility = 1.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  const auto formulation =
+      core::build_formulation(instance, core::ModelKind::kCSigma, {});
+
+  mip::MipOptions options;
+  options.presolve = state.range(1) != 0;
+  long nodes = 0, rows_removed = 0, cols_removed = 0;
+  for (auto _ : state) {
+    mip::MipSolver solver(options);
+    const mip::MipResult r = solver.solve(formulation->model());
+    benchmark::DoNotOptimize(r.objective);
+    nodes = r.nodes;
+    rows_removed = r.presolve_rows_removed;
+    cols_removed = r.presolve_cols_removed;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["pre_rows"] = static_cast<double>(rows_removed);
+  state.counters["pre_cols"] = static_cast<double>(cols_removed);
+}
+BENCHMARK(BM_CSigmaSolve)
+    ->ArgNames({"requests", "presolve"})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The reduction loop alone on the cΣ grid model (no tree search).
+void BM_PresolveCSigma(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 3;
+  params.star_leaves = 2;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 1;
+  params.flexibility = 2.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  const auto formulation =
+      core::build_formulation(instance, core::ModelKind::kCSigma, {});
+  presolve::PresolveStats stats;
+  for (auto _ : state) {
+    auto result = presolve::run(formulation->model());
+    benchmark::DoNotOptimize(result.reduced.num_vars());
+    stats = result.stats;
+  }
+  state.counters["rows_removed"] = static_cast<double>(stats.rows_removed);
+  state.counters["cols_removed"] = static_cast<double>(stats.cols_removed);
+  state.counters["coeffs"] = static_cast<double>(stats.coeffs_tightened);
+}
+BENCHMARK(BM_PresolveCSigma)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_DependencyGraph(benchmark::State& state) {
   workload::WorkloadParams params;

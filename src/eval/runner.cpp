@@ -41,6 +41,7 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
   for (double f = 0.0; f <= flex_max + 1e-9; f += flex_step)
     config.flexibilities.push_back(f);
 
+  config.presolve = !args.get_bool("no-presolve", false);
   config.build.dependency_cuts = !args.get_bool("no-dependency-cuts", false);
   config.build.pairwise_cuts = !args.get_bool("no-pairwise-cuts", false);
   config.build.precedence_cuts = !args.get_bool("no-precedence-cuts", false);
@@ -118,6 +119,7 @@ std::vector<ScenarioOutcome> run_model_sweep(
         core::SolveParams solve_params;
         solve_params.build = config.build;
         solve_params.time_limit_seconds = config.time_limit;
+        solve_params.mip.presolve = config.presolve;
         outcome.result =
             config.solve_override
                 ? config.solve_override(instance, kind, solve_params)
@@ -139,6 +141,7 @@ std::vector<GreedyOutcome> run_greedy_sweep(
         greedy::GreedyOptions options;
         options.dependency_cuts = config.build.dependency_cuts;
         options.per_iteration_time_limit = config.time_limit;
+        options.mip.presolve = config.presolve;
         outcome.result = greedy::solve_greedy(instance, options);
       },
       announce);

@@ -29,6 +29,7 @@ struct SweepConfig {
   int seeds = 3;
   double time_limit = 10.0;             // per solve, seconds
   int threads = 0;                      // workers; 0 → hardware_parallelism()
+  bool presolve = true;                 // MIP presolve (`--no-presolve`)
   core::BuildOptions build;
 
   /// Replaces core::solve for every cell — the seam tests use to inject
@@ -43,7 +44,7 @@ struct SweepConfig {
 /// overrides it from command-line flags:
 ///   --requests N --grid-rows R --grid-cols C --leaves L --seeds S
 ///   --time-limit SEC --flex-max HOURS --flex-step HOURS --threads N
-///   --no-dependency-cuts --no-pairwise-cuts --paper-scale
+///   --no-dependency-cuts --no-pairwise-cuts --no-presolve --paper-scale
 SweepConfig sweep_from_args(const Args& args, int default_requests,
                             int default_rows, int default_cols,
                             int default_leaves);

@@ -119,8 +119,72 @@ bool MipSolver::is_feasible(const Model& model,
 MipResult MipSolver::solve(
     const Model& model,
     const std::optional<std::vector<double>>& initial_solution) {
+  if (!options_.presolve)
+    return solve_tree(model, initial_solution, options_.time_limit_seconds);
+
   Stopwatch watch;
-  Deadline deadline(options_.time_limit_seconds);
+  const presolve::PresolveResult pre =
+      presolve::run(model, options_.presolve_options);
+  auto attach_telemetry = [&](MipResult& result) {
+    result.presolve_rows_removed = pre.stats.rows_removed;
+    result.presolve_cols_removed = pre.stats.cols_removed;
+    result.presolve_coeffs_tightened = pre.stats.coeffs_tightened;
+    result.presolve_bounds_tightened = pre.stats.bounds_tightened;
+    result.presolve_infeasible = pre.stats.infeasible;
+    result.presolve_seconds = pre.stats.seconds;
+  };
+
+  if (pre.stats.infeasible) {
+    MipResult result;
+    result.status = MipStatus::kInfeasible;
+    result.seconds = watch.seconds();
+    attach_telemetry(result);
+    return result;
+  }
+
+  // Translate the caller's warm start into reduced space. Conflicts with
+  // presolve fixings simply drop the fixed entries; the incumbent check
+  // inside the tree re-validates feasibility either way.
+  std::optional<std::vector<double>> warm;
+  if (initial_solution) warm = pre.postsolve.reduce(*initial_solution);
+
+  if (pre.reduced.num_vars() == 0) {
+    // Presolve fixed everything; the restored point is the only candidate
+    // (presolve removed each row only once satisfied for all remaining
+    // points, so it is feasible up to tolerances — re-checked here).
+    MipResult result;
+    result.seconds = watch.seconds();
+    attach_telemetry(result);
+    const std::vector<double> full = pre.postsolve.restore({});
+    if (is_feasible(model, full)) {
+      result.status = MipStatus::kOptimal;
+      result.has_solution = true;
+      result.solution = full;
+      result.objective = model.eval_objective(full);
+      result.best_bound = result.objective;
+    } else {
+      result.status = MipStatus::kNumericalFailure;
+    }
+    return result;
+  }
+
+  double remaining = options_.time_limit_seconds;
+  if (remaining > 0.0)
+    remaining = std::max(remaining - watch.seconds(), 1e-3);
+  MipResult result = solve_tree(pre.reduced, warm, remaining);
+  if (result.has_solution)
+    result.solution = pre.postsolve.restore(result.solution);
+  result.seconds = watch.seconds();
+  attach_telemetry(result);
+  return result;
+}
+
+MipResult MipSolver::solve_tree(
+    const Model& model,
+    const std::optional<std::vector<double>>& initial_solution,
+    double time_limit_seconds) {
+  Stopwatch watch;
+  Deadline deadline(time_limit_seconds);
   MipResult result;
 
   std::vector<bool> is_int;

@@ -17,6 +17,7 @@
 
 #include "mip/model.hpp"
 #include "lp/simplex.hpp"
+#include "presolve/presolve.hpp"
 
 namespace tvnep::mip {
 
@@ -41,6 +42,11 @@ struct MipOptions {
   // Dive-based rounding heuristic frequency (every N processed nodes);
   // 0 disables.
   long heuristic_frequency = 200;
+  // Run the presolve/postsolve pipeline (src/presolve) before the tree
+  // starts. Solutions, bounds and objectives are always reported in the
+  // original variable space.
+  bool presolve = true;
+  presolve::PresolveOptions presolve_options;
 };
 
 struct MipResult {
@@ -57,6 +63,13 @@ struct MipResult {
   long phase2_iterations = 0;
   long dual_iterations = 0;
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
+  // Presolve telemetry (all zero when MipOptions::presolve is off).
+  long presolve_rows_removed = 0;
+  long presolve_cols_removed = 0;
+  long presolve_coeffs_tightened = 0;
+  long presolve_bounds_tightened = 0;
+  bool presolve_infeasible = false;  // presolve alone proved infeasibility
+  double presolve_seconds = 0.0;
 
   /// Relative gap as the paper reports it: |incumbent - bound| over
   /// max(|incumbent|, |bound|, 1e-9) — the max keeps gaps finite and
@@ -81,6 +94,13 @@ class MipSolver {
                           double tol = 1e-6);
 
  private:
+  /// The branch-and-bound tree itself, on an (optionally presolved) model.
+  /// `time_limit_seconds` overrides options_.time_limit_seconds so the
+  /// presolve wrapper can charge its own runtime against the budget.
+  MipResult solve_tree(const Model& model,
+                       const std::optional<std::vector<double>>& initial,
+                       double time_limit_seconds);
+
   MipOptions options_;
 };
 

@@ -19,16 +19,33 @@ Var Model::add_var(double lower, double upper, VarType type,
 }
 
 int Model::add_constr(const Constraint& constraint, std::string name) {
-  auto terms = constraint.expr.merged_terms();
+  // Fold the expression constant into the row bounds.
+  const double shift = constraint.expr.constant();
+  return add_row(constraint.lower - shift, constraint.upper - shift,
+                 constraint.expr.merged_terms(), std::move(name));
+}
+
+int Model::add_row(double lower, double upper,
+                   std::vector<std::pair<int, double>> terms,
+                   std::string name) {
+  TVNEP_REQUIRE(lower <= upper, "row bounds crossed: " + name);
   for (const auto& [id, coeff] : terms) {
     (void)coeff;
     TVNEP_REQUIRE(id >= 0 && id < num_vars(),
-                  "constraint references unknown variable: " + name);
+                  "row references unknown variable: " + name);
   }
-  // Fold the expression constant into the row bounds.
-  const double shift = constraint.expr.constant();
-  constraints_.push_back({std::move(terms), constraint.lower - shift,
-                          constraint.upper - shift, std::move(name)});
+  // Merge duplicate ids and drop zeros so downstream consumers (presolve,
+  // the LP lowering) can rely on a canonical sparse form.
+  std::sort(terms.begin(), terms.end());
+  std::size_t out = 0;
+  for (std::size_t t = 0; t < terms.size();) {
+    double sum = 0.0;
+    const int id = terms[t].first;
+    for (; t < terms.size() && terms[t].first == id; ++t) sum += terms[t].second;
+    if (sum != 0.0) terms[out++] = {id, sum};
+  }
+  terms.resize(out);
+  constraints_.push_back({std::move(terms), lower, upper, std::move(name)});
   return num_constraints() - 1;
 }
 
@@ -82,6 +99,26 @@ double Model::var_upper(Var v) const {
 const std::string& Model::var_name(Var v) const {
   TVNEP_REQUIRE(v.id >= 0 && v.id < num_vars(), "var_name: unknown var");
   return vars_[static_cast<std::size_t>(v.id)].name;
+}
+
+const std::vector<std::pair<int, double>>& Model::row_terms(int i) const {
+  TVNEP_REQUIRE(i >= 0 && i < num_constraints(), "row_terms: unknown row");
+  return constraints_[static_cast<std::size_t>(i)].terms;
+}
+
+double Model::row_lower(int i) const {
+  TVNEP_REQUIRE(i >= 0 && i < num_constraints(), "row_lower: unknown row");
+  return constraints_[static_cast<std::size_t>(i)].lower;
+}
+
+double Model::row_upper(int i) const {
+  TVNEP_REQUIRE(i >= 0 && i < num_constraints(), "row_upper: unknown row");
+  return constraints_[static_cast<std::size_t>(i)].upper;
+}
+
+const std::string& Model::row_name(int i) const {
+  TVNEP_REQUIRE(i >= 0 && i < num_constraints(), "row_name: unknown row");
+  return constraints_[static_cast<std::size_t>(i)].name;
 }
 
 double Model::eval_objective(const std::vector<double>& values) const {

@@ -31,6 +31,13 @@ class Model {
   /// Returns the row index.
   int add_constr(const Constraint& constraint, std::string name = {});
 
+  /// Adds a ranged row directly from sparse terms (duplicates are merged,
+  /// zeros dropped). The presolve subsystem rebuilds reduced models
+  /// through this without round-tripping through LinExpr.
+  int add_row(double lower, double upper,
+              std::vector<std::pair<int, double>> terms,
+              std::string name = {});
+
   /// Fixes a variable to a value (tightens both bounds).
   void fix(Var v, double value);
 
@@ -53,6 +60,13 @@ class Model {
   double var_lower(Var v) const;
   double var_upper(Var v) const;
   const std::string& var_name(Var v) const;
+
+  /// Direct row access (merged sparse terms and ranged bounds) — the view
+  /// presolve operates on without lowering to an lp::Problem first.
+  const std::vector<std::pair<int, double>>& row_terms(int i) const;
+  double row_lower(int i) const;
+  double row_upper(int i) const;
+  const std::string& row_name(int i) const;
   Sense sense() const { return sense_; }
   const LinExpr& objective() const { return objective_; }
 

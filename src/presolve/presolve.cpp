@@ -1,0 +1,465 @@
+#include "presolve/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace tvnep::presolve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::vector<double> Postsolve::restore(
+    const std::vector<double>& reduced) const {
+  TVNEP_REQUIRE(reduced.size() == static_cast<std::size_t>(reduced_vars_),
+                "postsolve restore: reduced assignment arity mismatch");
+  std::vector<double> full(col_map_.size(), 0.0);
+  for (std::size_t j = 0; j < col_map_.size(); ++j) {
+    const int r = col_map_[j];
+    full[j] = r >= 0 ? reduced[static_cast<std::size_t>(r)] : fixed_value_[j];
+  }
+  return full;
+}
+
+std::optional<std::vector<double>> Postsolve::reduce(
+    const std::vector<double>& original) const {
+  if (original.size() != col_map_.size()) return std::nullopt;
+  std::vector<double> reduced(static_cast<std::size_t>(reduced_vars_), 0.0);
+  for (std::size_t j = 0; j < col_map_.size(); ++j)
+    if (col_map_[j] >= 0)
+      reduced[static_cast<std::size_t>(col_map_[j])] = original[j];
+  return reduced;
+}
+
+// Working copies of the model plus the reduction loop. Declared as a
+// struct (friend of Postsolve) so helpers can share state without long
+// parameter lists.
+struct PresolveRun {
+  struct Col {
+    double lower;
+    double upper;
+    mip::VarType type;
+    int priority;
+    double cost = 0.0;  // objective coefficient
+    bool alive = true;
+    double fixed_value = 0.0;
+  };
+  struct Row {
+    std::vector<std::pair<int, double>> terms;  // merged, zero-free
+    double lower;
+    double upper;
+    bool alive = true;
+  };
+
+  const mip::Model& model;
+  const PresolveOptions& opts;
+  PresolveStats stats;
+
+  std::vector<Col> cols;
+  std::vector<Row> rows;
+  std::vector<std::vector<int>> col_rows;  // col → rows containing it
+  double objective_offset = 0.0;           // from substituted columns
+  bool changed = false;                    // any reduction in this round
+
+  PresolveRun(const mip::Model& m, const PresolveOptions& o)
+      : model(m), opts(o) {}
+
+  bool integral(int j) const {
+    return cols[static_cast<std::size_t>(j)].type !=
+           mip::VarType::kContinuous;
+  }
+
+  void load() {
+    cols.resize(static_cast<std::size_t>(model.num_vars()));
+    for (int j = 0; j < model.num_vars(); ++j) {
+      const mip::Var v{j};
+      auto& c = cols[static_cast<std::size_t>(j)];
+      c.lower = model.var_lower(v);
+      c.upper = model.var_upper(v);
+      c.type = model.var_type(v);
+      c.priority = model.branch_priority(v);
+    }
+    for (const auto& [id, coeff] : model.objective().merged_terms())
+      cols[static_cast<std::size_t>(id)].cost = coeff;
+
+    rows.resize(static_cast<std::size_t>(model.num_constraints()));
+    col_rows.resize(cols.size());
+    for (int i = 0; i < model.num_constraints(); ++i) {
+      auto& r = rows[static_cast<std::size_t>(i)];
+      r.lower = model.row_lower(i);
+      r.upper = model.row_upper(i);
+      for (const auto& [id, coeff] : model.row_terms(i)) {
+        if (coeff == 0.0) continue;
+        r.terms.emplace_back(id, coeff);
+        col_rows[static_cast<std::size_t>(id)].push_back(i);
+      }
+    }
+  }
+
+  // ---- primitive reductions -------------------------------------------
+
+  void remove_row(Row& row) {
+    row.alive = false;
+    row.terms.clear();
+    ++stats.rows_removed;
+    changed = true;
+  }
+
+  /// Folds column j (fixed at `value`) into every row containing it and
+  /// into the objective constant, then retires the column.
+  void substitute_fixed(int j, double value) {
+    auto& c = cols[static_cast<std::size_t>(j)];
+    c.alive = false;
+    c.fixed_value = value;
+    objective_offset += c.cost * value;
+    for (const int i : col_rows[static_cast<std::size_t>(j)]) {
+      Row& row = rows[static_cast<std::size_t>(i)];
+      if (!row.alive) continue;
+      for (std::size_t t = 0; t < row.terms.size(); ++t) {
+        if (row.terms[t].first != j) continue;
+        const double shift = row.terms[t].second * value;
+        if (std::isfinite(row.lower)) row.lower -= shift;
+        if (std::isfinite(row.upper)) row.upper -= shift;
+        row.terms.erase(row.terms.begin() + static_cast<std::ptrdiff_t>(t));
+        break;
+      }
+    }
+    ++stats.cols_removed;
+    changed = true;
+  }
+
+  /// Applies new bounds to column j (already rounded for integers).
+  /// Returns false when the bounds crossed beyond tolerance (infeasible).
+  bool apply_bounds(int j, double new_lower, double new_upper) {
+    auto& c = cols[static_cast<std::size_t>(j)];
+    bool tightened = false;
+    const double improve = opts.min_bound_improvement;
+    if (new_lower > c.lower + improve * (1.0 + std::fabs(c.lower))) {
+      c.lower = new_lower;
+      tightened = true;
+    }
+    if (new_upper < c.upper - improve * (1.0 + std::fabs(c.upper))) {
+      c.upper = new_upper;
+      tightened = true;
+    }
+    if (!tightened) return true;
+    ++stats.bounds_tightened;
+    changed = true;
+    const double slack = opts.feasibility_tol * (1.0 + std::fabs(c.lower));
+    if (c.lower > c.upper + slack) return false;
+    if (c.lower > c.upper) {  // crossed within tolerance: collapse
+      const double mid = 0.5 * (c.lower + c.upper);
+      c.lower = c.upper = integral(j) ? std::round(mid) : mid;
+    }
+    if (opts.substitute_fixed_columns && c.alive &&
+        c.upper - c.lower <= opts.feasibility_tol) {
+      double value = 0.5 * (c.lower + c.upper);
+      if (integral(j)) value = std::round(value);
+      substitute_fixed(j, value);
+    }
+    return true;
+  }
+
+  /// Rounds an implied bound for integral columns before applying it.
+  double round_lower(int j, double bound) const {
+    return integral(j) ? std::ceil(bound - opts.integrality_tol) : bound;
+  }
+  double round_upper(int j, double bound) const {
+    return integral(j) ? std::floor(bound + opts.integrality_tol) : bound;
+  }
+
+  // ---- row activity ----------------------------------------------------
+
+  struct Activity {
+    double min_sum = 0.0;  // finite part of the min activity
+    double max_sum = 0.0;  // finite part of the max activity
+    int min_inf = 0;       // number of -inf contributions
+    int max_inf = 0;       // number of +inf contributions
+
+    double min() const { return min_inf > 0 ? -kInf : min_sum; }
+    double max() const { return max_inf > 0 ? kInf : max_sum; }
+  };
+
+  Activity activity(const Row& row) const {
+    Activity act;
+    for (const auto& [j, a] : row.terms) {
+      const auto& c = cols[static_cast<std::size_t>(j)];
+      const double lo_c = a > 0.0 ? a * c.lower : a * c.upper;
+      const double up_c = a > 0.0 ? a * c.upper : a * c.lower;
+      if (std::isfinite(lo_c)) act.min_sum += lo_c; else ++act.min_inf;
+      if (std::isfinite(up_c)) act.max_sum += up_c; else ++act.max_inf;
+    }
+    return act;
+  }
+
+  // ---- per-row passes --------------------------------------------------
+
+  /// Empty / singleton / redundancy / infeasibility handling.
+  /// Returns false on proven infeasibility.
+  bool structural_pass(Row& row) {
+    if (!row.alive) return true;
+    if (row.terms.empty()) {
+      // Only finite sides contribute to the slack scale — an infinite side
+      // would make the slack infinite and mask a violated finite side.
+      const double lo_mag = std::isfinite(row.lower) ? std::fabs(row.lower) : 0.0;
+      const double up_mag = std::isfinite(row.upper) ? std::fabs(row.upper) : 0.0;
+      const double slack =
+          opts.feasibility_tol * (1.0 + std::max(lo_mag, up_mag));
+      if ((std::isfinite(row.lower) && 0.0 < row.lower - slack) ||
+          (std::isfinite(row.upper) && 0.0 > row.upper + slack))
+        return false;
+      remove_row(row);
+      return true;
+    }
+
+    const Activity act = activity(row);
+    const double scale = row_scale(row);
+    if ((std::isfinite(row.upper) &&
+         act.min() > row.upper + opts.feasibility_tol * scale) ||
+        (std::isfinite(row.lower) &&
+         act.max() < row.lower - opts.feasibility_tol * scale))
+      return false;  // can never be satisfied
+
+    if (opts.remove_redundant_rows &&
+        (!std::isfinite(row.lower) || act.min() >= row.lower) &&
+        (!std::isfinite(row.upper) || act.max() <= row.upper)) {
+      remove_row(row);
+      return true;
+    }
+
+    if (opts.convert_singleton_rows && row.terms.size() == 1) {
+      const auto [j, a] = row.terms.front();
+      const auto& c = cols[static_cast<std::size_t>(j)];
+      double lo = a > 0.0 ? row.lower / a : row.upper / a;
+      double hi = a > 0.0 ? row.upper / a : row.lower / a;
+      lo = std::isfinite(lo) ? round_lower(j, lo) : -kInf;
+      hi = std::isfinite(hi) ? round_upper(j, hi) : kInf;
+      remove_row(row);
+      if (!apply_bounds(j, std::max(lo, c.lower), std::min(hi, c.upper)))
+        return false;
+    }
+    return true;
+  }
+
+  double row_scale(const Row& row) const {
+    double scale = 1.0;
+    for (const auto& [j, a] : row.terms) {
+      (void)j;
+      scale = std::max(scale, std::fabs(a));
+    }
+    return scale;
+  }
+
+  /// Implied variable bounds from the residual activities. Returns false
+  /// on proven infeasibility.
+  bool propagate_row(Row& row) {
+    if (!row.alive || row.terms.size() < 2) return true;
+    const Activity act = activity(row);
+    // Collect the implied bounds first, apply afterwards: apply_bounds may
+    // substitute a fixed column out of this very row, which would
+    // invalidate iteration over row.terms.
+    struct Update { int j; double lower; double upper; };
+    std::vector<Update> updates;
+    for (const auto& [j, a] : row.terms) {
+      const auto& c = cols[static_cast<std::size_t>(j)];
+      if (std::fabs(a) < 1e-10) continue;
+      const double lo_c = a > 0.0 ? a * c.lower : a * c.upper;
+      const double up_c = a > 0.0 ? a * c.upper : a * c.lower;
+      double new_lower = c.lower;
+      double new_upper = c.upper;
+      if (std::isfinite(row.upper)) {
+        // residual min activity of the other terms
+        double resid;
+        if (!std::isfinite(lo_c))
+          resid = act.min_inf > 1 ? -kInf : act.min_sum;
+        else
+          resid = act.min_inf > 0 ? -kInf : act.min_sum - lo_c;
+        if (std::isfinite(resid)) {
+          const double implied = (row.upper - resid) / a;
+          if (a > 0.0)
+            new_upper = std::min(new_upper, round_upper(j, implied));
+          else
+            new_lower = std::max(new_lower, round_lower(j, implied));
+        }
+      }
+      if (std::isfinite(row.lower)) {
+        double resid;
+        if (!std::isfinite(up_c))
+          resid = act.max_inf > 1 ? kInf : act.max_sum;
+        else
+          resid = act.max_inf > 0 ? kInf : act.max_sum - up_c;
+        if (std::isfinite(resid)) {
+          const double implied = (row.lower - resid) / a;
+          if (a > 0.0)
+            new_lower = std::max(new_lower, round_lower(j, implied));
+          else
+            new_upper = std::min(new_upper, round_upper(j, implied));
+        }
+      }
+      if (new_lower > c.lower || new_upper < c.upper)
+        updates.push_back({j, new_lower, new_upper});
+    }
+    for (const Update& u : updates)
+      if (!apply_bounds(u.j, u.lower, u.upper)) return false;
+    return true;
+  }
+
+  /// Big-M tightening: rows with exactly one finite side and a binary
+  /// selector get the selector coefficient reduced to the tightest valid
+  /// value given the current bounds of the other variables. Preserves the
+  /// integral feasible set exactly (the classic coefficient-improvement
+  /// argument): the constraint stays equivalent in both selector states,
+  /// it just stops admitting fractional LP points the big M allowed.
+  void tighten_row(Row& row) {
+    if (!row.alive || row.terms.size() < 2) return;
+    const bool upper_side = std::isfinite(row.upper);
+    const bool lower_side = std::isfinite(row.lower);
+    if (upper_side == lower_side) return;  // ranged or free row: skip
+
+    // Normalize to  sum(a_j x_j) <= u  via sign = -1 for the >= side.
+    const double sign = upper_side ? 1.0 : -1.0;
+    double rhs = upper_side ? row.upper : -row.lower;
+
+    bool retry = true;
+    while (retry) {
+      retry = false;
+      Activity act = activity(row);
+      const double max_act = sign > 0 ? act.max() : -act.min();
+      if (!std::isfinite(max_act)) return;
+      for (auto& term : row.terms) {
+        const int j = term.first;
+        const auto& c = cols[static_cast<std::size_t>(j)];
+        if (!integral(j)) continue;
+        // Binary selector: bounds still the full {0,1} box.
+        if (c.lower > opts.feasibility_tol ||
+            std::fabs(c.upper - 1.0) > opts.feasibility_tol)
+          continue;
+        const double a = sign * term.second;
+        // Max activity of the other terms (selector at its best value).
+        const double m0 = max_act - std::max(a, 0.0);
+        if (!std::isfinite(m0)) continue;
+        if (a > 0.0) {
+          // Row vacuous at x_j = 0 iff m0 <= rhs; then a can shrink to
+          // a' = m0 + a - rhs and the side to m0.
+          if (m0 < rhs && rhs < m0 + a - opts.feasibility_tol) {
+            const double a_new = m0 + a - rhs;
+            term.second = sign * a_new;
+            rhs = m0;
+            if (upper_side) row.upper = rhs; else row.lower = -rhs;
+            ++stats.coeffs_tightened;
+            changed = true;
+            retry = true;  // activities changed; rescan the row
+            break;
+          }
+        } else if (a < 0.0) {
+          // Row vacuous at x_j = 1 iff m0 <= rhs - a; tightest a' = rhs - m0.
+          if (rhs < m0 && rhs - m0 > a + opts.feasibility_tol) {
+            term.second = sign * (rhs - m0);
+            ++stats.coeffs_tightened;
+            changed = true;
+            retry = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- driver ----------------------------------------------------------
+
+  bool reduce() {
+    // Columns arriving already fixed (lower == upper in the input model)
+    // never pass through apply_bounds, so sweep them up front.
+    if (opts.substitute_fixed_columns) {
+      for (std::size_t j = 0; j < cols.size(); ++j) {
+        auto& c = cols[j];
+        if (!c.alive || !(c.upper - c.lower <= opts.feasibility_tol)) continue;
+        double value = 0.5 * (c.lower + c.upper);
+        if (integral(static_cast<int>(j))) value = std::round(value);
+        substitute_fixed(static_cast<int>(j), value);
+      }
+    }
+    for (int round = 0; round < opts.max_rounds; ++round) {
+      changed = false;
+      ++stats.rounds;
+      for (auto& row : rows) {
+        if (!structural_pass(row)) return false;
+        if (opts.bound_propagation && !propagate_row(row)) return false;
+        if (opts.coefficient_tightening) tighten_row(row);
+      }
+      if (!changed) break;
+    }
+    return true;
+  }
+
+  PresolveResult emit() const {
+    PresolveResult out;
+    out.stats = stats;
+    auto& post = out.postsolve;
+    post.col_map_.assign(cols.size(), -1);
+    post.fixed_value_.assign(cols.size(), 0.0);
+
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const auto& c = cols[j];
+      if (!c.alive) {
+        post.fixed_value_[j] = c.fixed_value;
+        continue;
+      }
+      const mip::Var v = out.reduced.add_var(
+          c.lower, c.upper, c.type,
+          model.var_name(mip::Var{static_cast<int>(j)}));
+      out.reduced.set_branch_priority(v, c.priority);
+      post.col_map_[j] = v.id;
+    }
+    post.reduced_vars_ = out.reduced.num_vars();
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      if (!row.alive) continue;
+      std::vector<std::pair<int, double>> terms;
+      terms.reserve(row.terms.size());
+      for (const auto& [j, a] : row.terms)
+        terms.emplace_back(post.col_map_[static_cast<std::size_t>(j)], a);
+      out.reduced.add_row(row.lower, row.upper, std::move(terms),
+                          model.row_name(static_cast<int>(i)));
+    }
+
+    mip::LinExpr objective;
+    objective.add_constant(model.objective().constant() + objective_offset);
+    for (std::size_t j = 0; j < cols.size(); ++j)
+      if (cols[j].alive && cols[j].cost != 0.0)
+        objective.add_term(mip::Var{post.col_map_[j]}, cols[j].cost);
+    out.reduced.set_objective(model.sense(), objective);
+    return out;
+  }
+};
+
+PresolveResult run(const mip::Model& model, const PresolveOptions& options) {
+  Stopwatch watch;
+  PresolveRun state(model, options);
+  state.load();
+  const bool feasible = state.reduce();
+  if (!feasible) {
+    PresolveResult out;
+    out.stats = state.stats;
+    out.stats.infeasible = true;
+    out.stats.seconds = watch.seconds();
+    // Still emit a postsolve record (all-original identity over whatever
+    // survived) so callers can introspect, but the reduced model is unset.
+    out.postsolve.col_map_.assign(
+        static_cast<std::size_t>(model.num_vars()), -1);
+    out.postsolve.fixed_value_.assign(
+        static_cast<std::size_t>(model.num_vars()), 0.0);
+    out.postsolve.reduced_vars_ = 0;
+    return out;
+  }
+  PresolveResult out = state.emit();
+  out.stats.seconds = watch.seconds();
+  return out;
+}
+
+}  // namespace tvnep::presolve

@@ -1,0 +1,122 @@
+// MIP presolve: an iterated reduction loop that shrinks a mip::Model
+// before branch and bound starts, plus the postsolve record that maps
+// reduced-space solutions back to original variable ids.
+//
+// The Δ- and cΣ-formulations are dominated by big-M selection and
+// time-linking rows (constraints (13)-(18) of the paper); their LP
+// relaxations are weak precisely because the big-M coefficients are sized
+// for the worst case. Presolve attacks that before the tree starts:
+//
+//  1. row-activity bound propagation — implied variable bounds from the
+//     residual min/max activity of every row (integer bounds are rounded),
+//     fixing variables whose bounds close;
+//  2. big-M coefficient tightening — rows with a single finite side and a
+//     binary selector variable get the selector coefficient (and the row
+//     side) reduced to the tightest valid big-M given the current bounds;
+//  3. redundant and empty row removal — rows that can never bind under the
+//     current bounds are dropped (infeasible constant rows are detected);
+//  4. singleton rows — a one-term row is converted into variable bounds
+//     and removed;
+//  5. fixed-column substitution — variables with closed bounds are folded
+//     into the row sides and the objective constant, and removed.
+//
+// Every reduction is *primal*: the set of integral feasible solutions (and
+// their objective values) is preserved exactly, so
+//  * the reduced optimum equals the original optimum,
+//  * any reduced bound is a valid original bound,
+//  * restoring a reduced-feasible point (Postsolve::restore) yields an
+//    original-feasible point with the same objective, and
+//  * a caller-supplied warm start survives translation into reduced space
+//    (Postsolve::reduce) whenever it was feasible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mip/model.hpp"
+
+namespace tvnep::presolve {
+
+struct PresolveOptions {
+  // Reduction toggles (all on by default; tests use them to isolate one
+  // reduction at a time).
+  bool bound_propagation = true;
+  bool coefficient_tightening = true;
+  bool remove_redundant_rows = true;
+  bool convert_singleton_rows = true;
+  bool substitute_fixed_columns = true;
+  // Fixpoint rounds over all reductions; each round is O(nnz).
+  int max_rounds = 10;
+  // Feasibility slack for infeasibility detection and redundancy checks.
+  double feasibility_tol = 1e-9;
+  // Minimum relative bound improvement worth recording (guards against
+  // epsilon-tightening churn that never converges).
+  double min_bound_improvement = 1e-7;
+  // Integrality rounding tolerance for implied integer bounds.
+  double integrality_tol = 1e-6;
+};
+
+struct PresolveStats {
+  int rounds = 0;
+  int rows_removed = 0;
+  int cols_removed = 0;       // fixed columns substituted out
+  int coeffs_tightened = 0;   // big-M selector coefficients reduced
+  int bounds_tightened = 0;   // variable-bound changes (incl. fixings)
+  bool infeasible = false;    // presolve proved the model infeasible
+  double seconds = 0.0;
+};
+
+struct PresolveResult;
+
+/// Maps between the original variable space and the reduced model's
+/// variable space. Built by presolve(); read-only afterwards.
+class Postsolve {
+ public:
+  int original_vars() const { return static_cast<int>(col_map_.size()); }
+  int reduced_vars() const { return reduced_vars_; }
+
+  /// Reduced index of original variable j, or -1 when it was removed.
+  int reduced_index(int j) const {
+    return col_map_[static_cast<std::size_t>(j)];
+  }
+
+  /// Value presolve fixed original variable j to (meaningful only when
+  /// reduced_index(j) < 0).
+  double fixed_value(int j) const {
+    return fixed_value_[static_cast<std::size_t>(j)];
+  }
+
+  /// Expands a reduced-space assignment to original variable ids, filling
+  /// removed columns with their fixed values. `reduced` must have
+  /// reduced_vars() entries.
+  std::vector<double> restore(const std::vector<double>& reduced) const;
+
+  /// Projects an original-space assignment (e.g. a warm-start incumbent)
+  /// into reduced space by dropping removed columns. Returns nullopt on
+  /// arity mismatch.
+  std::optional<std::vector<double>> reduce(
+      const std::vector<double>& original) const;
+
+ private:
+  friend struct PresolveRun;
+  friend PresolveResult run(const mip::Model& model,
+                            const PresolveOptions& options);
+  std::vector<int> col_map_;        // original id → reduced id or -1
+  std::vector<double> fixed_value_; // per original id; 0 for kept columns
+  int reduced_vars_ = 0;
+};
+
+struct PresolveResult {
+  // The reduced model. Its objective constant absorbs the contribution of
+  // fixed columns, so reduced-space objective values (and bounds) are
+  // directly comparable to original-space ones — no offset bookkeeping.
+  mip::Model reduced;
+  Postsolve postsolve;
+  PresolveStats stats;
+};
+
+/// Runs the reduction loop. When `stats.infeasible` is set the reduced
+/// model is meaningless and must not be solved.
+PresolveResult run(const mip::Model& model, const PresolveOptions& options = {});
+
+}  // namespace tvnep::presolve

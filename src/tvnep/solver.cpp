@@ -48,6 +48,12 @@ TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
   result.model_vars = formulation->model().num_vars();
   result.model_constraints = formulation->model().num_constraints();
   result.model_integer_vars = formulation->model().num_integer_vars();
+  result.presolve_rows_removed = mip_result.presolve_rows_removed;
+  result.presolve_cols_removed = mip_result.presolve_cols_removed;
+  result.presolve_coeffs_tightened = mip_result.presolve_coeffs_tightened;
+  result.presolve_bounds_tightened = mip_result.presolve_bounds_tightened;
+  result.presolve_infeasible = mip_result.presolve_infeasible;
+  result.presolve_seconds = mip_result.presolve_seconds;
   if (mip_result.has_solution)
     result.solution = formulation->extract(mip_result.solution);
   return result;

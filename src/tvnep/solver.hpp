@@ -35,6 +35,13 @@ struct TvnepSolveResult {
   int model_vars = 0;
   int model_constraints = 0;
   int model_integer_vars = 0;
+  // Presolve telemetry (all zero when presolve is disabled).
+  long presolve_rows_removed = 0;
+  long presolve_cols_removed = 0;
+  long presolve_coeffs_tightened = 0;
+  long presolve_bounds_tightened = 0;
+  bool presolve_infeasible = false;  // presolve alone proved infeasibility
+  double presolve_seconds = 0.0;
 };
 
 /// Builds the requested formulation.

@@ -132,6 +132,47 @@ TEST(MpsWriter, RangedRowsEmitRanges) {
   EXPECT_NE(buffer.str().find("rng  c0  5"), std::string::npos);
 }
 
+TEST(MpsWriter, GoldenRangedModel) {
+  // Full-file golden for a model with a ranged row: locks down the exact
+  // section order, synthetic names, integer markers and the RANGES width
+  // (upper - lower) the writer emits.
+  mip::Model m;
+  const mip::Var x = m.add_binary("x");
+  const mip::Var y = m.add_continuous(0.0, 4.0, "y");
+  m.add_constr(mip::Constraint{mip::LinExpr(x) + 2.0 * y, 1.0, 5.0});
+  m.add_constr(1.0 * y == 2.0);
+  m.set_objective(mip::Sense::kMinimize, mip::LinExpr(x) + 1.0 * y);
+
+  std::stringstream buffer;
+  write_mps(m, buffer, "golden");
+  const std::string expected =
+      "NAME          golden\n"
+      "OBJSENSE\n"
+      "    MIN\n"
+      "ROWS\n"
+      " N  obj\n"
+      " L  c0\n"
+      " E  c1\n"
+      "COLUMNS\n"
+      "    MARKER0    'MARKER'    'INTORG'\n"
+      "    x0  obj  1\n"
+      "    x0  c0  1\n"
+      "    MARKER1    'MARKER'    'INTEND'\n"
+      "    x1  obj  1\n"
+      "    x1  c0  2\n"
+      "    x1  c1  1\n"
+      "RHS\n"
+      "    rhs  c0  5\n"
+      "    rhs  c1  2\n"
+      "RANGES\n"
+      "    rng  c0  4\n"
+      "BOUNDS\n"
+      " UP  bnd  x0  1\n"
+      " UP  bnd  x1  4\n"
+      "ENDATA\n";
+  EXPECT_EQ(buffer.str(), expected);
+}
+
 TEST(MpsWriter, WritesFormulationWithoutError) {
   const net::TvnepInstance inst = sample_instance();
   const auto formulation =

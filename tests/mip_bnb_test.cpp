@@ -124,6 +124,20 @@ TEST(BranchAndBound, GapIsInfiniteWithoutIncumbent) {
   MipResult r;
   r.has_solution = false;
   EXPECT_TRUE(std::isinf(r.gap()));
+  // The bound does not matter: without an incumbent the gap is the
+  // paper's "∞" marker regardless of how informative the bound is.
+  r.best_bound = 123.0;
+  EXPECT_TRUE(std::isinf(r.gap()));
+  EXPECT_GT(r.gap(), 0.0);
+}
+
+TEST(BranchAndBound, ToStringCoversEveryStatus) {
+  EXPECT_STREQ(to_string(MipStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(MipStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(MipStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(MipStatus::kTimeLimit), "time-limit");
+  EXPECT_STREQ(to_string(MipStatus::kNodeLimit), "node-limit");
+  EXPECT_STREQ(to_string(MipStatus::kNumericalFailure), "numerical-failure");
 }
 
 TEST(BranchAndBound, GapNearZeroObjectiveUsesBoundMagnitude) {

@@ -1,0 +1,385 @@
+// Unit tests for the presolve subsystem: one test per reduction (driven
+// through the PresolveOptions toggles), postsolve mapping checks, and a
+// randomized invariant over generated TVNEP instances asserting that
+// presolve never changes the optimum of any of the three formulations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mip/branch_and_bound.hpp"
+#include "presolve/presolve.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::presolve {
+namespace {
+
+using mip::LinExpr;
+using mip::MipSolver;
+using mip::MipStatus;
+using mip::Model;
+using mip::Sense;
+using mip::Var;
+
+PresolveOptions only(bool PresolveOptions::*flag) {
+  PresolveOptions opts;
+  opts.bound_propagation = false;
+  opts.coefficient_tightening = false;
+  opts.remove_redundant_rows = false;
+  opts.convert_singleton_rows = false;
+  opts.substitute_fixed_columns = false;
+  opts.*flag = true;
+  return opts;
+}
+
+TEST(Presolve, SingletonRowBecomesBounds) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0, "x");
+  const Var y = m.add_continuous(0.0, 10.0, "y");
+  m.add_constr(2.0 * x <= 6.0);  // implies x <= 3
+  m.add_constr(LinExpr(x) + 1.0 * y <= 8.0);  // keeps x alive
+  m.set_objective(Sense::kMaximize, LinExpr(x) + 1.0 * y);
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::convert_singleton_rows));
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.stats.rows_removed, 1);
+  EXPECT_EQ(pre.reduced.num_constraints(), 1);
+  const int rx = pre.postsolve.reduced_index(x.id);
+  ASSERT_GE(rx, 0);
+  EXPECT_NEAR(pre.reduced.var_upper(Var{rx}), 3.0, 1e-12);
+}
+
+TEST(Presolve, SingletonRowRoundsIntegerBounds) {
+  Model m;
+  const Var x = m.add_var(0.0, 10.0, mip::VarType::kInteger, "x");
+  const Var y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constr(LinExpr(x) <= 4.7);  // integer x: really x <= 4
+  m.add_constr(LinExpr(x) + 1.0 * y <= 20.0);
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  PresolveOptions opts = only(&PresolveOptions::convert_singleton_rows);
+  const PresolveResult pre = run(m, opts);
+  ASSERT_FALSE(pre.stats.infeasible);
+  const int rx = pre.postsolve.reduced_index(x.id);
+  ASSERT_GE(rx, 0);
+  EXPECT_NEAR(pre.reduced.var_upper(Var{rx}), 4.0, 1e-12);
+}
+
+TEST(Presolve, RedundantRowIsRemoved) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 1.0, "x");
+  const Var y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constr(LinExpr(x) + 1.0 * y <= 5.0);  // max activity 2 — never binds
+  m.add_constr(LinExpr(x) + 1.0 * y <= 1.5);  // can bind
+  m.set_objective(Sense::kMaximize, LinExpr(x) + 1.0 * y);
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::remove_redundant_rows));
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.stats.rows_removed, 1);
+  EXPECT_EQ(pre.reduced.num_constraints(), 1);
+}
+
+TEST(Presolve, EmptyRowInfeasibilityDetected) {
+  Model m;
+  const Var x = m.add_binary("x");
+  // 0.4 <= x <= 0.6 has no integer point; the singleton conversion fixes x
+  // and leaves an infeasible constant row behind.
+  m.add_constr(LinExpr(x) >= 0.4);
+  m.add_constr(LinExpr(x) <= 0.6);
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  const PresolveResult pre = run(m);
+  EXPECT_TRUE(pre.stats.infeasible);
+}
+
+TEST(Presolve, ActivityInfeasibilityDetected) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 1.0, "x");
+  const Var y = m.add_continuous(0.0, 1.0, "y");
+  m.add_constr(LinExpr(x) + 1.0 * y >= 3.0);  // max activity 2 < 3
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::remove_redundant_rows));
+  EXPECT_TRUE(pre.stats.infeasible);
+}
+
+TEST(Presolve, BoundPropagationTightens) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 10.0, "x");
+  const Var y = m.add_continuous(0.0, 10.0, "y");
+  // x + y <= 4 with y >= 0 implies x <= 4 (and symmetrically y <= 4).
+  m.add_constr(LinExpr(x) + 1.0 * y <= 4.0);
+  m.set_objective(Sense::kMaximize, LinExpr(x) + 1.0 * y);
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::bound_propagation));
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_GE(pre.stats.bounds_tightened, 2);
+  const int rx = pre.postsolve.reduced_index(x.id);
+  const int ry = pre.postsolve.reduced_index(y.id);
+  ASSERT_GE(rx, 0);
+  ASSERT_GE(ry, 0);
+  EXPECT_NEAR(pre.reduced.var_upper(Var{rx}), 4.0, 1e-9);
+  EXPECT_NEAR(pre.reduced.var_upper(Var{ry}), 4.0, 1e-9);
+}
+
+TEST(Presolve, BoundPropagationFixesAndSubstitutes) {
+  Model m;
+  const Var x = m.add_continuous(0.0, 5.0, "x");
+  const Var y = m.add_continuous(2.0, 10.0, "y");
+  // x + y >= 12 with x <= 5 forces y >= 7; y + x <= 12 forces y <= 10…
+  // combined with x >= 0, x + y == 12 and y in [7, 10]. Force a fixing:
+  m.add_constr(LinExpr(x) + 1.0 * y >= 15.0);  // needs x=5, y=10 exactly
+  m.set_objective(Sense::kMinimize, LinExpr(x) + 1.0 * y);
+
+  PresolveOptions opts = only(&PresolveOptions::bound_propagation);
+  opts.substitute_fixed_columns = true;
+  const PresolveResult pre = run(m, opts);
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.stats.cols_removed, 2);
+  EXPECT_EQ(pre.postsolve.reduced_index(x.id), -1);
+  EXPECT_EQ(pre.postsolve.reduced_index(y.id), -1);
+  EXPECT_NEAR(pre.postsolve.fixed_value(x.id), 5.0, 1e-9);
+  EXPECT_NEAR(pre.postsolve.fixed_value(y.id), 10.0, 1e-9);
+  // The fixed costs moved into the reduced objective constant.
+  EXPECT_NEAR(pre.reduced.objective().constant(), 15.0, 1e-9);
+}
+
+TEST(Presolve, CrossedIntegerBoundsAreInfeasible) {
+  Model m;
+  const Var x = m.add_var(0.0, 10.0, mip::VarType::kInteger, "x");
+  const Var y = m.add_continuous(0.0, 1.0, "y");
+  // 0.2 <= x <= 0.8 after propagation: no integer point.
+  m.add_constr(LinExpr(x) + 0.0 * y >= 0.2);
+  m.add_constr(LinExpr(x) <= 0.8);
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  const PresolveResult pre = run(m);
+  EXPECT_TRUE(pre.stats.infeasible);
+}
+
+TEST(Presolve, BigMCoefficientTightened) {
+  Model m;
+  const Var z = m.add_binary("z");              // selector
+  const Var x = m.add_continuous(0.0, 3.0, "x");
+  // x <= 100 z: big M of 100 where 3 suffices. Tightening rewrites the
+  // selector coefficient to m0 + a - rhs = 3 - (-100) - ... — in the
+  // normalized form x - 100 z <= 0 the selector term -100 shrinks to
+  // rhs - m0 = 0 - 3 = -3.
+  m.add_constr(LinExpr(x) + -100.0 * z <= 0.0);
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::coefficient_tightening));
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.stats.coeffs_tightened, 1);
+  ASSERT_EQ(pre.reduced.num_constraints(), 1);
+  const int rz = pre.postsolve.reduced_index(z.id);
+  double selector_coeff = 0.0;
+  for (const auto& [j, a] : pre.reduced.row_terms(0))
+    if (j == rz) selector_coeff = a;
+  EXPECT_NEAR(selector_coeff, -3.0, 1e-12);
+  // The integral feasible set must be unchanged: z=1 still admits x up to 3.
+  MipSolver solver;
+  const auto r = solver.solve(pre.reduced);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-6);
+}
+
+TEST(Presolve, BigMPositiveSelectorTightened) {
+  Model m;
+  const Var z = m.add_binary("z");
+  const Var x = m.add_continuous(0.0, 4.0, "x");
+  // x + 50 z <= 52: at z=1 it forces x <= 2, at z=0 it is vacuous
+  // (max x = 4 <= 52). Tightening shrinks a=50 to m0 + a - rhs = 4+50-52=2
+  // and the rhs to m0 = 4, preserving both selector states exactly.
+  m.add_constr(LinExpr(x) + 50.0 * z <= 52.0);
+  m.set_objective(Sense::kMaximize, 1.0 * x + 10.0 * z);
+
+  const PresolveResult pre = run(m, only(&PresolveOptions::coefficient_tightening));
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.stats.coeffs_tightened, 1);
+  ASSERT_EQ(pre.reduced.num_constraints(), 1);
+  EXPECT_NEAR(pre.reduced.row_upper(0), 4.0, 1e-12);
+  const int rz = pre.postsolve.reduced_index(z.id);
+  double selector_coeff = 0.0;
+  for (const auto& [j, a] : pre.reduced.row_terms(0))
+    if (j == rz) selector_coeff = a;
+  EXPECT_NEAR(selector_coeff, 2.0, 1e-12);
+  MipSolver solver;
+  const auto r = solver.solve(pre.reduced);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 12.0, 1e-6);  // z=1, x=2
+}
+
+TEST(Presolve, FixedColumnSubstitution) {
+  Model m;
+  const Var x = m.add_continuous(2.0, 2.0, "x");  // fixed by its bounds
+  const Var y = m.add_continuous(0.0, 10.0, "y");
+  m.add_constr(3.0 * x + 1.0 * y <= 10.0);  // becomes y <= 4
+  m.set_objective(Sense::kMaximize, 5.0 * x + 1.0 * y);
+
+  PresolveOptions opts = only(&PresolveOptions::bound_propagation);
+  opts.substitute_fixed_columns = true;
+  const PresolveResult pre = run(m, opts);
+  ASSERT_FALSE(pre.stats.infeasible);
+  EXPECT_EQ(pre.postsolve.reduced_index(x.id), -1);
+  EXPECT_NEAR(pre.postsolve.fixed_value(x.id), 2.0, 1e-12);
+  EXPECT_NEAR(pre.reduced.objective().constant(), 10.0, 1e-12);
+  MipSolver solver;
+  const auto r = solver.solve(pre.reduced);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 14.0, 1e-6);  // 5*2 + 4
+}
+
+TEST(Presolve, PostsolveRestoreAndReduce) {
+  Model m;
+  const Var x = m.add_continuous(1.0, 1.0, "x");  // fixed
+  const Var y = m.add_continuous(0.0, 10.0, "y");
+  const Var z = m.add_continuous(0.0, 10.0, "z");
+  m.add_constr(LinExpr(y) + 1.0 * z <= 7.0);
+  m.set_objective(Sense::kMaximize, LinExpr(x) + 1.0 * y + 1.0 * z);
+
+  const PresolveResult pre = run(m);
+  ASSERT_FALSE(pre.stats.infeasible);
+  ASSERT_EQ(pre.postsolve.original_vars(), 3);
+  ASSERT_EQ(pre.postsolve.reduced_vars(), 2);
+
+  // restore: reduced assignment expands, fixed slot filled.
+  std::vector<double> reduced(2);
+  reduced[static_cast<std::size_t>(pre.postsolve.reduced_index(y.id))] = 3.0;
+  reduced[static_cast<std::size_t>(pre.postsolve.reduced_index(z.id))] = 4.0;
+  const std::vector<double> full = pre.postsolve.restore(reduced);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_NEAR(full[static_cast<std::size_t>(x.id)], 1.0, 1e-12);
+  EXPECT_NEAR(full[static_cast<std::size_t>(y.id)], 3.0, 1e-12);
+  EXPECT_NEAR(full[static_cast<std::size_t>(z.id)], 4.0, 1e-12);
+
+  // reduce: original assignment projects; round-trips restore.
+  const auto back = pre.postsolve.reduce(full);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, reduced);
+  // Arity mismatch is rejected, not mangled.
+  EXPECT_FALSE(pre.postsolve.reduce(std::vector<double>{1.0}).has_value());
+}
+
+TEST(Presolve, WarmStartSurvivesThroughSolver) {
+  // A knapsack with a forced item: the caller's incumbent must survive the
+  // translation into reduced space and seed the tree.
+  Model m;
+  LinExpr weight, value;
+  std::vector<Var> items;
+  const double weights[] = {3.0, 5.0, 7.0, 2.0};
+  const double values[] = {4.0, 6.0, 9.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    const Var v = m.add_binary();
+    items.push_back(v);
+    weight += weights[i] * v;
+    value += values[i] * v;
+  }
+  m.add_constr(weight <= 10.0);
+  m.add_constr(LinExpr(items[3]) >= 1.0);  // forces item 3 → presolve fixes it
+  m.set_objective(Sense::kMaximize, value);
+
+  std::vector<double> warm = {1.0, 1.0, 0.0, 1.0};  // feasible, value 12
+  MipSolver solver;
+  const auto r = solver.solve(m, warm);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_GE(r.objective, 12.0 - 1e-6);
+  ASSERT_TRUE(r.has_solution);
+  ASSERT_EQ(r.solution.size(), 4u);
+  EXPECT_NEAR(r.solution[3], 1.0, 1e-6);
+  EXPECT_TRUE(MipSolver::is_feasible(m, r.solution));
+}
+
+TEST(Presolve, SolverEquivalenceOnKnapsack) {
+  Model m;
+  LinExpr weight, value;
+  const double weights[] = {4.0, 3.0, 6.0, 5.0, 2.0};
+  const double values[] = {7.0, 4.0, 9.0, 6.0, 1.0};
+  for (int i = 0; i < 5; ++i) {
+    const Var v = m.add_binary();
+    weight += weights[i] * v;
+    value += values[i] * v;
+  }
+  m.add_constr(weight <= 11.0);
+  m.set_objective(Sense::kMaximize, value);
+
+  mip::MipOptions with, without;
+  with.presolve = true;
+  without.presolve = false;
+  const auto on = MipSolver(with).solve(m);
+  const auto off = MipSolver(without).solve(m);
+  ASSERT_EQ(on.status, MipStatus::kOptimal);
+  ASSERT_EQ(off.status, MipStatus::kOptimal);
+  EXPECT_NEAR(on.objective, off.objective, 1e-9);
+  EXPECT_TRUE(MipSolver::is_feasible(m, on.solution));
+}
+
+TEST(Presolve, TelemetryReachesMipResult) {
+  Model m;
+  const Var x = m.add_continuous(2.0, 2.0, "x");
+  const Var y = m.add_binary("y");
+  m.add_constr(LinExpr(x) + 1.0 * y <= 3.0);
+  m.set_objective(Sense::kMaximize, LinExpr(x) + 1.0 * y);
+
+  MipSolver solver;
+  const auto r = solver.solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_GT(r.presolve_cols_removed, 0);
+  EXPECT_GE(r.presolve_seconds, 0.0);
+  EXPECT_FALSE(r.presolve_infeasible);
+  EXPECT_NEAR(r.objective, 3.0, 1e-6);
+}
+
+TEST(Presolve, InfeasibleModelShortCircuitsSolve) {
+  Model m;
+  const Var x = m.add_binary("x");
+  m.add_constr(LinExpr(x) >= 0.4);
+  m.add_constr(LinExpr(x) <= 0.6);
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  MipSolver solver;
+  const auto r = solver.solve(m);
+  EXPECT_EQ(r.status, MipStatus::kInfeasible);
+  EXPECT_TRUE(r.presolve_infeasible);
+  EXPECT_FALSE(r.has_solution);
+  EXPECT_EQ(r.nodes, 0);
+}
+
+// Randomized invariant: on generated TVNEP instances, presolve+postsolve
+// reproduces the no-presolve optimum for all three formulations.
+TEST(PresolveInvariant, MatchesNoPresolveOptimumOnTvnepInstances) {
+  for (const core::ModelKind kind :
+       {core::ModelKind::kDelta, core::ModelKind::kSigma,
+        core::ModelKind::kCSigma}) {
+    for (const double flex : {0.0, 1.0}) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        workload::WorkloadParams params;
+        params.grid_rows = 2;
+        params.grid_cols = 2;
+        params.star_leaves = 2;
+        params.num_requests = 3;
+        params.seed = seed;
+        const net::TvnepInstance instance =
+            workload::generate_workload_with_flexibility(params, flex);
+
+        core::SolveParams on;
+        on.time_limit_seconds = 60.0;
+        on.mip.presolve = true;
+        core::SolveParams off = on;
+        off.mip.presolve = false;
+
+        const auto with = core::solve(instance, kind, on);
+        const auto without = core::solve(instance, kind, off);
+        ASSERT_EQ(with.status, mip::MipStatus::kOptimal)
+            << core::to_string(kind) << " flex=" << flex << " seed=" << seed;
+        ASSERT_EQ(without.status, mip::MipStatus::kOptimal)
+            << core::to_string(kind) << " flex=" << flex << " seed=" << seed;
+        EXPECT_NEAR(with.objective, without.objective, 1e-6)
+            << core::to_string(kind) << " flex=" << flex << " seed=" << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::presolve
