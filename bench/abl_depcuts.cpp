@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     cfg.build.dependency_cuts = variant.dependency_cuts;
     cfg.build.pairwise_cuts = variant.pairwise_cuts;
     const auto outcomes = eval::run_model_sweep(
-        cfg, core::ModelKind::kCSigma, bench::announce_progress);
+        cfg, core::ModelKind::kCSigma, bench::progress_announcer(args));
     bench::save_outcomes_csv("abl_depcuts_cells.csv", variant.name, outcomes,
                              /*append=*/&variant != &variants[0]);
     const auto runtimes = eval::series_by_flexibility(

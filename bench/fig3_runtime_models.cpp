@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
         core::ModelKind::kCSigma}) {
     std::cerr << "model " << core::to_string(kind) << "...\n";
     const auto outcomes =
-        eval::run_model_sweep(config, kind, bench::announce_progress);
+        eval::run_model_sweep(config, kind, bench::progress_announcer(args));
     bench::save_outcomes_csv("fig3_cells.csv", core::to_string(kind), outcomes,
                              /*append=*/!first_model);
     first_model = false;

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
                               {0.0, 1.0, 2.0, 3.0});
+  const bool quiet = bench::quiet(args);
   bench::announce_threads(config);
 
   const core::ObjectiveKind objectives[] = {
@@ -61,11 +62,13 @@ int main(int argc, char** argv) {
           core::solve(instance, core::ModelKind::kCSigma, solve_params);
       runtimes[f][static_cast<std::size_t>(seed)] = result.seconds;
 
-      std::lock_guard<std::mutex> lock(bench::log_mutex());
-      std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
-                << " kept=" << keep.size()
-                << " status=" << mip::to_string(result.status)
-                << " t=" << result.seconds << "s\n";
+      if (!quiet) {
+        std::lock_guard<std::mutex> lock(bench::log_mutex());
+        std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
+                  << " kept=" << keep.size()
+                  << " status=" << mip::to_string(result.status)
+                  << " t=" << result.seconds << "s\n";
+      }
     });
     bench::print_series(
         std::string("Fig 5 — cΣ runtime [s] under ") + core::to_string(objective),

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
                               {0.0, 1.0, 2.0, 3.0});
+  const bool quiet = bench::quiet(args);
   bench::announce_threads(config);
 
   const core::ObjectiveKind objectives[] = {
@@ -59,10 +60,12 @@ int main(int argc, char** argv) {
           core::solve(instance, core::ModelKind::kCSigma, solve_params);
       gaps[f][static_cast<std::size_t>(seed)] = bench::capped_gap(result);
 
-      std::lock_guard<std::mutex> lock(bench::log_mutex());
-      std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
-                << " status=" << mip::to_string(result.status)
-                << " gap=" << result.gap << "\n";
+      if (!quiet) {
+        std::lock_guard<std::mutex> lock(bench::log_mutex());
+        std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
+                  << " status=" << mip::to_string(result.status)
+                  << " gap=" << result.gap << "\n";
+      }
     });
     bench::print_series(
         std::string("Fig 6 — cΣ gap under ") + core::to_string(objective) +

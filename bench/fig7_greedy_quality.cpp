@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/10.0, /*seeds=*/3,
                               {0.0, 1.0, 2.0, 3.0});
+  const bool quiet = bench::quiet(args);
   bench::announce_threads(config);
 
   const std::size_t seeds = static_cast<std::size_t>(config.seeds);
@@ -59,10 +60,12 @@ int main(int argc, char** argv) {
         exact.objective;
     cell_off_by[f][static_cast<std::size_t>(seed)] = relative;
 
-    std::lock_guard<std::mutex> lock(bench::log_mutex());
-    std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
-              << " exact=" << exact.objective << " greedy=" << greedy_revenue
-              << " off=" << relative << "%\n";
+    if (!quiet) {
+      std::lock_guard<std::mutex> lock(bench::log_mutex());
+      std::cerr << "  flex=" << config.flexibilities[f] << " seed=" << seed
+                << " exact=" << exact.objective << " greedy=" << greedy_revenue
+                << " off=" << relative << "%\n";
+    }
   });
 
   std::vector<std::vector<double>> off_by(config.flexibilities.size());

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::announce_threads(config);
 
   const auto outcomes = eval::run_model_sweep(config, core::ModelKind::kCSigma,
-                                              bench::announce_progress);
+                                              bench::progress_announcer(args));
   bench::save_outcomes_csv("fig8_cells.csv",
                            core::to_string(core::ModelKind::kCSigma), outcomes);
   const auto accepted = eval::series_by_flexibility(

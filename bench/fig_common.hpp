@@ -2,29 +2,65 @@
 // summary printing, CSV export.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "eval/runner.hpp"
+#include "obs/session.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 namespace tvnep::bench {
+
+/// `--quiet`: suppress per-cell progress output (the sweep announce lines
+/// and the bespoke per-cell logs of fig5/6/7). Summary tables and CSVs are
+/// unaffected.
+inline bool quiet(const eval::Args& args) {
+  return args.get_bool("quiet", false);
+}
+
+/// Wires the observability flags shared by every bench binary:
+///   --trace PATH        Chrome trace_event JSON (chrome://tracing, Perfetto)
+///   --trace-jsonl PATH  the same events as a flat JSONL stream
+///   --metrics PATH      counters/gauges/histograms JSON snapshot
+///   --tree-log PATH     branch-and-bound node records, one JSON per line
+/// The session lives in a function-local static, so the output files are
+/// written once at process exit (or when a bench calls finish() itself —
+/// the returned pointer allows that). Without any of the flags the
+/// subsystems stay inactive and instrumentation costs one branch per site.
+inline obs::ObsSession* init_observability(const eval::Args& args) {
+  static std::unique_ptr<obs::ObsSession> session;
+  if (session) return session.get();
+  obs::ObsConfig config;
+  config.trace_path = args.get_string("trace", "");
+  config.trace_jsonl_path = args.get_string("trace-jsonl", "");
+  config.metrics_path = args.get_string("metrics", "");
+  config.tree_log_path = args.get_string("tree-log", "");
+  if (!config.any()) return nullptr;
+  session = std::make_unique<obs::ObsSession>(std::move(config));
+  return session.get();
+}
 
 /// Quick-run defaults shared by every figure bench: unless the user passed
 /// the flag (or asked for --paper-scale, when `respect_paper_scale`), the
 /// sweep is shrunk so a default invocation finishes in minutes, not hours.
 /// The ablation benches pass respect_paper_scale = false — their quick
 /// defaults apply even under --paper-scale because the ablation axis, not
-/// the workload scale, is the point.
+/// the workload scale, is the point. Also initializes the observability
+/// session from `--trace`/`--trace-jsonl`/`--metrics`/`--tree-log`, since
+/// every bench funnels through here before its sweeps start.
 inline void apply_quick_defaults(const eval::Args& args,
                                  eval::SweepConfig& config, double time_limit,
                                  int seeds,
                                  const std::vector<double>& flexibilities,
                                  bool respect_paper_scale = true) {
+  init_observability(args);
   const bool paper =
       respect_paper_scale && args.get_bool("paper-scale", false);
   if (!args.has("time-limit") && !paper) config.time_limit = time_limit;
@@ -94,8 +130,27 @@ inline net::TvnepInstance restrict_to(const net::TvnepInstance& instance,
   return out;
 }
 
-inline void announce_progress(const eval::ScenarioOutcome& outcome) {
-  std::cerr << "  flex=" << outcome.flexibility << " seed=" << outcome.seed
+/// Renders a sweep progress prefix: "[completed/total eta 42s]"; the ETA
+/// extrapolates from the mean cell wall clock so far and is omitted once
+/// the sweep is done.
+inline std::string progress_prefix(const eval::SweepProgress& progress) {
+  std::string out = "[";
+  out += std::to_string(progress.completed);
+  out += "/";
+  out += std::to_string(progress.total);
+  if (progress.completed < progress.total) {
+    char eta[32];
+    std::snprintf(eta, sizeof(eta), " eta %.0fs", progress.eta_seconds);
+    out += eta;
+  }
+  out += "]";
+  return out;
+}
+
+inline void announce_progress(const eval::ScenarioOutcome& outcome,
+                              const eval::SweepProgress& progress) {
+  std::cerr << "  " << progress_prefix(progress)
+            << " flex=" << outcome.flexibility << " seed=" << outcome.seed
             << " status=" << mip::to_string(outcome.result.status)
             << " obj=" << outcome.result.objective
             << " t=" << outcome.result.seconds << "s"
@@ -106,6 +161,15 @@ inline void announce_progress(const eval::ScenarioOutcome& outcome) {
             << outcome.result.presolve_cols_removed << "c";
   if (outcome.failed) std::cerr << " FAILED(" << outcome.error << ")";
   std::cerr << '\n';
+}
+
+/// The per-cell announce callback a model sweep should use: the standard
+/// progress line, or none at all under `--quiet`.
+inline std::function<void(const eval::ScenarioOutcome&,
+                          const eval::SweepProgress&)>
+progress_announcer(const eval::Args& args) {
+  if (quiet(args)) return nullptr;
+  return announce_progress;
 }
 
 /// Writes one row per sweep cell with the full solver + presolve telemetry
@@ -130,7 +194,8 @@ inline void save_outcomes_csv(const std::string& path,
   if (write_header)
     os << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
           "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
-          "dual_fallbacks,model_vars,model_constraints,model_integer_vars,"
+          "dual_fallbacks,refactorizations,"
+          "model_vars,model_constraints,model_integer_vars,"
           "presolve_rows_removed,presolve_cols_removed,"
           "presolve_coeffs_tightened,presolve_bounds_tightened,"
           "presolve_infeasible,presolve_seconds\n";
@@ -141,6 +206,7 @@ inline void save_outcomes_csv(const std::string& path,
        << r.objective << ',' << r.best_bound << ',' << r.gap << ','
        << r.seconds << ',' << o.wall_seconds << ',' << r.nodes << ','
        << r.lp_pivots << ',' << r.lp_iterations << ',' << r.dual_fallbacks
+       << ',' << r.refactorizations
        << ',' << r.model_vars << ',' << r.model_constraints << ','
        << r.model_integer_vars << ',' << r.presolve_rows_removed << ','
        << r.presolve_cols_removed << ',' << r.presolve_coeffs_tightened << ','

@@ -4,6 +4,8 @@
 
 #include "lp/simplex.hpp"
 #include "mip/branch_and_bound.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "presolve/presolve.hpp"
 #include "support/rng.hpp"
 #include "tvnep/dependency.hpp"
@@ -136,6 +138,87 @@ void BM_PresolveCSigma(benchmark::State& state) {
   state.counters["coeffs"] = static_cast<double>(stats.coeffs_tightened);
 }
 BENCHMARK(BM_PresolveCSigma)->Arg(4)->Arg(8)->Arg(12);
+
+// The observability overhead pair (ISSUE acceptance: <= 2% with tracing
+// compiled in but inactive). Arg 0 = subsystems off (every instrumentation
+// site is one relaxed atomic load + branch), arg 1 = tracer + metrics
+// recording (events are discarded between iterations so the shards do not
+// grow unboundedly).
+void BM_CSigmaSolveObs(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.star_leaves = 2;
+  params.num_requests = 2;
+  params.seed = 1;
+  params.flexibility = 1.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  const auto formulation =
+      core::build_formulation(instance, core::ModelKind::kCSigma, {});
+
+  const bool obs_on = state.range(0) != 0;
+  if (obs_on) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().start();
+    obs::Metrics::instance().reset();
+    obs::Metrics::instance().start();
+  }
+  long nodes = 0;
+  for (auto _ : state) {
+    mip::MipSolver solver;
+    const mip::MipResult r = solver.solve(formulation->model());
+    benchmark::DoNotOptimize(r.objective);
+    nodes = r.nodes;
+    if (obs_on) {
+      state.PauseTiming();
+      obs::Tracer::instance().reset();
+      state.ResumeTiming();
+    }
+  }
+  if (obs_on) {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().reset();
+    obs::Metrics::instance().stop();
+    obs::Metrics::instance().reset();
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_CSigmaSolveObs)
+    ->ArgNames({"obs"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// The raw cost of one instrumentation site: a span constructor/destructor
+// plus a counter bump, with the subsystems inactive (arg 0, the cost every
+// un-instrumented run pays) vs active (arg 1).
+void BM_SpanEvent(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
+  if (obs_on) {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().start();
+    obs::Metrics::instance().reset();
+    obs::Metrics::instance().start();
+  }
+  long spins = 0;
+  for (auto _ : state) {
+    obs::SpanScope span("bench.span", "bench");
+    obs::counter_add("bench.events");
+    benchmark::DoNotOptimize(++spins);
+    if (obs_on && spins % 65536 == 0) {
+      state.PauseTiming();
+      obs::Tracer::instance().reset();
+      state.ResumeTiming();
+    }
+  }
+  if (obs_on) {
+    obs::Tracer::instance().stop();
+    obs::Tracer::instance().reset();
+    obs::Metrics::instance().stop();
+    obs::Metrics::instance().reset();
+  }
+}
+BENCHMARK(BM_SpanEvent)->ArgNames({"obs"})->Arg(0)->Arg(1);
 
 void BM_DependencyGraph(benchmark::State& state) {
   workload::WorkloadParams params;

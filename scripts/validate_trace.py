@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability exports (stdlib only).
+
+Usage:
+  validate_trace.py TRACE.json [--tree-log TREE.jsonl] [--metrics METRICS.json]
+
+Validates:
+  * TRACE.json is Chrome trace_event JSON: a {"traceEvents": [...]} object
+    whose events carry name/ph/pid/tid/ts (and dur for complete events),
+    with non-negative timestamps and well-nested spans per (pid, tid);
+  * TREE.jsonl (optional) holds one JSON object per line conforming to the
+    obs::TreeLog schema, with unique node ids per context and a monotone
+    global bound (non-decreasing for "min", non-increasing for "max");
+  * METRICS.json (optional) has counters/gauges/histograms sections with
+    internally consistent histograms (bucket counts sum to count).
+
+Exits non-zero (with a message per problem) on any violation; CI fails the
+job on that.
+"""
+
+import argparse
+import json
+import sys
+
+PROBLEMS = []
+
+
+def problem(msg):
+    PROBLEMS.append(msg)
+    print(f"validate_trace: {msg}", file=sys.stderr)
+
+
+def validate_chrome_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problem(f"{path}: not readable as JSON: {e}")
+        return
+
+    if not isinstance(root, dict) or "traceEvents" not in root:
+        problem(f"{path}: top level must be an object with 'traceEvents'")
+        return
+    events = root["traceEvents"]
+    if not isinstance(events, list):
+        problem(f"{path}: 'traceEvents' must be an array")
+        return
+    if not events:
+        problem(f"{path}: trace contains no events")
+        return
+
+    spans_by_track = {}
+    for i, e in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(e, dict):
+            problem(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in e:
+                problem(f"{where}: missing '{key}'")
+        ph = e.get("ph")
+        if ph not in ("X", "i"):
+            problem(f"{where}: unexpected phase {ph!r}")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problem(f"{where}: ts must be a non-negative number, got {ts!r}")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problem(f"{where}: complete event needs non-negative dur")
+                continue
+            track = (e.get("pid"), e.get("tid"))
+            spans_by_track.setdefault(track, []).append(
+                (float(ts), float(ts) + float(dur), e.get("name", "?")))
+
+    # Per-track nesting: sorted by (start, -end), every span either starts
+    # after the enclosing span ended or finishes within it.
+    for track, spans in sorted(spans_by_track.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []  # (end, name) of currently-open spans
+        for start, end, name in spans:
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            if stack and end > stack[-1][0]:
+                problem(
+                    f"{path}: span '{name}' [{start}, {end}] on track "
+                    f"{track} overlaps enclosing '{stack[-1][1]}' "
+                    f"(ends {stack[-1][0]})")
+            stack.append((end, name))
+    print(f"validate_trace: {path}: {len(events)} events, "
+          f"{sum(len(s) for s in spans_by_track.values())} spans on "
+          f"{len(spans_by_track)} tracks")
+
+
+TREE_REQUIRED = (
+    "node", "depth", "parent_bound", "lp_status", "lp_pivots", "branch_var",
+    "branch_frac", "incumbent_updated", "incumbent", "global_bound",
+    "open_nodes", "seconds", "sense")
+TREE_STATUSES = {
+    "branched", "integral", "infeasible", "propagation-infeasible",
+    "pruned", "unbounded", "time-limit", "numerical-failure"}
+
+
+def validate_tree_log(path):
+    # A tree log may interleave records of many solves (sweep cells); node
+    # uniqueness and bound monotonicity hold per context tag.
+    seen_nodes = {}
+    last_bound = {}
+    records = 0
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as e:
+        problem(f"{path}: not readable: {e}")
+        return
+    if not lines:
+        problem(f"{path}: tree log is empty")
+        return
+    for lineno, line in enumerate(lines, start=1):
+        where = f"{path}:{lineno}"
+        try:
+            r = json.loads(line)
+        except json.JSONDecodeError as e:
+            problem(f"{where}: not valid JSON: {e}")
+            continue
+        for key in TREE_REQUIRED:
+            if key not in r:
+                problem(f"{where}: missing '{key}'")
+        records += 1
+        status = r.get("lp_status")
+        if status not in TREE_STATUSES:
+            problem(f"{where}: unexpected lp_status {status!r}")
+        sense = r.get("sense")
+        if sense not in ("min", "max"):
+            problem(f"{where}: unexpected sense {sense!r}")
+            continue
+        ctx = r.get("ctx", "")
+        node = r.get("node")
+        if node in seen_nodes.setdefault(ctx, set()):
+            problem(f"{where}: duplicate node id {node} in context {ctx!r}")
+        seen_nodes[ctx].add(node)
+        seconds = r.get("seconds")
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            problem(f"{where}: seconds must be non-negative")
+        bound = r.get("global_bound")
+        if bound is None:
+            continue
+        prev = last_bound.get(ctx)
+        if prev is not None:
+            if sense == "min" and bound < prev - 1e-9:
+                problem(f"{where}: global_bound regressed {prev} -> {bound} "
+                        f"(min must be non-decreasing)")
+            if sense == "max" and bound > prev + 1e-9:
+                problem(f"{where}: global_bound regressed {prev} -> {bound} "
+                        f"(max must be non-increasing)")
+        last_bound[ctx] = bound
+    print(f"validate_trace: {path}: {records} node records in "
+          f"{len(seen_nodes)} contexts")
+
+
+def validate_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problem(f"{path}: not readable as JSON: {e}")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in root or not isinstance(root[section], dict):
+            problem(f"{path}: missing '{section}' object")
+    for name, h in root.get("histograms", {}).items():
+        count = h.get("count", 0)
+        buckets = h.get("buckets", [])
+        bucket_total = sum(b[1] for b in buckets)
+        if bucket_total != count:
+            problem(f"{path}: histogram '{name}' buckets sum to "
+                    f"{bucket_total}, count is {count}")
+        if count > 0 and h.get("min") > h.get("max"):
+            problem(f"{path}: histogram '{name}' has min > max")
+    print(f"validate_trace: {path}: {len(root.get('counters', {}))} counters, "
+          f"{len(root.get('histograms', {}))} histograms")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--tree-log", help="tree log JSONL file")
+    parser.add_argument("--metrics", help="metrics JSON file")
+    args = parser.parse_args()
+
+    validate_chrome_trace(args.trace)
+    if args.tree_log:
+        validate_tree_log(args.tree_log)
+    if args.metrics:
+        validate_metrics(args.metrics)
+
+    if PROBLEMS:
+        print(f"validate_trace: FAILED with {len(PROBLEMS)} problem(s)",
+              file=sys.stderr)
+        return 1
+    print("validate_trace: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,12 @@
 #include "eval/runner.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/tree_log.hpp"
 #include "support/check.hpp"
 #include "support/parallel.hpp"
 #include "support/stopwatch.hpp"
@@ -69,57 +73,105 @@ void for_each_cell(
 
 namespace {
 
+// Pre-rendered JSON args for a cell's trace span; built only when the
+// tracer is active.
+std::string cell_span_args(const char* label, double flexibility, int seed) {
+  return "\"model\":\"" + obs::json_escape(label) +
+         "\",\"flex\":" + obs::json_number(flexibility) +
+         ",\"seed\":" + std::to_string(seed);
+}
+
 // Shared per-cell harness: fills identity/timing, runs `solve` with
-// failure isolation, then hands the finished outcome to the serialized
-// announce callback. Outcome slots are pre-sized by the caller so each
-// worker touches only its own cell.
+// failure isolation under a per-cell trace span, then hands the finished
+// outcome plus sweep-wide progress to the serialized announce callback.
+// Outcome slots are pre-sized by the caller so each worker touches only
+// its own cell. `label` tags the cell spans and tree-log records with the
+// model being swept.
 template <typename Outcome, typename Solve>
 std::vector<Outcome> run_cells(
-    const SweepConfig& config, Solve&& solve,
-    const std::function<void(const Outcome&)>& announce) {
+    const SweepConfig& config, const char* label, Solve&& solve,
+    const std::function<void(const Outcome&, const SweepProgress&)>&
+        announce) {
   std::vector<Outcome> outcomes(config.flexibilities.size() *
                                 static_cast<std::size_t>(config.seeds));
+  Stopwatch sweep_watch;
   std::mutex announce_mutex;
+  std::size_t completed = 0;
   for_each_cell(config, [&](std::size_t f, int seed, std::size_t cell) {
     Stopwatch cell_watch;
     Outcome& outcome = outcomes[cell];
     outcome.flexibility = config.flexibilities[f];
     outcome.seed = seed;
-    try {
-      workload::WorkloadParams params = config.base;
-      params.seed = static_cast<std::uint64_t>(seed) + 1;
-      const net::TvnepInstance instance =
-          workload::generate_workload_with_flexibility(params,
-                                                       outcome.flexibility);
-      solve(instance, outcome);
-    } catch (const std::exception& e) {
-      outcome.failed = true;
-      outcome.error = e.what();
-    } catch (...) {
-      outcome.failed = true;
-      outcome.error = "unknown exception";
+    {
+      obs::SpanScope cell_span(
+          obs::Tracer::active(), "sweep.cell", "sweep",
+          obs::Tracer::active()
+              ? cell_span_args(label, outcome.flexibility, seed)
+              : std::string());
+      try {
+        workload::WorkloadParams params = config.base;
+        params.seed = static_cast<std::uint64_t>(seed) + 1;
+        const net::TvnepInstance instance =
+            workload::generate_workload_with_flexibility(params,
+                                                         outcome.flexibility);
+        solve(instance, outcome);
+      } catch (const std::exception& e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.failed = true;
+        outcome.error = "unknown exception";
+      }
     }
     outcome.wall_seconds = cell_watch.seconds();
+    obs::counter_add("sweep.cells");
+    if (outcome.failed) obs::counter_add("sweep.failed_cells");
+    obs::histogram_observe("sweep.cell_seconds", outcome.wall_seconds);
     if (announce) {
       std::lock_guard<std::mutex> lock(announce_mutex);
-      announce(outcome);
+      ++completed;
+      SweepProgress progress;
+      progress.completed = completed;
+      progress.total = outcomes.size();
+      progress.elapsed_seconds = sweep_watch.seconds();
+      const double mean =
+          progress.elapsed_seconds / static_cast<double>(completed);
+      progress.eta_seconds =
+          mean * static_cast<double>(progress.total - completed);
+      announce(outcome, progress);
     }
   });
   return outcomes;
+}
+
+// Context tag for tree-log records written by this cell's solves, e.g.
+// "model=cSigma flex=1.5 seed=2". Only built when a global tree log is
+// installed (`--tree-log`); explicit MipOptions::tree_log users set their
+// own context.
+std::string cell_tree_log_context(const char* label, double flexibility,
+                                  int seed) {
+  char flex[32];
+  std::snprintf(flex, sizeof(flex), "%g", flexibility);
+  return std::string("model=") + label + " flex=" + flex +
+         " seed=" + std::to_string(seed);
 }
 
 }  // namespace
 
 std::vector<ScenarioOutcome> run_model_sweep(
     const SweepConfig& config, core::ModelKind kind,
-    const std::function<void(const ScenarioOutcome&)>& announce) {
+    const std::function<void(const ScenarioOutcome&, const SweepProgress&)>&
+        announce) {
   return run_cells<ScenarioOutcome>(
-      config,
+      config, core::to_string(kind),
       [&](const net::TvnepInstance& instance, ScenarioOutcome& outcome) {
         core::SolveParams solve_params;
         solve_params.build = config.build;
         solve_params.time_limit_seconds = config.time_limit;
         solve_params.mip.presolve = config.presolve;
+        if (obs::TreeLog::global() != nullptr)
+          solve_params.mip.tree_log_context = cell_tree_log_context(
+              core::to_string(kind), outcome.flexibility, outcome.seed);
         outcome.result =
             config.solve_override
                 ? config.solve_override(instance, kind, solve_params)
@@ -134,14 +186,18 @@ std::vector<ScenarioOutcome> run_model_sweep(
 
 std::vector<GreedyOutcome> run_greedy_sweep(
     const SweepConfig& config,
-    const std::function<void(const GreedyOutcome&)>& announce) {
+    const std::function<void(const GreedyOutcome&, const SweepProgress&)>&
+        announce) {
   return run_cells<GreedyOutcome>(
-      config,
+      config, "greedy",
       [&](const net::TvnepInstance& instance, GreedyOutcome& outcome) {
         greedy::GreedyOptions options;
         options.dependency_cuts = config.build.dependency_cuts;
         options.per_iteration_time_limit = config.time_limit;
         options.mip.presolve = config.presolve;
+        if (obs::TreeLog::global() != nullptr)
+          options.mip.tree_log_context = cell_tree_log_context(
+              "greedy", outcome.flexibility, outcome.seed);
         outcome.result = greedy::solve_greedy(instance, options);
       },
       announce);

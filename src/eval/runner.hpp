@@ -52,6 +52,17 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
 /// Worker count a sweep over `config` will actually use (>= 1).
 int effective_threads(const SweepConfig& config);
 
+/// Sweep-wide progress handed to announce callbacks alongside each
+/// finished cell. `eta_seconds` extrapolates from the mean cell wall
+/// clock so far (NaN until the first cell completes — callers print it
+/// only when finite).
+struct SweepProgress {
+  std::size_t completed = 0;  // cells finished, including this one
+  std::size_t total = 0;
+  double elapsed_seconds = 0.0;
+  double eta_seconds = 0.0;  // estimated remaining wall clock
+};
+
 struct ScenarioOutcome {
   double flexibility = 0.0;
   int seed = 0;
@@ -72,7 +83,8 @@ struct ScenarioOutcome {
 /// order (flexibility-major, seed-minor), identical to the serial run.
 std::vector<ScenarioOutcome> run_model_sweep(
     const SweepConfig& config, core::ModelKind kind,
-    const std::function<void(const ScenarioOutcome&)>& announce = nullptr);
+    const std::function<void(const ScenarioOutcome&, const SweepProgress&)>&
+        announce = nullptr);
 
 struct GreedyOutcome {
   double flexibility = 0.0;
@@ -87,7 +99,8 @@ struct GreedyOutcome {
 /// fan-out, ordering and failure-isolation guarantees as run_model_sweep.
 std::vector<GreedyOutcome> run_greedy_sweep(
     const SweepConfig& config,
-    const std::function<void(const GreedyOutcome&)>& announce = nullptr);
+    const std::function<void(const GreedyOutcome&, const SweepProgress&)>&
+        announce = nullptr);
 
 /// Runs body(flex_index, seed, cell_index) for every cell of the grid,
 /// fanned out over config.threads workers; cell_index enumerates the grid

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "linalg/lu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace tvnep::lp {
@@ -372,10 +374,14 @@ void Simplex::update_binv(int leaving_row, const std::vector<double>& alpha) {
 }
 
 SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
+  obs::SpanScope span(trace_spans_,
+                      phase == Phase::kPhase1 ? "lp.phase1" : "lp.phase2",
+                      "lp");
   std::vector<double> y;
   std::vector<double> alpha;
   int iterations = 0;
   int refactor_attempts = 0;
+  bool bland_previous = false;
   int& stat_iters = (phase == Phase::kPhase1) ? stats_.phase1_iterations
                                               : stats_.phase2_iterations;
   for (;;) {
@@ -391,6 +397,11 @@ SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
     else compute_duals_phase2(y);
 
     const bool bland = degenerate_streak_ > options_.degeneracy_threshold;
+    if (bland && !bland_previous) {
+      obs::counter_add("lp.bland_switches");
+      obs::instant("lp.bland_switch", "lp");
+    }
+    bland_previous = bland;
     double direction = 0.0;
     const int entering = price(phase, y, bland, &direction);
     if (entering < 0) {
@@ -683,6 +694,8 @@ bool Simplex::refactorize() {
   const int m = num_rows();
   const int n = num_structural();
   ++stats_.refactorizations;
+  obs::counter_add("lp.refactorizations");
+  obs::instant("lp.refactorize", "lp");
   // Gauss-Jordan replay with prescribed pivot positions.
   binv_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
   for (int i = 0; i < m; ++i)
@@ -740,6 +753,7 @@ void Simplex::finish_solution() {
 SolveStatus Simplex::solve() {
   stats_ = SolveStats{};
   Deadline deadline(options_.time_limit_seconds);
+  obs::counter_add("lp.solves");
 
   if (has_basis_) {
     // Reposition nonbasic variables onto the (possibly changed) bounds.
@@ -759,8 +773,14 @@ SolveStatus Simplex::solve() {
       }
     }
     compute_basic_values();
+    obs::counter_add("lp.warm_starts");
     SolveStatus status = SolveStatus::kNumericalFailure;
-    if (dual_simplex(deadline, &status)) {
+    bool dual_finished;
+    {
+      obs::SpanScope span(trace_spans_, "lp.dual", "lp");
+      dual_finished = dual_simplex(deadline, &status);
+    }
+    if (dual_finished) {
       stats_.warm_started = true;
       if (status == SolveStatus::kOptimal) finish_solution();
       if (status != SolveStatus::kNumericalFailure) return status;
@@ -769,6 +789,7 @@ SolveStatus Simplex::solve() {
     // Warm basis is not dual feasible (or failed numerically): primal
     // phases from the current basis are still a better start than cold.
     stats_.dual_fallback = true;
+    obs::counter_add("lp.dual_fallbacks");
     SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
     if (p1 == SolveStatus::kNumericalFailure) {
       cold_start();

@@ -123,6 +123,11 @@ class Simplex {
   /// Drops the warm-start basis so the next solve() is a cold start.
   void invalidate_basis() { has_basis_ = false; }
 
+  /// Whether solve() emits per-phase trace spans when the global tracer is
+  /// active. Branch and bound turns this off for unsampled node LPs so a
+  /// deep tree does not flood the trace; counters are unaffected.
+  void set_trace_spans(bool enabled) { trace_spans_ = enabled; }
+
  private:
   enum class Phase { kPhase1, kPhase2 };
   struct RatioResult {
@@ -192,6 +197,7 @@ class Simplex {
   std::vector<double> duals_;
   long total_pivots_ = 0;
   int degenerate_streak_ = 0;
+  bool trace_spans_ = true;
 };
 
 }  // namespace tvnep::lp

@@ -5,6 +5,9 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/tree_log.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -191,9 +194,18 @@ MipResult MipSolver::solve_tree(
   lp::Problem problem = model.to_lp(&is_int);
   lp::Simplex simplex(problem, options_.lp);
 
+  obs::SpanScope tree_span(
+      obs::Tracer::active(), "mip.solve_tree", "mip",
+      obs::Tracer::active()
+          ? "\"vars\":" + std::to_string(model.num_vars()) +
+                ",\"rows\":" + std::to_string(problem.num_rows())
+          : std::string());
+
   const double scale = model.objective_scale();
   const double constant = model.objective().constant();
   auto to_model_obj = [&](double lp_obj) { return scale * lp_obj + constant; };
+  const char* const sense_name =
+      model.sense() == Sense::kMaximize ? "max" : "min";
 
   std::vector<int> int_vars;
   for (int j = 0; j < model.num_vars(); ++j)
@@ -202,6 +214,7 @@ MipResult MipSolver::solve_tree(
   // Incumbent in minimize (LP) space.
   double incumbent_lp_obj = kInf;
   std::vector<double> incumbent;
+  bool node_improved_incumbent = false;  // reset per processed node
   auto try_incumbent = [&](const std::vector<double>& values) {
     std::vector<double> snapped = values;
     for (int j : int_vars)
@@ -213,6 +226,11 @@ MipResult MipSolver::solve_tree(
     if (lp_obj < incumbent_lp_obj - 1e-12) {
       incumbent_lp_obj = lp_obj;
       incumbent = std::move(snapped);
+      node_improved_incumbent = true;
+      obs::counter_add("mip.incumbents");
+      if (obs::Tracer::active())
+        obs::instant("mip.incumbent", "mip",
+                     "\"objective\":" + obs::json_number(model_obj));
       return true;
     }
     return false;
@@ -292,6 +310,57 @@ MipResult MipSolver::solve_tree(
 
   std::vector<Pseudocost> pseudo(static_cast<std::size_t>(model.num_vars()));
 
+  // Tree log: one record per processed node, emitted at the node's exit
+  // site (after children are pushed, so the frontier reflects the node's
+  // outcome). The logged global bound is the frontier minimum clamped
+  // monotone in LP space — the raw minimum can regress when an improving
+  // incumbent would cap it, but the proven bound never weakens.
+  obs::TreeLog* tree_log =
+      options_.tree_log != nullptr ? options_.tree_log : obs::TreeLog::global();
+  double logged_bound_lp = -kInf;
+  auto emit_node = [&](const Node& node, const char* status, long lp_pivots,
+                       int branch_var, double branch_frac, bool subtree_open) {
+    if (tree_log == nullptr) return;
+    double frontier = kInf;
+    if (!open.empty()) frontier = std::min(frontier, open.top().parent_bound);
+    if (dive) frontier = std::min(frontier, dive->parent_bound);
+    if (subtree_open) frontier = std::min(frontier, node.parent_bound);
+    if (frontier == kInf) frontier = incumbent_lp_obj;  // tree exhausted
+    logged_bound_lp = std::max(logged_bound_lp, frontier);
+
+    obs::NodeRecord record;
+    record.node = node.id;
+    record.depth = node.depth;
+    record.has_parent_bound = std::isfinite(node.parent_bound);
+    if (record.has_parent_bound)
+      record.parent_bound = to_model_obj(node.parent_bound);
+    record.lp_status = status;
+    record.lp_pivots = lp_pivots;
+    record.branch_var = branch_var;
+    record.branch_frac = branch_frac;
+    record.incumbent_updated = node_improved_incumbent;
+    record.has_incumbent = !incumbent.empty();
+    if (record.has_incumbent)
+      record.incumbent = to_model_obj(incumbent_lp_obj);
+    record.has_global_bound = std::isfinite(logged_bound_lp);
+    if (record.has_global_bound)
+      record.global_bound = to_model_obj(logged_bound_lp);
+    record.open_nodes = open.size() + (dive ? 1 : 0);
+    record.seconds = watch.seconds();
+    record.sense = sense_name;
+    tree_log->write(record, options_.tree_log_context);
+  };
+
+  auto record_metrics = [&]() {
+    if (!obs::Metrics::active()) return;
+    obs::counter_add("mip.solves");
+    obs::counter_add("mip.nodes", static_cast<double>(result.nodes));
+    obs::counter_add("mip.lp_pivots", static_cast<double>(result.lp_pivots));
+    obs::histogram_observe("mip.nodes_per_solve",
+                           static_cast<double>(result.nodes));
+    obs::histogram_observe("mip.solve_seconds", result.seconds);
+  };
+
   bool aborted_time = false;
   bool aborted_nodes = false;
   bool numerical_failure = false;
@@ -304,6 +373,8 @@ MipResult MipSolver::solve_tree(
   // Fix-and-solve rounding heuristic on the current relaxation.
   auto rounding_heuristic = [&](const std::vector<double>& relaxation,
                                 const Node& node) {
+    obs::SpanScope span("mip.heuristic_dive", "mip");
+    obs::counter_add("mip.heuristic_dives");
     std::vector<double> rounded = relaxation;
     for (int j : int_vars) {
       double v = std::round(rounded[static_cast<std::size_t>(j)]);
@@ -334,12 +405,14 @@ MipResult MipSolver::solve_tree(
       node = open.top();
       open.pop();
     }
+    node_improved_incumbent = false;
 
     // Bound-based pruning against the incumbent.
     if (node.parent_bound >= incumbent_lp_obj - 1e-9) continue;
 
     if (!apply_node_bounds(node)) {
       ++result.nodes;
+      emit_node(node, "propagation-infeasible", 0, -1, 0.0, false);
       continue;  // propagation proved the node infeasible
     }
     // Clamp to a positive epsilon: between the loop-top expiry check and
@@ -348,34 +421,64 @@ MipResult MipSolver::solve_tree(
     simplex.set_time_limit(
         deadline.unlimited() ? 0.0 : std::max(deadline.remaining(), 1e-3));
 
-    lp::SolveStatus lp_status = simplex.solve();
-    if (lp_status == lp::SolveStatus::kIterationLimit ||
-        lp_status == lp::SolveStatus::kNumericalFailure) {
-      simplex.invalidate_basis();
+    // Sample node-LP spans: every Nth processed node gets a span (with the
+    // underlying LP phase spans nested inside); the root is node 0 of the
+    // sample and is therefore always traced.
+    const bool traced_node =
+        obs::Tracer::active() && options_.trace_node_sample > 0 &&
+        result.nodes % options_.trace_node_sample == 0;
+    simplex.set_trace_spans(traced_node);
+    lp::SolveStatus lp_status;
+    {
+      obs::SpanScope node_span(
+          traced_node, node.id == 0 ? "mip.root_lp" : "mip.node_lp", "mip",
+          traced_node ? "\"node\":" + std::to_string(node.id) +
+                            ",\"depth\":" + std::to_string(node.depth)
+                      : std::string());
       lp_status = simplex.solve();
+      if (lp_status == lp::SolveStatus::kIterationLimit ||
+          lp_status == lp::SolveStatus::kNumericalFailure) {
+        simplex.invalidate_basis();
+        lp_status = simplex.solve();
+      }
     }
     ++result.nodes;
     ++nodes_since_heuristic;
+    const long node_pivots = simplex.stats().phase1_iterations +
+                             simplex.stats().phase2_iterations +
+                             simplex.stats().dual_iterations;
     result.phase1_iterations += simplex.stats().phase1_iterations;
     result.phase2_iterations += simplex.stats().phase2_iterations;
     result.dual_iterations += simplex.stats().dual_iterations;
+    result.refactorizations += simplex.stats().refactorizations;
     // Only genuine fallbacks: a warm basis existed but the dual simplex
     // handed the solve over to the primal phases. Cold (re)solves perform
     // primal iterations too and must not inflate this counter.
     if (simplex.stats().dual_fallback) ++result.dual_fallbacks;
 
-    if (lp_status == lp::SolveStatus::kTimeLimit) { aborted_time = true; break; }
-    if (lp_status == lp::SolveStatus::kInfeasible) continue;
+    if (lp_status == lp::SolveStatus::kTimeLimit) {
+      aborted_time = true;
+      emit_node(node, "time-limit", node_pivots, -1, 0.0, true);
+      break;
+    }
+    if (lp_status == lp::SolveStatus::kInfeasible) {
+      emit_node(node, "infeasible", node_pivots, -1, 0.0, false);
+      continue;
+    }
     if (lp_status == lp::SolveStatus::kUnbounded) {
+      emit_node(node, "unbounded", node_pivots, -1, 0.0, false);
       if (node.depth == 0 && !initial_solution) {
         result.status = MipStatus::kUnbounded;
+        result.lp_pivots = simplex.total_pivots();
         result.seconds = watch.seconds();
+        record_metrics();
         return result;
       }
       continue;  // bounded elsewhere; treat as prunable anomaly
     }
     if (lp_status != lp::SolveStatus::kOptimal) {
       numerical_failure = true;
+      emit_node(node, "numerical-failure", node_pivots, -1, 0.0, true);
       break;
     }
 
@@ -394,7 +497,10 @@ MipResult MipSolver::solve_tree(
       }
     }
 
-    if (node_bound >= incumbent_lp_obj - 1e-9) continue;  // pruned
+    if (node_bound >= incumbent_lp_obj - 1e-9) {  // pruned by bound
+      emit_node(node, "pruned", node_pivots, -1, 0.0, false);
+      continue;
+    }
 
     const std::vector<double> x = simplex.primal_solution();
 
@@ -425,6 +531,7 @@ MipResult MipSolver::solve_tree(
 
     if (branch < 0) {
       try_incumbent(x);  // integral LP solution
+      emit_node(node, "integral", node_pivots, -1, 0.0, false);
       continue;
     }
 
@@ -474,6 +581,7 @@ MipResult MipSolver::solve_tree(
       dive = std::move(up);
       open.push(std::move(down));
     }
+    emit_node(node, "branched", node_pivots, branch, branch_frac, false);
   }
 
   result.lp_pivots = simplex.total_pivots();
@@ -492,6 +600,7 @@ MipResult MipSolver::solve_tree(
     } else {
       result.status = MipStatus::kInfeasible;  // objective/bound stay zero
     }
+    record_metrics();
     return result;
   }
 
@@ -511,6 +620,7 @@ MipResult MipSolver::solve_tree(
   else if (aborted_time) result.status = MipStatus::kTimeLimit;
   else if (aborted_nodes) result.status = MipStatus::kNodeLimit;
   else result.status = MipStatus::kNumericalFailure;
+  record_metrics();
   return result;
 }
 

@@ -19,6 +19,10 @@
 #include "lp/simplex.hpp"
 #include "presolve/presolve.hpp"
 
+namespace tvnep::obs {
+class TreeLog;
+}
+
 namespace tvnep::mip {
 
 enum class MipStatus {
@@ -47,6 +51,17 @@ struct MipOptions {
   // original variable space.
   bool presolve = true;
   presolve::PresolveOptions presolve_options;
+  // Observability. `tree_log` receives one record per processed node (see
+  // obs/tree_log.hpp for the schema); when null the solver falls back to
+  // obs::TreeLog::global() — the log the `--tree-log` flag installs — so
+  // no plumbing is needed for the common case. `tree_log_context` tags
+  // every record (the sweep runner stamps model/flexibility/seed).
+  obs::TreeLog* tree_log = nullptr;
+  std::string tree_log_context;
+  // When the span tracer is active, emit a trace span (plus the underlying
+  // LP phase spans) for every Nth processed node; <= 0 disables node-LP
+  // spans. The root LP is always node 0 and therefore always sampled.
+  long trace_node_sample = 16;
 };
 
 struct MipResult {
@@ -63,6 +78,7 @@ struct MipResult {
   long phase2_iterations = 0;
   long dual_iterations = 0;
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
+  long refactorizations = 0;  // basis-inverse rebuilds across node LPs
   // Presolve telemetry (all zero when MipOptions::presolve is off).
   long presolve_rows_removed = 0;
   long presolve_cols_removed = 0;

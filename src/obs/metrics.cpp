@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "obs/trace.hpp"  // json_number / json_escape
+
+namespace tvnep::obs {
+
+std::atomic<bool> Metrics::active_{false};
+
+int histogram_bucket(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return value > 0.0 ? kHistogramBuckets - 1 : 0;
+  const int exp = std::ilogb(value);  // floor(log2(value))
+  return std::clamp(exp + 21, 0, kHistogramBuckets - 1);
+}
+
+double histogram_bucket_upper(int bucket) {
+  if (bucket >= kHistogramBuckets - 1)
+    return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, bucket - 20);  // 2^(bucket-20)
+}
+
+void HistogramSnapshot::observe(double value) {
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  ++buckets[static_cast<std::size_t>(histogram_bucket(value))];
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (int b = 0; b < kHistogramBuckets; ++b)
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+}
+
+Metrics& Metrics::instance() {
+  // Intentionally leaked — see Tracer::instance(); the registry must stay
+  // valid while exit-time flushers and pool threads wind down.
+  static Metrics* metrics = new Metrics();
+  return *metrics;
+}
+
+void Metrics::start() { active_.store(true, std::memory_order_relaxed); }
+
+void Metrics::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->counters.clear();
+    shard->gauges.clear();
+    shard->histograms.clear();
+  }
+}
+
+Metrics::Shard& Metrics::local_shard() {
+  // Shards are never deallocated (reset() clears their maps), so the
+  // cached pointer stays valid for the thread's lifetime.
+  thread_local Shard* shard = nullptr;
+  if (shard == nullptr) {
+    auto owned = std::make_unique<Shard>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    shard = owned.get();
+    shards_.push_back(std::move(owned));
+  }
+  return *shard;
+}
+
+void Metrics::add(const char* name, double delta) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[name] += delta;
+}
+
+void Metrics::set(const char* name, double value) {
+  const std::uint64_t seq =
+      gauge_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.gauges[name] = {seq, value};
+}
+
+void Metrics::observe(const char* name, double value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.histograms[name].observe(value);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot out;
+  std::map<std::string, std::pair<std::uint64_t, double>> gauges;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters)
+      out.counters[name] += value;
+    for (const auto& [name, entry] : shard->gauges) {
+      auto it = gauges.find(name);
+      if (it == gauges.end() || entry.first > it->second.first)
+        gauges[name] = entry;
+    }
+    for (const auto& [name, histogram] : shard->histograms)
+      out.histograms[name].merge(histogram);
+  }
+  for (const auto& [name, entry] : gauges) out.gauges[name] = entry.second;
+  return out;
+}
+
+bool Metrics::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  const MetricsSnapshot snap = snapshot();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": " << json_number(value);
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+       << ", \"min\": " << json_number(h.count > 0 ? h.min : 0.0)
+       << ", \"max\": " << json_number(h.count > 0 ? h.max : 0.0)
+       << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const long n = h.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      os << (first_bucket ? "" : ", ") << '['
+         << json_number(histogram_bucket_upper(b)) << ", " << n << ']';
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.good();
+}
+
+}  // namespace tvnep::obs

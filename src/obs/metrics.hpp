@@ -1,0 +1,101 @@
+// Metrics registry: named counters, gauges and histograms recorded into
+// thread-local shards and merged on snapshot/flush, so `--threads N`
+// sweeps record without cross-thread contention (a shard's mutex is only
+// ever contended by the flush walker).
+//
+// Same cost contract as the tracer: when the registry is inactive every
+// call site is one relaxed atomic load plus a branch. When active, a call
+// is an uncontended lock plus a map update on the caller's own shard.
+//
+// Merge semantics: counters sum across shards; gauges keep the most
+// recent write (by a global sequence number); histograms combine
+// count/sum/min/max and their log2-spaced buckets.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tvnep::obs {
+
+inline constexpr int kHistogramBuckets = 64;
+
+/// Bucket index for a sample: 0 collects everything below 2^-20 (and all
+/// non-positive samples); bucket b >= 1 covers [2^(b-21), 2^(b-20)); the
+/// last bucket absorbs the tail.
+int histogram_bucket(double value);
+
+/// Upper edge of bucket b (inclusive end of its half-open interval).
+double histogram_bucket_upper(int bucket);
+
+struct HistogramSnapshot {
+  long count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::array<long, kHistogramBuckets> buckets{};
+
+  void observe(double value);
+  void merge(const HistogramSnapshot& other);
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class Metrics {
+ public:
+  static Metrics& instance();
+  static bool active() { return active_.load(std::memory_order_relaxed); }
+
+  void start();
+  void stop();
+  void reset();
+
+  void add(const char* name, double delta);
+  void set(const char* name, double value);
+  void observe(const char* name, double value);
+
+  MetricsSnapshot snapshot() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::string, double> counters;
+    // value plus the global sequence number of the write; merge keeps the
+    // highest sequence so "last set wins" holds across shards.
+    std::map<std::string, std::pair<std::uint64_t, double>> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+
+  Metrics() = default;
+  Shard& local_shard();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> gauge_seq_{0};
+  static std::atomic<bool> active_;
+};
+
+/// One-branch-when-inactive convenience wrappers (the instrumented hot
+/// paths in lp/mip/presolve/eval call these).
+inline void counter_add(const char* name, double delta = 1.0) {
+  if (Metrics::active()) Metrics::instance().add(name, delta);
+}
+inline void gauge_set(const char* name, double value) {
+  if (Metrics::active()) Metrics::instance().set(name, value);
+}
+inline void histogram_observe(const char* name, double value) {
+  if (Metrics::active()) Metrics::instance().observe(name, value);
+}
+
+}  // namespace tvnep::obs

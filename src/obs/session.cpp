@@ -1,0 +1,69 @@
+#include "obs/session.hpp"
+
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tvnep::obs {
+
+ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
+  if (!config_.trace_path.empty() || !config_.trace_jsonl_path.empty()) {
+    Tracer::instance().reset();
+    Tracer::instance().start();
+  }
+  if (!config_.metrics_path.empty()) {
+    Metrics::instance().reset();
+    Metrics::instance().start();
+  }
+  if (!config_.tree_log_path.empty()) {
+    tree_log_ = std::make_unique<TreeLog>(config_.tree_log_path);
+    if (tree_log_->ok()) {
+      TreeLog::set_global(tree_log_.get());
+    } else {
+      std::cerr << "obs: cannot open tree log " << config_.tree_log_path
+                << '\n';
+      tree_log_.reset();
+    }
+  }
+}
+
+ObsSession::~ObsSession() { finish(); }
+
+bool ObsSession::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  bool ok = true;
+  auto save = [&ok](bool wrote, const std::string& what,
+                    const std::string& path) {
+    if (path.empty()) return;
+    if (wrote)
+      std::cerr << "obs: wrote " << what << " to " << path << '\n';
+    else {
+      std::cerr << "obs: failed to write " << what << " to " << path << '\n';
+      ok = false;
+    }
+  };
+  if (!config_.trace_path.empty() || !config_.trace_jsonl_path.empty()) {
+    Tracer::instance().stop();
+    save(config_.trace_path.empty() ||
+             Tracer::instance().write_chrome_trace(config_.trace_path),
+         "chrome trace", config_.trace_path);
+    save(config_.trace_jsonl_path.empty() ||
+             Tracer::instance().write_jsonl(config_.trace_jsonl_path),
+         "trace jsonl", config_.trace_jsonl_path);
+  }
+  if (!config_.metrics_path.empty()) {
+    Metrics::instance().stop();
+    save(Metrics::instance().write_json(config_.metrics_path), "metrics",
+         config_.metrics_path);
+  }
+  if (tree_log_) {
+    tree_log_->flush();
+    save(tree_log_->ok(), "tree log", config_.tree_log_path);
+    tree_log_.reset();  // clears the global pointer via ~TreeLog
+  }
+  return ok;
+}
+
+}  // namespace tvnep::obs

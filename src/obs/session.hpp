@@ -1,0 +1,46 @@
+// ObsSession: the lifetime object behind the `--trace` / `--trace-jsonl` /
+// `--metrics` / `--tree-log` command-line flags. Construction activates
+// the requested subsystems (tracer, metrics registry, global tree log);
+// destruction deactivates them and writes the output files — the bench
+// binaries hold one as a function-local static so the files appear at
+// normal process exit.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/tree_log.hpp"
+
+namespace tvnep::obs {
+
+struct ObsConfig {
+  std::string trace_path;        // Chrome trace_event JSON ("" = off)
+  std::string trace_jsonl_path;  // flat per-event JSONL stream ("" = off)
+  std::string metrics_path;      // metrics registry JSON ("" = off)
+  std::string tree_log_path;     // branch-and-bound node JSONL ("" = off)
+
+  bool any() const {
+    return !trace_path.empty() || !trace_jsonl_path.empty() ||
+           !metrics_path.empty() || !tree_log_path.empty();
+  }
+};
+
+class ObsSession {
+ public:
+  explicit ObsSession(ObsConfig config);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Stops the subsystems and writes every configured file (idempotent;
+  /// the destructor calls it). Returns false when any write failed.
+  bool finish();
+
+ private:
+  ObsConfig config_;
+  std::unique_ptr<TreeLog> tree_log_;
+  bool finished_ = false;
+};
+
+}  // namespace tvnep::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace tvnep::obs {
+
+std::atomic<bool> Tracer::active_{false};
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  // Intentionally leaked: flushing sessions (bench ObsSession statics) and
+  // exiting pool threads may touch the tracer during static destruction,
+  // so the singleton must outlive every other static.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::start() { active_.store(true, std::memory_order_relaxed); }
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    shard->events.clear();
+  }
+}
+
+std::int64_t Tracer::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Shard& Tracer::local_shard() {
+  // The pointer outlives the thread's use of it because shards are never
+  // deallocated (reset() only clears their event vectors); threads created
+  // later register fresh shards.
+  thread_local Shard* shard = nullptr;
+  if (shard == nullptr) {
+    auto owned = std::make_unique<Shard>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    owned->tid = static_cast<std::uint32_t>(shards_.size() + 1);
+    shard = owned.get();
+    shards_.push_back(std::move(owned));
+  }
+  return *shard;
+}
+
+void Tracer::record_complete(const char* name, const char* cat,
+                             std::int64_t ts_us, std::int64_t dur_us,
+                             std::string args) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(
+      {name, cat, 'X', shard.tid, ts_us, dur_us, std::move(args)});
+}
+
+void Tracer::record_instant(const char* name, const char* cat,
+                            std::string args) {
+  Shard& shard = local_shard();
+  const std::int64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back({name, cat, 'i', shard.tid, ts, 0, std::move(args)});
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      out.insert(out.end(), shard->events.begin(), shard->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // enclosing span first
+            });
+  return out;
+}
+
+namespace {
+
+void write_event_body(std::ostream& os, const TraceEvent& e) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+     << json_escape(e.cat) << "\",\"ph\":\"" << e.phase
+     << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us;
+  if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
+  if (e.phase == 'i') os << ",\"s\":\"t\"";
+  if (!e.args.empty()) os << ",\"args\":{" << e.args << '}';
+  os << '}';
+}
+
+}  // namespace
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  const std::vector<TraceEvent> events = snapshot();
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    os << '\n';
+    write_event_body(os, e);
+    first = false;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.good();
+}
+
+bool Tracer::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  for (const TraceEvent& e : snapshot()) {
+    write_event_body(os, e);
+    os << '\n';
+  }
+  return os.good();
+}
+
+void SpanScope::begin(const char* name, const char* cat, std::string args) {
+  name_ = name;
+  cat_ = cat;
+  args_ = std::move(args);
+  start_us_ = Tracer::instance().now_us();
+}
+
+void SpanScope::end() {
+  Tracer& tracer = Tracer::instance();
+  tracer.record_complete(name_, cat_, start_us_,
+                         tracer.now_us() - start_us_, std::move(args_));
+}
+
+}  // namespace tvnep::obs

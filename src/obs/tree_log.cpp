@@ -1,0 +1,55 @@
+#include "obs/tree_log.hpp"
+
+#include "obs/trace.hpp"  // json_number / json_escape
+
+namespace tvnep::obs {
+
+std::atomic<TreeLog*> TreeLog::global_{nullptr};
+
+TreeLog::TreeLog(const std::string& path) : out_(path) {}
+
+TreeLog::~TreeLog() {
+  // Never leave a dangling global pointer behind.
+  TreeLog* self = this;
+  global_.compare_exchange_strong(self, nullptr);
+}
+
+bool TreeLog::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return out_.good();
+}
+
+void TreeLog::write(const NodeRecord& r, const std::string& context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_) return;
+  if (!context.empty()) out_ << "{\"ctx\":\"" << json_escape(context) << "\",";
+  else out_ << '{';
+  out_ << "\"node\":" << r.node << ",\"depth\":" << r.depth
+       << ",\"parent_bound\":"
+       << (r.has_parent_bound ? json_number(r.parent_bound) : "null")
+       << ",\"lp_status\":\"" << r.lp_status << '"'
+       << ",\"lp_pivots\":" << r.lp_pivots
+       << ",\"branch_var\":" << r.branch_var
+       << ",\"branch_frac\":" << json_number(r.branch_frac)
+       << ",\"incumbent_updated\":" << (r.incumbent_updated ? "true" : "false")
+       << ",\"incumbent\":"
+       << (r.has_incumbent ? json_number(r.incumbent) : "null")
+       << ",\"global_bound\":"
+       << (r.has_global_bound ? json_number(r.global_bound) : "null")
+       << ",\"open_nodes\":" << r.open_nodes
+       << ",\"seconds\":" << json_number(r.seconds) << ",\"sense\":\""
+       << r.sense << "\"}\n";
+  ++records_;
+}
+
+void TreeLog::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.flush();
+}
+
+long TreeLog::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace tvnep::obs

@@ -1,0 +1,89 @@
+// Search-tree event log: one JSONL record per branch-and-bound node,
+// written as the node is processed. The stream is what a bound-convergence
+// plot (incumbent and proven bound over wall-clock time, the quantity
+// behind the paper's Figures 4 and 6) is derived from.
+//
+// Record schema (one JSON object per line; numeric fields are `null` when
+// the quantity does not exist yet):
+//   ctx               optional free-form tag ("model=cΣ flex=1 seed=0")
+//   node              node id (creation order; unique per solve)
+//   depth             depth in the tree (root = 0)
+//   parent_bound      parent's LP bound, model space (null at the root)
+//   lp_status         "branched" | "integral" | "infeasible" |
+//                     "propagation-infeasible" | "pruned" | "unbounded" |
+//                     "time-limit" | "numerical-failure"
+//   lp_pivots         simplex iterations spent on this node's LP
+//   branch_var        branching variable id (-1 when the node closed)
+//   branch_frac       fractional part of the branching variable's value
+//   incumbent_updated this node improved the incumbent
+//   incumbent         current incumbent objective, model space (null if none)
+//   global_bound      proven global bound, model space: monotonically
+//                     non-decreasing for minimization, non-increasing for
+//                     maximization (null until a bound exists)
+//   open_nodes        frontier size after this node
+//   seconds           wall clock since the solve started
+//   sense             "min" | "max" (direction global_bound converges in)
+//
+// Writes are serialized by a mutex: concurrent sweep cells may share one
+// log (records interleave; `ctx` tells them apart).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace tvnep::obs {
+
+struct NodeRecord {
+  long node = 0;
+  int depth = 0;
+  bool has_parent_bound = false;
+  double parent_bound = 0.0;
+  const char* lp_status = "";
+  long lp_pivots = 0;
+  int branch_var = -1;
+  double branch_frac = 0.0;
+  bool incumbent_updated = false;
+  bool has_incumbent = false;
+  double incumbent = 0.0;
+  bool has_global_bound = false;
+  double global_bound = 0.0;
+  std::size_t open_nodes = 0;
+  double seconds = 0.0;
+  const char* sense = "min";
+};
+
+class TreeLog {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() afterwards.
+  explicit TreeLog(const std::string& path);
+  ~TreeLog();
+
+  TreeLog(const TreeLog&) = delete;
+  TreeLog& operator=(const TreeLog&) = delete;
+
+  bool ok() const;
+  void write(const NodeRecord& record, const std::string& context = {});
+  void flush();
+  long records() const;
+
+  /// The process-wide default log consulted by MipSolver when
+  /// MipOptions::tree_log is unset (nullptr = none). ObsSession installs
+  /// the log behind the `--tree-log` flag here.
+  static TreeLog* global() {
+    return global_.load(std::memory_order_acquire);
+  }
+  static void set_global(TreeLog* log) {
+    global_.store(log, std::memory_order_release);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  long records_ = 0;
+  static std::atomic<TreeLog*> global_;
+};
+
+}  // namespace tvnep::obs

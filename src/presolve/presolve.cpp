@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -386,10 +389,50 @@ struct PresolveRun {
     for (int round = 0; round < opts.max_rounds; ++round) {
       changed = false;
       ++stats.rounds;
-      for (auto& row : rows) {
-        if (!structural_pass(row)) return false;
-        if (opts.bound_propagation && !propagate_row(row)) return false;
-        if (opts.coefficient_tightening) tighten_row(row);
+      if (obs::Tracer::active()) {
+        // Traced round: same interleaved per-row pass order (a per-pass
+        // sweep restructure would change which reductions fire), but each
+        // pass's time is accumulated and attached to a per-round span.
+        obs::Tracer& tracer = obs::Tracer::instance();
+        const std::int64_t round_start = tracer.now_us();
+        std::int64_t structural_us = 0;
+        std::int64_t propagate_us = 0;
+        std::int64_t tighten_us = 0;
+        bool feasible = true;
+        for (auto& row : rows) {
+          std::int64_t mark = tracer.now_us();
+          feasible = structural_pass(row);
+          std::int64_t now = tracer.now_us();
+          structural_us += now - mark;
+          if (!feasible) break;
+          if (opts.bound_propagation) {
+            mark = now;
+            feasible = propagate_row(row);
+            now = tracer.now_us();
+            propagate_us += now - mark;
+            if (!feasible) break;
+          }
+          if (opts.coefficient_tightening) {
+            mark = now;
+            tighten_row(row);
+            tighten_us += tracer.now_us() - mark;
+          }
+        }
+        tracer.record_complete(
+            "presolve.round", "presolve", round_start,
+            tracer.now_us() - round_start,
+            "\"round\":" + std::to_string(round) +
+                ",\"structural_us\":" + std::to_string(structural_us) +
+                ",\"propagate_us\":" + std::to_string(propagate_us) +
+                ",\"tighten_us\":" + std::to_string(tighten_us) +
+                ",\"changed\":" + (changed ? "true" : "false"));
+        if (!feasible) return false;
+      } else {
+        for (auto& row : rows) {
+          if (!structural_pass(row)) return false;
+          if (opts.bound_propagation && !propagate_row(row)) return false;
+          if (opts.coefficient_tightening) tighten_row(row);
+        }
       }
       if (!changed) break;
     }
@@ -438,8 +481,33 @@ struct PresolveRun {
   }
 };
 
+namespace {
+
+void record_presolve_metrics(const PresolveStats& stats) {
+  if (!obs::Metrics::active()) return;
+  obs::counter_add("presolve.runs");
+  obs::counter_add("presolve.rows_removed",
+                   static_cast<double>(stats.rows_removed));
+  obs::counter_add("presolve.cols_removed",
+                   static_cast<double>(stats.cols_removed));
+  obs::counter_add("presolve.coeffs_tightened",
+                   static_cast<double>(stats.coeffs_tightened));
+  obs::counter_add("presolve.bounds_tightened",
+                   static_cast<double>(stats.bounds_tightened));
+  if (stats.infeasible) obs::counter_add("presolve.infeasible");
+  obs::histogram_observe("presolve.seconds", stats.seconds);
+}
+
+}  // namespace
+
 PresolveResult run(const mip::Model& model, const PresolveOptions& options) {
   Stopwatch watch;
+  obs::SpanScope span(
+      obs::Tracer::active(), "presolve.run", "presolve",
+      obs::Tracer::active()
+          ? "\"vars\":" + std::to_string(model.num_vars()) +
+                ",\"rows\":" + std::to_string(model.num_constraints())
+          : std::string());
   PresolveRun state(model, options);
   state.load();
   const bool feasible = state.reduce();
@@ -455,10 +523,12 @@ PresolveResult run(const mip::Model& model, const PresolveOptions& options) {
     out.postsolve.fixed_value_.assign(
         static_cast<std::size_t>(model.num_vars()), 0.0);
     out.postsolve.reduced_vars_ = 0;
+    record_presolve_metrics(out.stats);
     return out;
   }
   PresolveResult out = state.emit();
   out.stats.seconds = watch.seconds();
+  record_presolve_metrics(out.stats);
   return out;
 }
 

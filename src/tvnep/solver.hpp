@@ -32,6 +32,7 @@ struct TvnepSolveResult {
   long lp_pivots = 0;
   long lp_iterations = 0;   // primal phase 1 + phase 2 + dual, summed
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
+  long refactorizations = 0;  // basis-inverse rebuilds across node LPs
   int model_vars = 0;
   int model_constraints = 0;
   int model_integer_vars = 0;

@@ -83,11 +83,21 @@ TEST(RunModelSweep, AnnounceSeesEveryCellOnce) {
   };
   // The runner serializes announce; no locking needed in the callback.
   std::vector<std::pair<double, int>> announced;
+  std::size_t last_completed = 0;
+  std::size_t announced_total = 0;
   const auto outcomes = run_model_sweep(
-      config, core::ModelKind::kCSigma, [&](const ScenarioOutcome& o) {
+      config, core::ModelKind::kCSigma,
+      [&](const ScenarioOutcome& o, const SweepProgress& progress) {
         announced.emplace_back(o.flexibility, o.seed);
+        // Progress counts up by one per announce, against a fixed total.
+        EXPECT_EQ(progress.completed, last_completed + 1);
+        EXPECT_GE(progress.eta_seconds, 0.0);
+        last_completed = progress.completed;
+        announced_total = progress.total;
       });
   EXPECT_EQ(announced.size(), outcomes.size());
+  EXPECT_EQ(announced_total, outcomes.size());
+  EXPECT_EQ(last_completed, outcomes.size());
   std::sort(announced.begin(), announced.end());
   for (std::size_t i = 1; i < announced.size(); ++i)
     EXPECT_NE(announced[i - 1], announced[i]);  // each cell exactly once
