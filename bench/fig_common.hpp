@@ -160,6 +160,8 @@ inline void announce_progress(const eval::ScenarioOutcome& outcome,
             << " pre=-" << outcome.result.presolve_rows_removed << "r/-"
             << outcome.result.presolve_cols_removed << "c";
   if (outcome.failed) std::cerr << " FAILED(" << outcome.error << ")";
+  if (!outcome.failure_reason.empty())
+    std::cerr << " DEGRADED(" << outcome.failure_reason << ")";
   std::cerr << '\n';
 }
 
@@ -194,7 +196,7 @@ inline void save_outcomes_csv(const std::string& path,
   if (write_header)
     os << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
           "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
-          "dual_fallbacks,refactorizations,"
+          "dual_fallbacks,refactorizations,numerical_drops,lp_recoveries,"
           "model_vars,model_constraints,model_integer_vars,"
           "presolve_rows_removed,presolve_cols_removed,"
           "presolve_coeffs_tightened,presolve_bounds_tightened,"
@@ -206,7 +208,8 @@ inline void save_outcomes_csv(const std::string& path,
        << r.objective << ',' << r.best_bound << ',' << r.gap << ','
        << r.seconds << ',' << o.wall_seconds << ',' << r.nodes << ','
        << r.lp_pivots << ',' << r.lp_iterations << ',' << r.dual_fallbacks
-       << ',' << r.refactorizations
+       << ',' << r.refactorizations << ',' << r.numerical_drops << ','
+       << r.lp_recoveries
        << ',' << r.model_vars << ',' << r.model_constraints << ','
        << r.model_integer_vars << ',' << r.presolve_rows_removed << ','
        << r.presolve_cols_removed << ',' << r.presolve_coeffs_tightened << ','

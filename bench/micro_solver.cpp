@@ -115,6 +115,46 @@ BENCHMARK(BM_CSigmaSolve)
     ->Args({3, 1})
     ->Unit(benchmark::kMillisecond);
 
+// The numerical-resilience overhead pair (ISSUE acceptance: scaling +
+// recovery ladder <= 5% on clean instances). Arg 0 strips the resilience
+// layer (no equilibration, no recovery ladder), arg 1 is the default
+// configuration; no faults are injected, so the delta is pure bookkeeping:
+// the one-off scaling pass plus unit-factor conversions on extraction.
+void BM_CSigmaSolveResilience(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.star_leaves = 2;
+  params.num_requests = static_cast<int>(state.range(0));
+  params.seed = 1;
+  params.flexibility = 1.0;
+  const net::TvnepInstance instance = workload::generate_workload(params);
+  const auto formulation =
+      core::build_formulation(instance, core::ModelKind::kCSigma, {});
+
+  mip::MipOptions options;
+  const bool resilience = state.range(1) != 0;
+  options.lp.scaling = resilience;
+  options.lp.recovery = resilience;
+  long nodes = 0, recoveries = 0;
+  for (auto _ : state) {
+    mip::MipSolver solver(options);
+    const mip::MipResult r = solver.solve(formulation->model());
+    benchmark::DoNotOptimize(r.objective);
+    nodes = r.nodes;
+    recoveries = r.lp_recoveries;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["recoveries"] = static_cast<double>(recoveries);
+}
+BENCHMARK(BM_CSigmaSolveResilience)
+    ->ArgNames({"requests", "resilience"})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // The reduction loop alone on the cΣ grid model (no tree search).
 void BM_PresolveCSigma(benchmark::State& state) {
   workload::WorkloadParams params;

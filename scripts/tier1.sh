@@ -12,6 +12,11 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 (cd build && ctest --output-on-failure -j "$jobs")
 
+# The numerical-resilience suites once more in isolation: `faultinject`
+# labels the tests that drive the LP recovery ladder and the B&B
+# degradation paths through SimplexOptions::fault_hook.
+(cd build && ctest --output-on-failure -j "$jobs" -L faultinject)
+
 cmake -B build-tsan -S . -DTVNEP_SANITIZE=thread
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \

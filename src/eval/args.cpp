@@ -1,10 +1,27 @@
 #include "eval/args.hpp"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "support/check.hpp"
 
 namespace tvnep::eval {
+
+namespace {
+
+// Parses the full token as a T, rejecting trailing garbage so a typo like
+// `--time-limit=8s` fails loudly instead of silently truncating to 8.
+template <typename T>
+T parse_or_die(const std::string& name, const std::string& text) {
+  T value{};
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  TVNEP_REQUIRE(ec == std::errc() && ptr == last && !text.empty(),
+                "--" + name + " expects a number, got '" + text + "'");
+  return value;
+}
+
+}  // namespace
 
 Args::Args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -36,12 +53,12 @@ bool Args::has(const std::string& name) const { return raw(name).has_value(); }
 
 int Args::get_int(const std::string& name, int fallback) const {
   const auto v = raw(name);
-  return v ? std::atoi(v->c_str()) : fallback;
+  return v ? parse_or_die<int>(name, *v) : fallback;
 }
 
 double Args::get_double(const std::string& name, double fallback) const {
   const auto v = raw(name);
-  return v ? std::atof(v->c_str()) : fallback;
+  return v ? parse_or_die<double>(name, *v) : fallback;
 }
 
 std::string Args::get_string(const std::string& name,

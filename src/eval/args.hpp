@@ -15,6 +15,9 @@ class Args {
 
   bool has(const std::string& name) const;
 
+  /// Strict numeric accessors: the whole value must parse
+  /// (std::from_chars), so `--time-limit=8s` throws CheckError with the
+  /// offending flag and text instead of silently truncating to 8.
   int get_int(const std::string& name, int fallback) const;
   double get_double(const std::string& name, double fallback) const;
   std::string get_string(const std::string& name,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 #include "obs/metrics.hpp"
@@ -46,6 +47,15 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
     config.flexibilities.push_back(f);
 
   config.presolve = !args.get_bool("no-presolve", false);
+  config.lp_scaling = !args.get_bool("no-lp-scaling", false);
+  config.lp_fault_period = args.get_int("lp-fault-period", 0);
+  config.lp_fault_burst = args.get_int("lp-fault-burst", 1);
+  TVNEP_REQUIRE(config.lp_fault_period >= 0,
+                "--lp-fault-period must be non-negative");
+  TVNEP_REQUIRE(config.lp_fault_period == 0 ||
+                    (config.lp_fault_burst >= 1 &&
+                     config.lp_fault_burst < config.lp_fault_period),
+                "--lp-fault-burst must be in [1, lp-fault-period)");
   config.build.dependency_cuts = !args.get_bool("no-dependency-cuts", false);
   config.build.pairwise_cuts = !args.get_bool("no-pairwise-cuts", false);
   config.build.precedence_cuts = !args.get_bool("no-precedence-cuts", false);
@@ -156,6 +166,23 @@ std::string cell_tree_log_context(const char* label, double flexibility,
          " seed=" + std::to_string(seed);
 }
 
+// Applies the sweep's LP-resilience knobs to a solver's SimplexOptions:
+// scaling on/off plus, when `--lp-fault-period` is set, a deterministic
+// per-cell fault hook. The hook owns its own consultation counter, so
+// every cell sees the same fault pattern regardless of worker
+// interleaving: out of every `period` consultations the first `burst`
+// report a failure.
+void apply_lp_resilience(const SweepConfig& config, lp::SimplexOptions& lp) {
+  lp.scaling = config.lp_scaling;
+  if (config.lp_fault_period <= 0) return;
+  auto counter = std::make_shared<long>(0);
+  const long period = config.lp_fault_period;
+  const long burst = config.lp_fault_burst;
+  lp.fault_hook = [counter, period, burst](long) {
+    return ((*counter)++ % period) < burst;
+  };
+}
+
 }  // namespace
 
 std::vector<ScenarioOutcome> run_model_sweep(
@@ -169,6 +196,7 @@ std::vector<ScenarioOutcome> run_model_sweep(
         solve_params.build = config.build;
         solve_params.time_limit_seconds = config.time_limit;
         solve_params.mip.presolve = config.presolve;
+        apply_lp_resilience(config, solve_params.mip.lp);
         if (obs::TreeLog::global() != nullptr)
           solve_params.mip.tree_log_context = cell_tree_log_context(
               core::to_string(kind), outcome.flexibility, outcome.seed);
@@ -177,8 +205,18 @@ std::vector<ScenarioOutcome> run_model_sweep(
                 ? config.solve_override(instance, kind, solve_params)
                 : core::solve(instance, kind, solve_params);
         if (outcome.result.status == mip::MipStatus::kNumericalFailure) {
+          // No incumbent survived the recovery ladder — this cell carries
+          // no usable result.
           outcome.failed = true;
           outcome.error = "solver reported a numerical failure";
+        } else if (outcome.result.status == mip::MipStatus::kNumericalLimit) {
+          outcome.failure_reason =
+              "numerical limit: search degraded, anytime incumbent kept";
+          obs::counter_add("sweep.degraded_cells");
+        } else if (outcome.result.numerical_drops > 0) {
+          outcome.failure_reason =
+              "numerical drops absorbed without affecting optimality";
+          obs::counter_add("sweep.degraded_cells");
         }
       },
       announce);
@@ -195,6 +233,7 @@ std::vector<GreedyOutcome> run_greedy_sweep(
         options.dependency_cuts = config.build.dependency_cuts;
         options.per_iteration_time_limit = config.time_limit;
         options.mip.presolve = config.presolve;
+        apply_lp_resilience(config, options.mip.lp);
         if (obs::TreeLog::global() != nullptr)
           options.mip.tree_log_context = cell_tree_log_context(
               "greedy", outcome.flexibility, outcome.seed);

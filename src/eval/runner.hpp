@@ -9,7 +9,9 @@
 // ordering and per-cell results are identical to the serial `--threads 1`
 // run (timing fields excepted). Progress callbacks are serialized by an
 // internal mutex. A cell whose solve throws (or reports a numerical
-// failure) records a failed outcome instead of aborting the sweep.
+// failure with no usable result) records a failed outcome instead of
+// aborting the sweep; a numerically degraded solve that still holds an
+// anytime incumbent keeps its result and only records a failure_reason.
 #pragma once
 
 #include <functional>
@@ -30,6 +32,18 @@ struct SweepConfig {
   double time_limit = 10.0;             // per solve, seconds
   int threads = 0;                      // workers; 0 → hardware_parallelism()
   bool presolve = true;                 // MIP presolve (`--no-presolve`)
+  bool lp_scaling = true;               // LP equilibration (`--no-lp-scaling`)
+  // Deterministic LP fault injection (`--lp-fault-period N`): every cell
+  // gets its own hook that fails `lp_fault_burst` consecutive simplex
+  // iterations out of every `lp_fault_period` hook consultations — burst 1
+  // exercises the first recovery rung, bursts of 5+ push nodes through the
+  // requeue/drop path. 0 disables injection (the default). For every fault
+  // to be recoverable the period must exceed the iteration count of the
+  // longest single LP attempt (each recovery retry restarts the count-up
+  // to the next burst); shorter periods deliberately starve long LPs and
+  // drive the sweep into the anytime/drop paths.
+  int lp_fault_period = 0;
+  int lp_fault_burst = 1;
   core::BuildOptions build;
 
   /// Replaces core::solve for every cell — the seam tests use to inject
@@ -45,6 +59,7 @@ struct SweepConfig {
 ///   --requests N --grid-rows R --grid-cols C --leaves L --seeds S
 ///   --time-limit SEC --flex-max HOURS --flex-step HOURS --threads N
 ///   --no-dependency-cuts --no-pairwise-cuts --no-presolve --paper-scale
+///   --no-lp-scaling --lp-fault-period N --lp-fault-burst B
 SweepConfig sweep_from_args(const Args& args, int default_requests,
                             int default_rows, int default_cols,
                             int default_leaves);
@@ -70,10 +85,15 @@ struct ScenarioOutcome {
   /// Wall clock of the whole cell (workload generation + model build +
   /// solve) on its worker thread — the throughput number for BENCH_*.json.
   double wall_seconds = 0.0;
-  /// The cell's solve threw or ended in MipStatus::kNumericalFailure.
-  /// Sibling cells are unaffected; `error` carries the exception text.
+  /// The cell's solve threw or ended in MipStatus::kNumericalFailure with
+  /// no usable result. Sibling cells are unaffected; `error` carries the
+  /// exception text. A solve that degraded numerically but still produced
+  /// an anytime incumbent (kNumericalLimit, or numerical_drops > 0) is NOT
+  /// failed — its result stays in the sweep and `failure_reason` records
+  /// what happened.
   bool failed = false;
   std::string error;
+  std::string failure_reason;
 };
 
 /// Solves every (flexibility, seed) cell with the given model, fanning the

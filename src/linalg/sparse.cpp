@@ -96,4 +96,25 @@ double SparseMatrix::column_dot(int c, std::span<const double> x) const {
   return sum;
 }
 
+void SparseMatrix::scale(std::span<const double> row_scale,
+                         std::span<const double> col_scale) {
+  TVNEP_REQUIRE(row_scale.size() == static_cast<std::size_t>(rows_) &&
+                    col_scale.size() == static_cast<std::size_t>(cols_),
+                "scale: vector length mismatch");
+  for (int c = 0; c < cols_; ++c) {
+    const double cs = col_scale[static_cast<std::size_t>(c)];
+    for (std::size_t k = col_start_[static_cast<std::size_t>(c)];
+         k < col_start_[static_cast<std::size_t>(c) + 1]; ++k)
+      col_entries_[k].value *=
+          cs * row_scale[static_cast<std::size_t>(col_entries_[k].index)];
+  }
+  for (int r = 0; r < rows_; ++r) {
+    const double rs = row_scale[static_cast<std::size_t>(r)];
+    for (std::size_t k = row_start_[static_cast<std::size_t>(r)];
+         k < row_start_[static_cast<std::size_t>(r) + 1]; ++k)
+      row_entries_[k].value *=
+          rs * col_scale[static_cast<std::size_t>(row_entries_[k].index)];
+  }
+}
+
 }  // namespace tvnep::linalg

@@ -63,6 +63,12 @@ class SparseMatrix {
   /// Dot product of column c with dense vector x (length rows()).
   double column_dot(int c, std::span<const double> x) const;
 
+  /// Replaces every entry a_ij with row_scale[i] * a_ij * col_scale[j] in
+  /// both layouts (LP equilibration; both scale vectors must match the
+  /// matrix dimensions). The sparsity pattern is unchanged.
+  void scale(std::span<const double> row_scale,
+             std::span<const double> col_scale);
+
  private:
   int rows_ = 0;
   int cols_ = 0;

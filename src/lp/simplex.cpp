@@ -29,8 +29,9 @@ const char* to_string(SolveStatus status) {
 }
 
 Simplex::Simplex(const Problem& problem, SimplexOptions options)
-    : problem_(&problem), options_(options) {
+    : problem_(&problem), options_(std::move(options)) {
   TVNEP_REQUIRE(problem.finalized(), "Simplex requires a finalized problem");
+  if (options_.scaling) build_scaling(problem);
   const int n = num_structural();
   const int m = num_rows();
   lower_.resize(static_cast<std::size_t>(n + m));
@@ -45,42 +46,114 @@ Simplex::Simplex(const Problem& problem, SimplexOptions options)
     options_.max_dual_iterations = std::max(2000, 4 * m);
 }
 
+// Geometric-mean equilibration of the constraint matrix. Two sweeps of
+// row-then-column scale refinement, then every factor is rounded to the
+// nearest power of two so applying (and inverting) the scaling is exact in
+// floating point. When every rounded factor is 1 the matrix was already
+// well scaled and the copy is skipped entirely — clean instances pay only
+// the analysis sweep, once per Simplex lifetime.
+void Simplex::build_scaling(const Problem& problem) {
+  const int m = problem.num_rows();
+  const int n = problem.num_columns();
+  if (m == 0 || n == 0) return;
+  const auto& matrix = problem.matrix();
+  std::vector<double> rs(static_cast<std::size_t>(m), 1.0);
+  std::vector<double> cs(static_cast<std::size_t>(n), 1.0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < m; ++i) {
+      double lo = kInf, hi = 0.0;
+      for (const auto& entry : matrix.row(i)) {
+        const double a = std::fabs(entry.value) *
+                         rs[static_cast<std::size_t>(i)] *
+                         cs[static_cast<std::size_t>(entry.index)];
+        if (a == 0.0) continue;
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+      }
+      if (hi > 0.0) rs[static_cast<std::size_t>(i)] /= std::sqrt(lo * hi);
+    }
+    for (int j = 0; j < n; ++j) {
+      double lo = kInf, hi = 0.0;
+      for (const auto& entry : matrix.column(j)) {
+        const double a = std::fabs(entry.value) *
+                         rs[static_cast<std::size_t>(entry.index)] *
+                         cs[static_cast<std::size_t>(j)];
+        if (a == 0.0) continue;
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+      }
+      if (hi > 0.0) cs[static_cast<std::size_t>(j)] /= std::sqrt(lo * hi);
+    }
+  }
+  auto round_pow2 = [](double s) { return std::exp2(std::round(std::log2(s))); };
+  bool any = false;
+  for (double& s : rs) {
+    s = round_pow2(s);
+    if (s != 1.0) any = true;
+  }
+  for (double& s : cs) {
+    s = round_pow2(s);
+    if (s != 1.0) any = true;
+  }
+  if (!any) return;
+
+  // Scaled data: A' = R A C and c' = C c, x = C x'. The scaled objective
+  // c'^T x' equals the original c^T x exactly (power-of-two factors cancel
+  // without rounding). Bounds are converted on the fly by reset_bounds /
+  // set_bounds, so only the matrix and cost vector are materialized.
+  scaled_matrix_ = matrix;
+  scaled_matrix_.scale(rs, cs);
+  scaled_cost_.resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j)
+    scaled_cost_[static_cast<std::size_t>(j)] =
+        problem.column(j).cost * cs[static_cast<std::size_t>(j)];
+  row_scale_ = std::move(rs);
+  col_scale_ = std::move(cs);
+  scaled_ = true;
+  obs::counter_add("lp.scaled_problems");
+}
+
 void Simplex::set_bounds(int j, double lo, double hi) {
   TVNEP_REQUIRE(j >= 0 && j < num_structural(), "set_bounds: bad column");
   TVNEP_REQUIRE(lo <= hi, "set_bounds: crossed bounds");
-  lower_[static_cast<std::size_t>(j)] = lo;
-  upper_[static_cast<std::size_t>(j)] = hi;
+  const double s = col_scale(j);
+  lower_[static_cast<std::size_t>(j)] = lo / s;
+  upper_[static_cast<std::size_t>(j)] = hi / s;
 }
 
 void Simplex::reset_bounds() {
   const int n = num_structural();
   const int m = num_rows();
   for (int j = 0; j < n; ++j) {
-    lower_[static_cast<std::size_t>(j)] = problem_->column(j).lower;
-    upper_[static_cast<std::size_t>(j)] = problem_->column(j).upper;
+    const double s = col_scale(j);
+    lower_[static_cast<std::size_t>(j)] = problem_->column(j).lower / s;
+    upper_[static_cast<std::size_t>(j)] = problem_->column(j).upper / s;
   }
   for (int i = 0; i < m; ++i) {
-    lower_[static_cast<std::size_t>(n + i)] = problem_->row(i).lower;
-    upper_[static_cast<std::size_t>(n + i)] = problem_->row(i).upper;
+    const double s = row_scale(i);
+    lower_[static_cast<std::size_t>(n + i)] = problem_->row(i).lower * s;
+    upper_[static_cast<std::size_t>(n + i)] = problem_->row(i).upper * s;
   }
 }
 
 double Simplex::working_lower(int j) const {
   TVNEP_REQUIRE(j >= 0 && j < num_structural(), "working_lower: bad column");
-  return lower_[static_cast<std::size_t>(j)];
+  return lower_[static_cast<std::size_t>(j)] * col_scale(j);
 }
 
 double Simplex::working_upper(int j) const {
   TVNEP_REQUIRE(j >= 0 && j < num_structural(), "working_upper: bad column");
-  return upper_[static_cast<std::size_t>(j)];
+  return upper_[static_cast<std::size_t>(j)] * col_scale(j);
 }
 
 void Simplex::set_cost(int j, double cost) {
   const_cast<Problem*>(problem_)->set_cost(j, cost);
+  if (scaled_)
+    scaled_cost_[static_cast<std::size_t>(j)] = cost * col_scale(j);
 }
 
 double Simplex::var_cost(int v) const {
-  return is_slack(v) ? 0.0 : problem_->column(v).cost;
+  return is_slack(v) ? 0.0 : struct_cost(v);
 }
 
 void Simplex::ftran(int v, std::vector<double>& alpha) const {
@@ -94,7 +167,7 @@ void Simplex::ftran(int v, std::vector<double>& alpha) const {
                  static_cast<std::size_t>(r)];
     return;
   }
-  for (const auto& entry : problem_->matrix().column(v)) {
+  for (const auto& entry : mat().column(v)) {
     const double val = entry.value;
     const std::size_t r = static_cast<std::size_t>(entry.index);
     for (int i = 0; i < m; ++i)
@@ -106,7 +179,7 @@ void Simplex::ftran(int v, std::vector<double>& alpha) const {
 double Simplex::column_dot(int v, const std::vector<double>& y) const {
   if (is_slack(v)) return -y[static_cast<std::size_t>(v - num_structural())];
   double sum = 0.0;
-  for (const auto& entry : problem_->matrix().column(v))
+  for (const auto& entry : mat().column(v))
     sum += entry.value * y[static_cast<std::size_t>(entry.index)];
   return sum;
 }
@@ -155,7 +228,7 @@ void Simplex::compute_basic_values() {
     if (is_slack(v)) {
       rhs[static_cast<std::size_t>(v - n)] += xv;  // -(-1) * x
     } else {
-      for (const auto& entry : problem_->matrix().column(v))
+      for (const auto& entry : mat().column(v))
         rhs[static_cast<std::size_t>(entry.index)] -= entry.value * xv;
     }
   }
@@ -392,11 +465,16 @@ SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
       return SolveStatus::kIterationLimit;
     if ((iterations & 63) == 0 && deadline.expired())
       return SolveStatus::kTimeLimit;
+    if (fault_injected()) {
+      obs::counter_add("lp.faults_injected");
+      return SolveStatus::kNumericalFailure;
+    }
 
     if (phase == Phase::kPhase1) compute_duals_phase1(y);
     else compute_duals_phase2(y);
 
-    const bool bland = degenerate_streak_ > options_.degeneracy_threshold;
+    const bool bland =
+        force_bland_ || degenerate_streak_ > options_.degeneracy_threshold;
     if (bland && !bland_previous) {
       obs::counter_add("lp.bland_switches");
       obs::instant("lp.bland_switch", "lp");
@@ -487,7 +565,7 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
     if ((iterations & 31) == 0) {
       double obj_now = 0.0;
       for (int j = 0; j < num_structural(); ++j)
-        obj_now += problem_->column(j).cost * x_[static_cast<std::size_t>(j)];
+        obj_now += struct_cost(j) * x_[static_cast<std::size_t>(j)];
       if (last_objective == kInf || obj_now > last_objective + 1e-9) {
         last_objective = obj_now;
         stall = 0;
@@ -497,6 +575,11 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
     }
     if ((iterations & 63) == 0 && deadline.expired()) {
       *status_out = SolveStatus::kTimeLimit;
+      return true;
+    }
+    if (fault_injected()) {
+      obs::counter_add("lp.faults_injected");
+      *status_out = SolveStatus::kNumericalFailure;
       return true;
     }
 
@@ -625,7 +708,7 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
         if (is_slack(v)) {
           aggregate[static_cast<std::size_t>(v - num_structural())] -= dx;
         } else {
-          for (const auto& entry : problem_->matrix().column(v))
+          for (const auto& entry : mat().column(v))
             aggregate[static_cast<std::size_t>(entry.index)] += entry.value * dx;
         }
       }
@@ -723,7 +806,7 @@ bool Simplex::refactorize() {
       if (is_slack(v)) {
         b(static_cast<std::size_t>(v - n), static_cast<std::size_t>(i)) = -1.0;
       } else {
-        for (const auto& entry : problem_->matrix().column(v))
+        for (const auto& entry : mat().column(v))
           b(static_cast<std::size_t>(entry.index), static_cast<std::size_t>(i)) =
               entry.value;
       }
@@ -744,17 +827,13 @@ bool Simplex::refactorize() {
 void Simplex::finish_solution() {
   objective_ = 0.0;
   for (int j = 0; j < num_structural(); ++j)
-    objective_ += problem_->column(j).cost * x_[static_cast<std::size_t>(j)];
+    objective_ += struct_cost(j) * x_[static_cast<std::size_t>(j)];
   std::vector<double> y;
   compute_duals_phase2(y);
   duals_ = std::move(y);
 }
 
-SolveStatus Simplex::solve() {
-  stats_ = SolveStats{};
-  Deadline deadline(options_.time_limit_seconds);
-  obs::counter_add("lp.solves");
-
+SolveStatus Simplex::solve_attempt(const Deadline& deadline) {
   if (has_basis_) {
     // Reposition nonbasic variables onto the (possibly changed) bounds.
     for (int v = 0; v < num_vars(); ++v) {
@@ -783,18 +862,16 @@ SolveStatus Simplex::solve() {
     if (dual_finished) {
       stats_.warm_started = true;
       if (status == SolveStatus::kOptimal) finish_solution();
-      if (status != SolveStatus::kNumericalFailure) return status;
-      // fall through to a cold primal solve on numerical failure
+      // A numerical failure surfaces to the recovery ladder in solve(),
+      // whose refactorize rung beats blindly continuing with the primal
+      // phases on a drifted inverse.
+      return status;
     }
-    // Warm basis is not dual feasible (or failed numerically): primal
-    // phases from the current basis are still a better start than cold.
+    // Warm basis is not dual feasible (or the dual stalled): primal phases
+    // from the current basis are still a better start than cold.
     stats_.dual_fallback = true;
     obs::counter_add("lp.dual_fallbacks");
-    SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
-    if (p1 == SolveStatus::kNumericalFailure) {
-      cold_start();
-      p1 = primal_simplex(Phase::kPhase1, deadline);
-    }
+    const SolveStatus p1 = primal_simplex(Phase::kPhase1, deadline);
     if (p1 != SolveStatus::kOptimal) return p1;
     const SolveStatus p2 = primal_simplex(Phase::kPhase2, deadline);
     if (p2 == SolveStatus::kOptimal) finish_solution();
@@ -809,18 +886,106 @@ SolveStatus Simplex::solve() {
   return p2;
 }
 
+// The staged recovery ladder. Each rung is attempted once per solve();
+// whichever rung first produces a non-numerical-failure status wins. The
+// ladder ordering goes from cheapest (keep the basis, fix the inverse) to
+// most disruptive (throw the basis away).
+SolveStatus Simplex::recover(const Deadline& deadline) {
+  // Rung 1: rebuild the basis inverse and retry from the same basis — the
+  // common case is accumulated product-form drift, which replay/LU repair.
+  {
+    ++stats_.recover_refactorize;
+    obs::counter_add("lp.recovery.refactorize");
+    obs::instant("lp.recover", "lp", "\"rung\":\"refactorize\"");
+    if (has_basis_ && refactorize()) {
+      const SolveStatus st = solve_attempt(deadline);
+      if (st != SolveStatus::kNumericalFailure) return st;
+    }
+  }
+  // Rung 2: Bland pricing with a tightened pivot tolerance — trades speed
+  // for guaranteed-safe pivots when aggressive Dantzig steps keep landing
+  // on near-singular pivot elements.
+  {
+    ++stats_.recover_bland;
+    obs::counter_add("lp.recovery.bland");
+    obs::instant("lp.recover", "lp", "\"rung\":\"bland\"");
+    const double saved_pivot_tol = options_.pivot_tol;
+    options_.pivot_tol = std::max(saved_pivot_tol * 100.0, 1e-6);
+    force_bland_ = true;
+    const SolveStatus st = solve_attempt(deadline);
+    force_bland_ = false;
+    options_.pivot_tol = saved_pivot_tol;
+    if (st != SolveStatus::kNumericalFailure) return st;
+  }
+  // Rung 3: relax every non-fixed working bound by a deterministic jitter
+  // to break ties at degenerate vertices, solve, then re-solve on the
+  // exact bounds from the perturbed basis. Fixed bounds (branch-and-bound
+  // fixings) are never touched, and the perturbation only ever *relaxes*,
+  // so a perturbed infeasibility verdict is valid for the original too.
+  {
+    ++stats_.recover_perturb;
+    obs::counter_add("lp.recovery.perturb");
+    obs::instant("lp.recover", "lp", "\"rung\":\"perturb\"");
+    std::vector<double> saved_lower = lower_;
+    std::vector<double> saved_upper = upper_;
+    const double base = std::max(options_.feasibility_tol * 100.0, 1e-7);
+    for (int v = 0; v < num_vars(); ++v) {
+      double& lo = lower_[static_cast<std::size_t>(v)];
+      double& hi = upper_[static_cast<std::size_t>(v)];
+      if (hi - lo < 1e-14) continue;  // keep fixings exact
+      const double jitter =
+          base * (1.0 + static_cast<double>((v * 7919) % 13) / 16.0);
+      if (finite(lo)) lo -= jitter * std::max(1.0, std::fabs(lo));
+      if (finite(hi)) hi += jitter * std::max(1.0, std::fabs(hi));
+    }
+    SolveStatus st = solve_attempt(deadline);
+    lower_ = std::move(saved_lower);
+    upper_ = std::move(saved_upper);
+    if (st == SolveStatus::kOptimal) {
+      // Clean-up solve on the exact bounds, warm from the perturbed basis.
+      st = solve_attempt(deadline);
+      if (st != SolveStatus::kNumericalFailure) return st;
+    } else if (st != SolveStatus::kNumericalFailure) {
+      return st;
+    }
+  }
+  // Rung 4: cold restart from the all-slack basis.
+  {
+    ++stats_.recover_cold;
+    obs::counter_add("lp.recovery.cold_restart");
+    obs::instant("lp.recover", "lp", "\"rung\":\"cold_restart\"");
+    has_basis_ = false;
+    degenerate_streak_ = 0;
+    return solve_attempt(deadline);
+  }
+}
+
+SolveStatus Simplex::solve() {
+  stats_ = SolveStats{};
+  Deadline deadline(options_.time_limit_seconds);
+  obs::counter_add("lp.solves");
+  SolveStatus status = solve_attempt(deadline);
+  if (status == SolveStatus::kNumericalFailure && options_.recovery)
+    status = recover(deadline);
+  return status;
+}
+
 double Simplex::value(int j) const {
   TVNEP_REQUIRE(j >= 0 && j < num_structural(), "value: bad column");
-  return x_[static_cast<std::size_t>(j)];
+  return x_[static_cast<std::size_t>(j)] * col_scale(j);
 }
 
 double Simplex::dual_value(int i) const {
   TVNEP_REQUIRE(i >= 0 && i < num_rows(), "dual_value: bad row");
-  return duals_[static_cast<std::size_t>(i)];
+  return duals_[static_cast<std::size_t>(i)] * row_scale(i);
 }
 
 std::vector<double> Simplex::primal_solution() const {
-  return {x_.begin(), x_.begin() + num_structural()};
+  std::vector<double> out(x_.begin(), x_.begin() + num_structural());
+  if (scaled_)
+    for (int j = 0; j < num_structural(); ++j)
+      out[static_cast<std::size_t>(j)] *= col_scale(j);
+  return out;
 }
 
 }  // namespace tvnep::lp

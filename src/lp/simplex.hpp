@@ -19,8 +19,18 @@
 // product-form pivots; it is rebuilt (pivot replay, dense-LU fallback) when
 // numerical drift is detected. This is O(m^2) per iteration and perfectly
 // adequate for the matrix sizes produced by the TVNEP formulations.
+//
+// Numerical resilience: the constraint matrix is equilibrated with
+// power-of-two geometric-mean row/column scaling before Phase I (the TVNEP
+// big-M time-linking rows mix coefficients spanning orders of magnitude),
+// and a numerical failure escalates through a staged recovery ladder —
+// refactorize, Bland pricing with a tightened pivot tolerance, bound
+// perturbation, cold restart — before it is reported to the caller. All
+// public values (bounds, solutions, duals, objective) stay in the
+// caller's original units.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "lp/problem.hpp"
@@ -59,6 +69,24 @@ struct SimplexOptions {
   // Cap on warm-start dual simplex iterations before falling back to the
   // primal (guards against degenerate dual stalls); 0 → automatic.
   int max_dual_iterations = 0;
+  // Geometric-mean row/column equilibration of the constraint matrix,
+  // applied once at construction and inverted on every extraction (values,
+  // duals, bounds are always exchanged in the original units). Scale
+  // factors are rounded to powers of two so scaling introduces no rounding
+  // error of its own; a matrix that is already well scaled keeps unit
+  // factors and pays nothing.
+  bool scaling = true;
+  // Staged in-solve recovery ladder on numerical failure: refactorize →
+  // Bland pricing with a tightened pivot tolerance → bound perturbation →
+  // cold restart. Each rung taken is counted in SolveStats and surfaced as
+  // an lp.recovery.* metric plus an lp.recover trace instant.
+  bool recovery = true;
+  // Deterministic fault-injection seam (compiled always, null by default):
+  // consulted once per simplex iteration with the lifetime pivot count; a
+  // true return makes the current solve attempt fail numerically, exactly
+  // as a real breakdown would. Tests use it to force failures at chosen
+  // pivots and prove every rung of the recovery ladder.
+  std::function<bool(long pivot)> fault_hook;
 };
 
 struct SolveStats {
@@ -71,6 +99,17 @@ struct SolveStats {
   // solve (dual-infeasible start, stall, or numerical failure) and the
   // primal phases completed it instead.
   bool dual_fallback = false;
+  // Recovery-ladder rungs taken during this solve (each at most once per
+  // solve() call; a rung is counted when it is entered, whether or not it
+  // ultimately cleared the failure).
+  int recover_refactorize = 0;
+  int recover_bland = 0;
+  int recover_perturb = 0;
+  int recover_cold = 0;
+  int recoveries() const {
+    return recover_refactorize + recover_bland + recover_perturb +
+           recover_cold;
+  }
 };
 
 class Simplex {
@@ -100,7 +139,8 @@ class Simplex {
 
   /// Solves with the current working bounds. Automatically warm starts from
   /// the previous basis when one exists (dual simplex), otherwise performs
-  /// a cold primal solve.
+  /// a cold primal solve. A numerical failure is retried through the
+  /// recovery ladder (see SimplexOptions::recovery) before it is reported.
   SolveStatus solve();
 
   /// Objective value of the last solve (valid when status was optimal).
@@ -144,6 +184,25 @@ class Simplex {
   int num_vars() const { return num_structural() + num_rows(); }
   bool is_slack(int v) const { return v >= num_structural(); }
 
+  // Equilibration: when scaling is active the pivots run on scaled_matrix_
+  // and scaled_cost_ (built once at construction) while problem_ keeps the
+  // caller's original data; every public entry/exit point converts with
+  // these factors.
+  const linalg::SparseMatrix& mat() const {
+    return scaled_ ? scaled_matrix_ : problem_->matrix();
+  }
+  double struct_cost(int j) const {
+    return scaled_ ? scaled_cost_[static_cast<std::size_t>(j)]
+                   : problem_->column(j).cost;
+  }
+  double col_scale(int j) const {
+    return scaled_ ? col_scale_[static_cast<std::size_t>(j)] : 1.0;
+  }
+  double row_scale(int i) const {
+    return scaled_ ? row_scale_[static_cast<std::size_t>(i)] : 1.0;
+  }
+  void build_scaling(const Problem& problem);
+
   double var_cost(int v) const;
   double lower(int v) const { return lower_[static_cast<std::size_t>(v)]; }
   double upper(int v) const { return upper_[static_cast<std::size_t>(v)]; }
@@ -181,7 +240,24 @@ class Simplex {
   double binv_residual() const;
   void finish_solution();
 
-  const Problem* problem_;
+  // One end-to-end solve attempt (warm dual → primal fallback, or cold
+  // primal phases). solve() wraps this with the recovery ladder.
+  SolveStatus solve_attempt(const Deadline& deadline);
+  // Escalates through the ladder after `status` came back as a numerical
+  // failure; returns the final status.
+  SolveStatus recover(const Deadline& deadline);
+  // True when the fault hook or a genuine breakdown should abort the
+  // current attempt; consulted once per iteration.
+  bool fault_injected() const {
+    return options_.fault_hook && options_.fault_hook(total_pivots_);
+  }
+
+  const Problem* problem_;      // caller's problem, original units
+  linalg::SparseMatrix scaled_matrix_;  // R·A·C (when scaled_)
+  std::vector<double> scaled_cost_;     // C·c (when scaled_)
+  std::vector<double> row_scale_;  // size m (when scaled_)
+  std::vector<double> col_scale_;  // size n (when scaled_)
+  bool scaled_ = false;
   SimplexOptions options_;
   SolveStats stats_;
 
@@ -198,6 +274,9 @@ class Simplex {
   long total_pivots_ = 0;
   int degenerate_streak_ = 0;
   bool trace_spans_ = true;
+  // Recovery-ladder state: rung 2 forces Bland pricing regardless of the
+  // degeneracy streak (with options_.pivot_tol temporarily tightened).
+  bool force_bland_ = false;
 };
 
 }  // namespace tvnep::lp

@@ -24,6 +24,7 @@ const char* to_string(MipStatus status) {
     case MipStatus::kUnbounded: return "unbounded";
     case MipStatus::kTimeLimit: return "time-limit";
     case MipStatus::kNodeLimit: return "node-limit";
+    case MipStatus::kNumericalLimit: return "numerical-limit";
     case MipStatus::kNumericalFailure: return "numerical-failure";
   }
   return "unknown";
@@ -31,6 +32,9 @@ const char* to_string(MipStatus status) {
 
 double MipResult::gap() const {
   if (!has_solution) return kInf;
+  // An aborted solve can report a -inf proven bound (root still open or
+  // dropped); the gap is then unknown, not NaN.
+  if (!std::isfinite(best_bound)) return kInf;
   const double diff = std::fabs(objective - best_bound);
   if (diff <= 1e-9) return 0.0;
   // Normalize by the larger of the two magnitudes: dividing by |objective|
@@ -85,6 +89,9 @@ struct Node {
   int branch_var = -1;
   bool branch_up = false;
   double branch_frac = 0.0;
+  // Times this node has been re-enqueued after its LP failed beyond the
+  // in-LP recovery ladder; at most one requeue before the node is dropped.
+  int numerical_retries = 0;
 };
 
 struct NodeOrder {
@@ -318,10 +325,13 @@ MipResult MipSolver::solve_tree(
   obs::TreeLog* tree_log =
       options_.tree_log != nullptr ? options_.tree_log : obs::TreeLog::global();
   double logged_bound_lp = -kInf;
+  // Weakest parent bound among subtrees dropped after the recovery ladder
+  // and a requeue both failed; the proven global bound can never pass it.
+  double dropped_bound_lp = kInf;
   auto emit_node = [&](const Node& node, const char* status, long lp_pivots,
                        int branch_var, double branch_frac, bool subtree_open) {
     if (tree_log == nullptr) return;
-    double frontier = kInf;
+    double frontier = dropped_bound_lp;
     if (!open.empty()) frontier = std::min(frontier, open.top().parent_bound);
     if (dive) frontier = std::min(frontier, dive->parent_bound);
     if (subtree_open) frontier = std::min(frontier, node.parent_bound);
@@ -363,7 +373,6 @@ MipResult MipSolver::solve_tree(
 
   bool aborted_time = false;
   bool aborted_nodes = false;
-  bool numerical_failure = false;
 
   auto fractional = [&](const std::vector<double>& x, int j) {
     const double v = x[static_cast<std::size_t>(j)];
@@ -428,6 +437,23 @@ MipResult MipSolver::solve_tree(
         obs::Tracer::active() && options_.trace_node_sample > 0 &&
         result.nodes % options_.trace_node_sample == 0;
     simplex.set_trace_spans(traced_node);
+    long node_pivots = 0;
+    // Accumulated after every solve() call on this node (retries included)
+    // so recovery and refactorization effort is never dropped from the
+    // telemetry. Only genuine fallbacks count towards dual_fallbacks: a
+    // warm basis existed but the dual simplex handed the solve over to the
+    // primal phases; cold (re)solves perform primal iterations too.
+    auto accumulate_lp_stats = [&]() {
+      const lp::SolveStats& st = simplex.stats();
+      node_pivots +=
+          st.phase1_iterations + st.phase2_iterations + st.dual_iterations;
+      result.phase1_iterations += st.phase1_iterations;
+      result.phase2_iterations += st.phase2_iterations;
+      result.dual_iterations += st.dual_iterations;
+      result.refactorizations += st.refactorizations;
+      result.lp_recoveries += st.recoveries();
+      if (st.dual_fallback) ++result.dual_fallbacks;
+    };
     lp::SolveStatus lp_status;
     {
       obs::SpanScope node_span(
@@ -436,25 +462,32 @@ MipResult MipSolver::solve_tree(
                             ",\"depth\":" + std::to_string(node.depth)
                       : std::string());
       lp_status = simplex.solve();
-      if (lp_status == lp::SolveStatus::kIterationLimit ||
-          lp_status == lp::SolveStatus::kNumericalFailure) {
+      accumulate_lp_stats();
+      if (lp_status == lp::SolveStatus::kIterationLimit) {
+        // Usually a degenerate warm start; one cold retry before the node
+        // is treated as numerically failed.
         simplex.invalidate_basis();
         lp_status = simplex.solve();
+        accumulate_lp_stats();
+      }
+      if (lp_status == lp::SolveStatus::kUnbounded &&
+          !(node.depth == 0 && !initial_solution)) {
+        // A non-root node's feasible region is a subset of its (bounded)
+        // parent relaxation, so an unbounded verdict here is numerical
+        // noise, not structure. Route it through recovery (cold restart)
+        // instead of silently pruning a possibly optimal subtree.
+        obs::counter_add("mip.unbounded_anomalies");
+        obs::instant("mip.unbounded_anomaly", "mip",
+                     "\"node\":" + std::to_string(node.id));
+        simplex.invalidate_basis();
+        lp_status = simplex.solve();
+        accumulate_lp_stats();
+        if (lp_status == lp::SolveStatus::kUnbounded)
+          lp_status = lp::SolveStatus::kNumericalFailure;
       }
     }
     ++result.nodes;
     ++nodes_since_heuristic;
-    const long node_pivots = simplex.stats().phase1_iterations +
-                             simplex.stats().phase2_iterations +
-                             simplex.stats().dual_iterations;
-    result.phase1_iterations += simplex.stats().phase1_iterations;
-    result.phase2_iterations += simplex.stats().phase2_iterations;
-    result.dual_iterations += simplex.stats().dual_iterations;
-    result.refactorizations += simplex.stats().refactorizations;
-    // Only genuine fallbacks: a warm basis existed but the dual simplex
-    // handed the solve over to the primal phases. Cold (re)solves perform
-    // primal iterations too and must not inflate this counter.
-    if (simplex.stats().dual_fallback) ++result.dual_fallbacks;
 
     if (lp_status == lp::SolveStatus::kTimeLimit) {
       aborted_time = true;
@@ -466,20 +499,39 @@ MipResult MipSolver::solve_tree(
       continue;
     }
     if (lp_status == lp::SolveStatus::kUnbounded) {
+      // Only the genuine case reaches here: the root relaxation with no
+      // caller incumbent is unbounded.
       emit_node(node, "unbounded", node_pivots, -1, 0.0, false);
-      if (node.depth == 0 && !initial_solution) {
-        result.status = MipStatus::kUnbounded;
-        result.lp_pivots = simplex.total_pivots();
-        result.seconds = watch.seconds();
-        record_metrics();
-        return result;
-      }
-      continue;  // bounded elsewhere; treat as prunable anomaly
+      result.status = MipStatus::kUnbounded;
+      result.lp_pivots = simplex.total_pivots();
+      result.seconds = watch.seconds();
+      record_metrics();
+      return result;
     }
     if (lp_status != lp::SolveStatus::kOptimal) {
-      numerical_failure = true;
-      emit_node(node, "numerical-failure", node_pivots, -1, 0.0, true);
-      break;
+      // The LP failed beyond the in-LP recovery ladder. Re-enqueue the
+      // node once with its parent bound (a later visit warm-starts from a
+      // different basis and usually succeeds); a second failure drops the
+      // subtree with its bound folded into the final best_bound instead of
+      // aborting the whole tree.
+      if (node.numerical_retries == 0) {
+        Node retry = node;
+        retry.numerical_retries = 1;
+        retry.id = next_id++;
+        obs::counter_add("mip.numerical_requeues");
+        obs::instant("mip.node_requeue", "mip",
+                     "\"node\":" + std::to_string(node.id));
+        open.push(std::move(retry));
+        emit_node(node, "numerical-requeue", node_pivots, -1, 0.0, false);
+      } else {
+        ++result.numerical_drops;
+        dropped_bound_lp = std::min(dropped_bound_lp, node.parent_bound);
+        obs::counter_add("mip.numerical_drops");
+        obs::instant("mip.node_drop", "mip",
+                     "\"node\":" + std::to_string(node.id));
+        emit_node(node, "numerical-drop", node_pivots, -1, 0.0, false);
+      }
+      continue;
     }
 
     const double node_bound = simplex.objective();
@@ -593,7 +645,12 @@ MipResult MipSolver::solve_tree(
   }
 
   const bool exhausted = !dive && open.empty();
-  if (exhausted && !aborted_time && !aborted_nodes && !numerical_failure) {
+  // Dropped subtrees only degrade the result when their bound could still
+  // hide an improvement; drops already dominated by the incumbent change
+  // nothing that the tree search proved.
+  const bool drops_matter = result.numerical_drops > 0 &&
+                            dropped_bound_lp < incumbent_lp_obj - 1e-9;
+  if (exhausted && !aborted_time && !aborted_nodes && !drops_matter) {
     if (result.has_solution) {
       result.status = MipStatus::kOptimal;
       result.best_bound = result.objective;
@@ -604,21 +661,26 @@ MipResult MipSolver::solve_tree(
     return result;
   }
 
-  // Aborted: the proven bound is the weakest among the open frontier, the
-  // interrupted dive chain, and the incumbent.
+  // Aborted or degraded: the proven bound is the weakest among the open
+  // frontier, the interrupted dive chain, the dropped subtrees, and the
+  // incumbent.
   double final_lp_bound = incumbent_lp_obj;
   if (!open.empty())
     final_lp_bound = std::min(final_lp_bound, open.top().parent_bound);
   if (dive) final_lp_bound = std::min(final_lp_bound, dive->parent_bound);
+  final_lp_bound = std::min(final_lp_bound, dropped_bound_lp);
   result.best_bound =
       std::isfinite(final_lp_bound) || result.has_solution
           ? to_model_obj(final_lp_bound)
           : to_model_obj(-kInf);
 
-  if (numerical_failure && !result.has_solution)
-    result.status = MipStatus::kNumericalFailure;
-  else if (aborted_time) result.status = MipStatus::kTimeLimit;
+  // Anytime semantics: with an incumbent in hand, numerical degradation is
+  // reported like a time/node limit (valid incumbent, bound and gap), not
+  // as a failure. kNumericalFailure is reserved for solves with no usable
+  // result at all.
+  if (aborted_time) result.status = MipStatus::kTimeLimit;
   else if (aborted_nodes) result.status = MipStatus::kNodeLimit;
+  else if (result.has_solution) result.status = MipStatus::kNumericalLimit;
   else result.status = MipStatus::kNumericalFailure;
   record_metrics();
   return result;

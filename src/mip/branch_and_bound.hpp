@@ -31,6 +31,14 @@ enum class MipStatus {
   kUnbounded,
   kTimeLimit,
   kNodeLimit,
+  // Anytime result under numerical degradation: one or more node LPs kept
+  // failing after the in-LP recovery ladder and a requeue, and their
+  // subtrees were dropped with their parent bounds folded into
+  // `best_bound`. The incumbent/bound/gap are valid, exactly as after a
+  // time or node limit; `numerical_drops` counts the dropped subtrees.
+  kNumericalLimit,
+  // No usable result at all: the search could neither finish cleanly nor
+  // produce an incumbent (e.g. the root LP failed beyond recovery).
   kNumericalFailure,
 };
 
@@ -79,6 +87,14 @@ struct MipResult {
   long dual_iterations = 0;
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
   long refactorizations = 0;  // basis-inverse rebuilds across node LPs
+  // Numerical-resilience telemetry. `lp_recoveries` totals the recovery
+  // ladder rungs taken across all node LPs (per-rung counts are on the
+  // lp.recovery.* metrics); `numerical_drops` counts subtrees abandoned
+  // after the ladder and one requeue both failed — any drop makes the
+  // final status an anytime one (kNumericalLimit at best), never optimal,
+  // unless the dropped bounds were already dominated by the incumbent.
+  long lp_recoveries = 0;
+  long numerical_drops = 0;
   // Presolve telemetry (all zero when MipOptions::presolve is off).
   long presolve_rows_removed = 0;
   long presolve_cols_removed = 0;

@@ -46,6 +46,8 @@ TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
                          mip_result.dual_iterations;
   result.dual_fallbacks = mip_result.dual_fallbacks;
   result.refactorizations = mip_result.refactorizations;
+  result.lp_recoveries = mip_result.lp_recoveries;
+  result.numerical_drops = mip_result.numerical_drops;
   result.model_vars = formulation->model().num_vars();
   result.model_constraints = formulation->model().num_constraints();
   result.model_integer_vars = formulation->model().num_integer_vars();

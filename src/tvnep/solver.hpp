@@ -33,6 +33,8 @@ struct TvnepSolveResult {
   long lp_iterations = 0;   // primal phase 1 + phase 2 + dual, summed
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
   long refactorizations = 0;  // basis-inverse rebuilds across node LPs
+  long lp_recoveries = 0;   // recovery-ladder rungs taken across node LPs
+  long numerical_drops = 0;  // subtrees dropped after recovery + requeue
   int model_vars = 0;
   int model_constraints = 0;
   int model_integer_vars = 0;

@@ -53,6 +53,37 @@ TEST(Args, RejectsPositionalArguments) {
   EXPECT_THROW(make({"positional"}), CheckError);
 }
 
+TEST(Args, RejectsMalformedNumbers) {
+  // Strict parsing: the whole value must be numeric. `--time-limit=8s`
+  // used to silently truncate to 8 via atof.
+  const Args a = make({"--time-limit=8s", "--requests", "3x", "--flag"});
+  EXPECT_THROW((void)a.get_double("time-limit", 0.0), CheckError);
+  EXPECT_THROW((void)a.get_int("requests", 0), CheckError);
+  // A bare boolean flag queried as a number is a usage error too.
+  EXPECT_THROW((void)a.get_int("flag", 0), CheckError);
+}
+
+TEST(Args, ErrorNamesTheFlagAndValue) {
+  const Args a = make({"--time-limit=8s"});
+  try {
+    (void)a.get_double("time-limit", 0.0);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("time-limit"), std::string::npos) << what;
+    EXPECT_NE(what.find("8s"), std::string::npos) << what;
+  }
+}
+
+TEST(Args, AcceptsWellFormedNumbers) {
+  const Args a = make({"--a=-3", "--b=2.5e-2", "--c", "0"});
+  EXPECT_EQ(a.get_int("a", 0), -3);
+  EXPECT_DOUBLE_EQ(a.get_double("b", 0.0), 2.5e-2);
+  EXPECT_EQ(a.get_int("c", 1), 0);
+  // A double-valued token queried as int is rejected, not truncated.
+  EXPECT_THROW((void)a.get_int("b", 0), CheckError);
+}
+
 TEST(Args, TrailingFlagIsBoolean) {
   const Args a = make({"--requests", "3", "--quick"});
   EXPECT_EQ(a.get_int("requests", 0), 3);
@@ -72,6 +103,30 @@ TEST(SweepFromArgs, ThreadsDefaultsToHardwareParallelism) {
   EXPECT_EQ(config.threads, 0);
   EXPECT_EQ(effective_threads(config),
             static_cast<int>(hardware_parallelism()));
+}
+
+TEST(SweepFromArgs, ResilienceFlagsDefaultAndParse) {
+  const SweepConfig defaults = sweep_from_args(make({}), 4, 2, 3, 2);
+  EXPECT_TRUE(defaults.lp_scaling);
+  EXPECT_EQ(defaults.lp_fault_period, 0);
+
+  const SweepConfig config = sweep_from_args(
+      make({"--no-lp-scaling", "--lp-fault-period", "40",
+            "--lp-fault-burst", "2"}),
+      4, 2, 3, 2);
+  EXPECT_FALSE(config.lp_scaling);
+  EXPECT_EQ(config.lp_fault_period, 40);
+  EXPECT_EQ(config.lp_fault_burst, 2);
+}
+
+TEST(SweepFromArgs, RejectsDegenerateFaultInjection) {
+  // A burst at least as long as the period would fail every consultation.
+  EXPECT_THROW(sweep_from_args(make({"--lp-fault-period", "3",
+                                     "--lp-fault-burst", "3"}),
+                               4, 2, 3, 2),
+               CheckError);
+  EXPECT_THROW(sweep_from_args(make({"--lp-fault-period", "-1"}), 4, 2, 3, 2),
+               CheckError);
 }
 
 }  // namespace

@@ -148,6 +148,78 @@ TEST(RunModelSweep, NumericalFailureMarksCellFailed) {
   }
 }
 
+TEST(RunModelSweep, DegradedAnytimeResultIsKeptNotFailed) {
+  SweepConfig config = tiny_config(2);
+  config.solve_override = [](const net::TvnepInstance&, core::ModelKind,
+                             const core::SolveParams&) {
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kNumericalLimit;
+    r.has_solution = true;
+    r.objective = 3.0;
+    r.numerical_drops = 2;
+    return r;
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.failed);
+    EXPECT_TRUE(o.error.empty());
+    EXPECT_FALSE(o.failure_reason.empty());
+    EXPECT_EQ(o.result.objective, 3.0);  // the incumbent survives
+  }
+}
+
+TEST(RunModelSweep, SurvivedDropsRecordAReasonOnCleanStatuses) {
+  SweepConfig config = tiny_config(2);
+  config.solve_override = [](const net::TvnepInstance&, core::ModelKind,
+                             const core::SolveParams&) {
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kOptimal;
+    r.has_solution = true;
+    r.numerical_drops = 1;  // dominated drops: optimality unaffected
+    return r;
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  for (const auto& o : outcomes) {
+    EXPECT_FALSE(o.failed);
+    EXPECT_FALSE(o.failure_reason.empty());
+  }
+}
+
+TEST(RunModelSweep, FaultInjectedSweepStillSolvesEveryCell) {
+  // End-to-end: real solves with a per-cell fault hook active. The ladder
+  // must absorb the injected failures in every cell, deterministically.
+  SweepConfig config = tiny_config(2);
+  config.lp_fault_period = 40;
+  config.lp_fault_burst = 2;
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 4u);
+  const auto clean = run_model_sweep(tiny_config(2), core::ModelKind::kCSigma);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_FALSE(outcomes[i].failed) << outcomes[i].error;
+    EXPECT_EQ(outcomes[i].result.status, mip::MipStatus::kOptimal);
+    EXPECT_GT(outcomes[i].result.lp_recoveries, 0);
+    // Recovery changes the path, never the answer.
+    EXPECT_NEAR(outcomes[i].result.objective, clean[i].result.objective,
+                1e-6);
+  }
+}
+
+TEST(RunModelSweep, ScalingOffSweepMatchesScalingOn) {
+  SweepConfig off = tiny_config(2);
+  off.lp_scaling = false;
+  const auto without = run_model_sweep(off, core::ModelKind::kCSigma);
+  const auto with = run_model_sweep(tiny_config(2), core::ModelKind::kCSigma);
+  ASSERT_EQ(without.size(), with.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_FALSE(without[i].failed);
+    EXPECT_EQ(without[i].result.status, with[i].result.status);
+    EXPECT_NEAR(without[i].result.objective, with[i].result.objective, 1e-6);
+  }
+}
+
 TEST(RunGreedySweep, ParallelMatchesSerial) {
   const auto serial = run_greedy_sweep(tiny_config(1));
   const auto parallel = run_greedy_sweep(tiny_config(4));

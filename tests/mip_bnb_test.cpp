@@ -137,6 +137,7 @@ TEST(BranchAndBound, ToStringCoversEveryStatus) {
   EXPECT_STREQ(to_string(MipStatus::kUnbounded), "unbounded");
   EXPECT_STREQ(to_string(MipStatus::kTimeLimit), "time-limit");
   EXPECT_STREQ(to_string(MipStatus::kNodeLimit), "node-limit");
+  EXPECT_STREQ(to_string(MipStatus::kNumericalLimit), "numerical-limit");
   EXPECT_STREQ(to_string(MipStatus::kNumericalFailure), "numerical-failure");
 }
 

@@ -1,0 +1,147 @@
+// Branch-and-bound graceful degradation under injected LP faults: the
+// requeue-once/drop accounting, the kNumericalLimit anytime status, and
+// the presolve invariant with faults active end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "mip/branch_and_bound.hpp"
+#include "tvnep/solver.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::mip {
+namespace {
+
+// Hook failing its first `k` consultations, then passing forever.
+std::function<bool(long)> fail_first(int k) {
+  auto calls = std::make_shared<long>(0);
+  return [calls, k](long) { return (*calls)++ < static_cast<long>(k); };
+}
+
+// Hook failing one consultation out of every `period`.
+std::function<bool(long)> fail_periodic(int period) {
+  auto calls = std::make_shared<long>(0);
+  return [calls, period](long) {
+    return ((*calls)++ % static_cast<long>(period)) == 0;
+  };
+}
+
+// The knapsack from mip_bnb_test: max 10a + 6b + 4c, 5a + 4b + 3c <= 10,
+// binary; optimum a+b with objective 16.
+Model make_knapsack() {
+  Model m;
+  const Var a = m.add_binary("a");
+  const Var b = m.add_binary("b");
+  const Var c = m.add_binary("c");
+  m.add_constr(5.0 * a + 4.0 * b + 3.0 * c <= 10.0);
+  m.set_objective(Sense::kMaximize, 10.0 * a + 6.0 * b + 4.0 * c);
+  return m;
+}
+
+TEST(MipResilience, PeriodicSingleFaultsAreAbsorbedByTheLadder) {
+  const Model m = make_knapsack();
+  MipOptions options;
+  options.lp.fault_hook = fail_periodic(5);
+  MipSolver solver(options);
+  const MipResult r = solver.solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 16.0, 1e-6);
+  EXPECT_GT(r.lp_recoveries, 0);
+  EXPECT_EQ(r.numerical_drops, 0);
+}
+
+TEST(MipResilience, BurstBeyondTheLadderIsSavedByTheRequeue) {
+  // Six consecutive failures exhaust one full ladder run (initial attempt
+  // plus four rungs) and spill one failure into the requeued visit, whose
+  // own ladder then clears it.
+  const Model m = make_knapsack();
+  MipOptions options;
+  options.lp.fault_hook = fail_first(6);
+  MipSolver solver(options);
+  const MipResult r = solver.solve(m);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 16.0, 1e-6);
+  EXPECT_GE(r.lp_recoveries, 5);
+  EXPECT_EQ(r.numerical_drops, 0);
+}
+
+TEST(MipResilience, PersistentFaultsKeepTheAnytimeIncumbent) {
+  // Every LP fails forever; the caller-supplied incumbent must survive as
+  // an anytime result instead of the whole solve aborting.
+  const Model m = make_knapsack();
+  MipOptions options;
+  options.lp.fault_hook = [](long) { return true; };
+  MipSolver solver(options);
+  const MipResult r =
+      solver.solve(m, std::vector<double>{1.0, 0.0, 0.0});  // a=1 → 10
+  ASSERT_EQ(r.status, MipStatus::kNumericalLimit);
+  ASSERT_TRUE(r.has_solution);
+  EXPECT_NEAR(r.objective, 10.0, 1e-6);
+  EXPECT_GE(r.numerical_drops, 1);
+  // The dropped root leaves the bound uninformative but the gap is still
+  // well defined (the paper's "∞" marker), never NaN.
+  EXPECT_FALSE(std::isnan(r.gap()));
+  EXPECT_GE(r.gap(), 0.0);
+}
+
+TEST(MipResilience, PersistentFaultsWithoutIncumbentReportFailure) {
+  const Model m = make_knapsack();
+  MipOptions options;
+  options.lp.fault_hook = [](long) { return true; };
+  MipSolver solver(options);
+  const MipResult r = solver.solve(m);
+  EXPECT_EQ(r.status, MipStatus::kNumericalFailure);
+  EXPECT_FALSE(r.has_solution);
+  EXPECT_GE(r.numerical_drops, 1);
+}
+
+TEST(MipResilience, GapGuardsNonFiniteBounds) {
+  MipResult r;
+  r.has_solution = true;
+  r.objective = 10.0;
+  r.best_bound = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isinf(r.gap()));
+  EXPECT_FALSE(std::isnan(r.gap()));
+}
+
+// End-to-end: on generated TVNEP instances the faulted solve must agree
+// with the clean solve, with and without presolve — recovery may change
+// the path through the tree but never the answer.
+TEST(MipResilience, FaultedTvnepSolvesMatchCleanOptimaWithAndWithoutPresolve) {
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    workload::WorkloadParams params;
+    params.grid_rows = 2;
+    params.grid_cols = 2;
+    params.star_leaves = 2;
+    params.num_requests = 3;
+    params.seed = seed;
+    const net::TvnepInstance instance =
+        workload::generate_workload_with_flexibility(params, 1.0);
+
+    core::SolveParams clean;
+    clean.time_limit_seconds = 60.0;
+    const auto reference =
+        core::solve(instance, core::ModelKind::kCSigma, clean);
+    ASSERT_EQ(reference.status, MipStatus::kOptimal) << "seed " << seed;
+
+    for (const bool presolve : {true, false}) {
+      core::SolveParams faulted = clean;
+      faulted.mip.presolve = presolve;
+      faulted.mip.lp.fault_hook = fail_periodic(50);
+      const auto r = core::solve(instance, core::ModelKind::kCSigma, faulted);
+      ASSERT_EQ(r.status, MipStatus::kOptimal)
+          << "seed " << seed << " presolve=" << presolve;
+      EXPECT_NEAR(r.objective, reference.objective, 1e-6)
+          << "seed " << seed << " presolve=" << presolve;
+      EXPECT_GT(r.lp_recoveries, 0)
+          << "seed " << seed << " presolve=" << presolve;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::mip
