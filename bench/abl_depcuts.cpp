@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
                               {0.0, 1.0, 2.0},
                               /*respect_paper_scale=*/false);
+  // The per-variant copies below share this journal; the variant name in
+  // each cell key keeps their records apart.
+  bench::attach_resilience(args, config, "abl_depcuts");
   bench::announce_threads(config);
 
   struct Variant {
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   for (const Variant& variant : variants) {
     std::cerr << "variant " << variant.name << "...\n";
     eval::SweepConfig cfg = config;
+    cfg.cell_label = variant.name;
     cfg.build.dependency_cuts = variant.dependency_cuts;
     cfg.build.pairwise_cuts = variant.pairwise_cuts;
     const auto outcomes = eval::run_model_sweep(

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
                               {0.0, 1.0, 2.0, 3.0});
+  bench::attach_resilience(args, config, "fig3");
   bench::announce_threads(config);
 
   bool first_model = true;

@@ -8,6 +8,7 @@
 
 #include "fig_common.hpp"
 #include "greedy/greedy.hpp"
+#include "obs/metrics.hpp"
 
 using namespace tvnep;
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/8.0, /*seeds=*/2,
                               {0.0, 1.0, 2.0, 3.0});
+  bench::attach_resilience(args, config, "fig6");
   const bool quiet = bench::quiet(args);
   bench::announce_threads(config);
 
@@ -34,6 +36,17 @@ int main(int argc, char** argv) {
         config.flexibilities.size(),
         std::vector<double>(static_cast<std::size_t>(config.seeds), 0.0));
     eval::for_each_cell(config, [&](std::size_t f, int seed, std::size_t) {
+      // Journal-backed resume (bespoke cells get checkpointing but not the
+      // watchdog/retry ladder of the run_*_sweep harnesses).
+      const eval::CellKey key{core::to_string(objective),
+                              static_cast<int>(f), seed};
+      if (config.journal) {
+        if (const eval::CellRecord* rec = config.journal->find(key)) {
+          gaps[f][static_cast<std::size_t>(seed)] = rec->number("gap");
+          obs::counter_add("sweep.resumed_cells");
+          return;
+        }
+      }
       workload::WorkloadParams params = config.base;
       params.seed = static_cast<std::uint64_t>(seed) + 1;
       const net::TvnepInstance full =
@@ -59,6 +72,15 @@ int main(int argc, char** argv) {
       const core::TvnepSolveResult result =
           core::solve(instance, core::ModelKind::kCSigma, solve_params);
       gaps[f][static_cast<std::size_t>(seed)] = bench::capped_gap(result);
+      if (config.journal) {
+        eval::CellRecord rec;
+        rec.key = key;
+        rec.fields["kind"] = eval::JournalValue("fig6");
+        rec.fields["gap"] = eval::JournalValue(bench::capped_gap(result));
+        rec.fields["status"] =
+            eval::JournalValue(mip::to_string(result.status));
+        config.journal->append(rec);
+      }
 
       if (!quiet) {
         std::lock_guard<std::mutex> lock(bench::log_mutex());

@@ -15,16 +15,19 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/10.0, /*seeds=*/3,
                               {0.0, 1.0, 2.0, 3.0});
+  bench::attach_resilience(args, config, "fig8");
   bench::announce_threads(config);
 
   const auto outcomes = eval::run_model_sweep(config, core::ModelKind::kCSigma,
                                               bench::progress_announcer(args));
   bench::save_outcomes_csv("fig8_cells.csv",
                            core::to_string(core::ModelKind::kCSigma), outcomes);
+  // accepted_requests is the flat mirror of solution.num_accepted(), so
+  // journal-resumed cells (which carry no solution object) plot the same.
   const auto accepted = eval::series_by_flexibility(
       config, outcomes, [](const eval::ScenarioOutcome& o) {
         return o.result.has_solution
-                   ? static_cast<double>(o.result.solution.num_accepted())
+                   ? static_cast<double>(o.result.accepted_requests)
                    : 0.0;
       });
   bench::print_series("Fig 8 — number of requests embedded by cΣ",

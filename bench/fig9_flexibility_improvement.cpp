@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
                                                    /*leaves=*/2);
   bench::apply_quick_defaults(args, config, /*time_limit=*/10.0, /*seeds=*/3,
                               {0.0, 1.0, 2.0, 3.0});
+  bench::attach_resilience(args, config, "fig9");
   bench::announce_threads(config);
 
   const auto outcomes = eval::run_model_sweep(config, core::ModelKind::kCSigma,

@@ -2,10 +2,12 @@
 // summary printing, CSV export.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +15,8 @@
 
 #include "eval/runner.hpp"
 #include "obs/session.hpp"
+#include "support/atomic_file.hpp"
+#include "support/parse_error.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -66,6 +70,37 @@ inline void apply_quick_defaults(const eval::Args& args,
   if (!args.has("time-limit") && !paper) config.time_limit = time_limit;
   if (!args.has("seeds") && !paper) config.seeds = seeds;
   if (!args.has("flex-max") && !paper) config.flexibilities = flexibilities;
+}
+
+/// Wires the crash-safety flags shared by every sweep bench:
+///   --checkpoint PATH  journal every completed cell to PATH (fresh file)
+///   --resume PATH      load PATH, skip journaled cells, keep appending
+/// Must run AFTER apply_quick_defaults/flag overrides so the journal
+/// fingerprint covers the final sweep configuration — resuming under
+/// different flags is refused with a structured error. `bench_id` keys the
+/// fingerprint so a fig4 journal cannot be resumed into fig3.
+inline void attach_resilience(const eval::Args& args,
+                              eval::SweepConfig& config,
+                              const std::string& bench_id) {
+  const std::string resume = args.get_string("resume", "");
+  const std::string checkpoint = args.get_string("checkpoint", "");
+  if (resume.empty() && checkpoint.empty()) return;
+  const std::uint64_t fingerprint =
+      eval::sweep_fingerprint(config, bench_id);
+  try {
+    config.journal = resume.empty()
+                         ? eval::SweepJournal::create(checkpoint, fingerprint)
+                         : eval::SweepJournal::resume(resume, fingerprint);
+  } catch (const ParseError& e) {
+    // A refused resume (wrong fingerprint, corrupt journal) is an operator
+    // error with a structured location — report it and stop cleanly.
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+  if (config.journal->loaded() > 0)
+    std::cerr << "resume: " << config.journal->loaded()
+              << " journaled cells will be reconstituted from "
+              << config.journal->path() << '\n';
 }
 
 /// Serializes progress lines written from parallel sweep cells. The sweep
@@ -131,14 +166,22 @@ inline net::TvnepInstance restrict_to(const net::TvnepInstance& instance,
 }
 
 /// Renders a sweep progress prefix: "[completed/total eta 42s]"; the ETA
-/// extrapolates from the mean cell wall clock so far and is omitted once
-/// the sweep is done.
+/// extrapolates from the mean wall clock of the cells solved this run
+/// (resumed cells are excluded from the rate) and is omitted once the
+/// sweep is done or while no cell has been solved yet. Resumed sweeps get
+/// a "+k resumed" marker.
 inline std::string progress_prefix(const eval::SweepProgress& progress) {
   std::string out = "[";
   out += std::to_string(progress.completed);
   out += "/";
   out += std::to_string(progress.total);
-  if (progress.completed < progress.total) {
+  if (progress.resumed > 0) {
+    out += " +";
+    out += std::to_string(progress.resumed);
+    out += " resumed";
+  }
+  if (progress.completed < progress.total &&
+      std::isfinite(progress.eta_seconds)) {
     char eta[32];
     std::snprintf(eta, sizeof(eta), " eta %.0fs", progress.eta_seconds);
     out += eta;
@@ -159,6 +202,10 @@ inline void announce_progress(const eval::ScenarioOutcome& outcome,
             << " pivots=" << outcome.result.lp_pivots
             << " pre=-" << outcome.result.presolve_rows_removed << "r/-"
             << outcome.result.presolve_cols_removed << "c";
+  if (outcome.resumed) std::cerr << " RESUMED";
+  if (outcome.retries > 0) std::cerr << " retries=" << outcome.retries;
+  if (outcome.timed_out) std::cerr << " TIMED-OUT";
+  if (outcome.abandoned) std::cerr << " ABANDONED";
   if (outcome.failed) std::cerr << " FAILED(" << outcome.error << ")";
   if (!outcome.failure_reason.empty())
     std::cerr << " DEGRADED(" << outcome.failure_reason << ")";
@@ -175,32 +222,22 @@ progress_announcer(const eval::Args& args) {
 }
 
 /// Writes one row per sweep cell with the full solver + presolve telemetry
-/// (the per-cell companion of print_series' per-flexibility summaries).
-/// Appends when `append` so multi-model benches can collect every model's
-/// cells in one file; the header is only written for a fresh file.
+/// plus the resilience trail (accepted/retries/timed_out/abandoned/
+/// resumed) — the per-cell companion of print_series' per-flexibility
+/// summaries. Appends when `append` so multi-model benches can collect
+/// every model's cells in one file. The whole file is rewritten atomically
+/// (temp file + rename) on every call from a process-local accumulator, so
+/// a crash mid-export never leaves a half-written or stale-mixed CSV.
 inline void save_outcomes_csv(const std::string& path,
                               const std::string& model_label,
                               const std::vector<eval::ScenarioOutcome>& outcomes,
                               bool append = false) {
-  bool write_header = true;
-  if (append) {
-    std::ifstream probe(path);
-    write_header =
-        !probe.good() || probe.peek() == std::ifstream::traits_type::eof();
-  }
-  std::ofstream os(path, append ? std::ios::app : std::ios::trunc);
-  if (!os) {
-    std::cerr << "warning: cannot write " << path << '\n';
-    return;
-  }
-  if (write_header)
-    os << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
-          "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
-          "dual_fallbacks,refactorizations,numerical_drops,lp_recoveries,"
-          "model_vars,model_constraints,model_integer_vars,"
-          "presolve_rows_removed,presolve_cols_removed,"
-          "presolve_coeffs_tightened,presolve_bounds_tightened,"
-          "presolve_infeasible,presolve_seconds\n";
+  static std::mutex mutex;
+  static std::map<std::string, std::string> accumulated;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::string& body = accumulated[path];
+  if (!append) body.clear();
+  std::ostringstream os;
   for (const auto& o : outcomes) {
     const auto& r = o.result;
     os << model_label << ',' << o.flexibility << ',' << o.seed << ','
@@ -214,8 +251,23 @@ inline void save_outcomes_csv(const std::string& path,
        << r.model_integer_vars << ',' << r.presolve_rows_removed << ','
        << r.presolve_cols_removed << ',' << r.presolve_coeffs_tightened << ','
        << r.presolve_bounds_tightened << ',' << (r.presolve_infeasible ? 1 : 0)
-       << ',' << r.presolve_seconds << '\n';
+       << ',' << r.presolve_seconds << ',' << r.accepted_requests << ','
+       << o.retries << ',' << (o.timed_out ? 1 : 0) << ','
+       << (o.abandoned ? 1 : 0) << ',' << (o.resumed ? 1 : 0) << '\n';
   }
+  body += os.str();
+  AtomicFile file(path);
+  file.stream()
+      << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
+         "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
+         "dual_fallbacks,refactorizations,numerical_drops,lp_recoveries,"
+         "model_vars,model_constraints,model_integer_vars,"
+         "presolve_rows_removed,presolve_cols_removed,"
+         "presolve_coeffs_tightened,presolve_bounds_tightened,"
+         "presolve_infeasible,presolve_seconds,accepted,retries,timed_out,"
+         "abandoned,resumed\n"
+      << body;
+  if (!file.commit()) std::cerr << "warning: cannot write " << path << '\n';
 }
 
 }  // namespace tvnep::bench

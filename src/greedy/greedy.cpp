@@ -39,6 +39,14 @@ GreedyResult solve_greedy(const net::TvnepInstance& instance,
   std::vector<int> last_good_mapping;  // sub→original for last_good
 
   for (std::size_t i = 0; i < order.size(); ++i) {
+    // Honor the soft-cancel seam between iterations too: a watchdog-fired
+    // flag would otherwise keep launching step MIPs that each return
+    // kTimeLimit immediately, one per remaining request.
+    if (options.mip.cancel != nullptr &&
+        options.mip.cancel->load(std::memory_order_relaxed)) {
+      result.complete = false;
+      break;
+    }
     const int original = order[i];
     const auto& req = instance.request(original);
     if (instance.has_fixed_mapping(original))

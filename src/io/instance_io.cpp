@@ -1,12 +1,13 @@
 #include "io/instance_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <optional>
-#include <sstream>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/parse_error.hpp"
 
 namespace tvnep::io {
 
@@ -46,10 +47,91 @@ void write_instance(const net::TvnepInstance& instance, std::ostream& os) {
   }
 }
 
-net::TvnepInstance read_instance(std::istream& is) {
+namespace {
+
+// Whitespace tokenizer over one line that remembers each token's 1-based
+// column, so every parse failure can point at the offending field instead
+// of echoing the whole line. All numeric fields go through std::from_chars
+// and must consume the entire token — "3.5x" or a missing field is a
+// structured ParseError, never a silently defaulted zero (the failbit
+// paths of operator>> that the previous reader ignored).
+class LineFields {
+ public:
+  LineFields(const std::string& source, long line_number,
+             const std::string& line)
+      : source_(source), line_number_(line_number) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i >= line.size()) break;
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      tokens_.push_back(line.substr(start, i - start));
+      columns_.push_back(static_cast<long>(start) + 1);
+    }
+  }
+
+  std::size_t remaining() const { return tokens_.size() - next_; }
+
+  [[noreturn]] void fail(const std::string& message, long column = 0) const {
+    throw ParseError(source_, line_number_, column, message);
+  }
+
+  std::string next_string(const char* what) {
+    if (next_ >= tokens_.size())
+      fail(std::string("missing ") + what + " field");
+    ++next_;
+    return tokens_[next_ - 1];
+  }
+
+  double next_double(const char* what) {
+    const std::size_t at = next_;
+    const std::string token = next_string(what);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+      fail(std::string("malformed ") + what + " value '" + token + "'",
+           columns_[at]);
+    return value;
+  }
+
+  int next_int(const char* what) {
+    const std::size_t at = next_;
+    const std::string token = next_string(what);
+    int value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+      fail(std::string("malformed ") + what + " value '" + token + "'",
+           columns_[at]);
+    return value;
+  }
+
+  void expect_done() const {
+    if (next_ < tokens_.size())
+      fail("unexpected trailing field '" + tokens_[next_] + "'",
+           columns_[next_]);
+  }
+
+ private:
+  const std::string& source_;
+  long line_number_;
+  std::vector<std::string> tokens_;
+  std::vector<long> columns_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+net::TvnepInstance read_instance(std::istream& is,
+                                 const std::string& source) {
   std::string line;
-  TVNEP_REQUIRE(std::getline(is, line) && line.rfind("tvnep 1", 0) == 0,
-                "instance file must start with 'tvnep 1'");
+  long line_number = 0;
+  if (!std::getline(is, line) || line.rfind("tvnep 1", 0) != 0)
+    throw ParseError(source, 1, 0,
+                     "instance file must start with 'tvnep 1'");
+  ++line_number;
 
   net::SubstrateNetwork substrate;
   double horizon = 0.0;
@@ -61,53 +143,59 @@ net::TvnepInstance read_instance(std::istream& is) {
   std::vector<PendingRequest> pending;
 
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string keyword;
-    ls >> keyword;
+    LineFields fields(source, line_number, line);
+    const std::string keyword = fields.next_string("keyword");
     if (keyword == "horizon") {
-      ls >> horizon;
+      horizon = fields.next_double("horizon");
+      fields.expect_done();
     } else if (keyword == "substrate-node") {
-      double capacity = 0.0;
+      const double capacity = fields.next_double("capacity");
       std::string name;
-      ls >> capacity;
-      ls >> name;  // optional
+      if (fields.remaining() > 0) name = fields.next_string("name");
+      fields.expect_done();
       substrate.add_node(capacity, name);
     } else if (keyword == "substrate-link") {
-      int from = 0, to = 0;
-      double capacity = 0.0;
-      ls >> from >> to >> capacity;
+      const int from = fields.next_int("from");
+      const int to = fields.next_int("to");
+      const double capacity = fields.next_double("capacity");
+      fields.expect_done();
       substrate.add_link(from, to, capacity);
     } else if (keyword == "request") {
-      std::string name;
-      double ts = 0.0, te = 0.0, d = 0.0;
-      ls >> name >> ts >> te >> d;
+      const std::string name = fields.next_string("name");
+      const double ts = fields.next_double("earliest-start");
+      const double te = fields.next_double("latest-end");
+      const double d = fields.next_double("duration");
+      fields.expect_done();
       PendingRequest p{net::VnetRequest(name), std::nullopt};
       pending.push_back(std::move(p));
       // Temporal spec is applied after the nodes exist (set_temporal
       // validates the duration, which needs no nodes, so set it now).
       pending.back().request.set_temporal(ts, te, d);
     } else if (keyword == "vnode") {
-      TVNEP_REQUIRE(!pending.empty(), "vnode before any request");
-      double demand = 0.0;
-      ls >> demand;
+      if (pending.empty()) fields.fail("vnode before any request");
+      const double demand = fields.next_double("demand");
+      fields.expect_done();
       pending.back().request.add_node(demand);
     } else if (keyword == "vlink") {
-      TVNEP_REQUIRE(!pending.empty(), "vlink before any request");
-      int from = 0, to = 0;
-      double demand = 0.0;
-      ls >> from >> to >> demand;
+      if (pending.empty()) fields.fail("vlink before any request");
+      const int from = fields.next_int("from");
+      const int to = fields.next_int("to");
+      const double demand = fields.next_double("demand");
+      fields.expect_done();
       pending.back().request.add_link(from, to, demand);
     } else if (keyword == "mapping") {
-      TVNEP_REQUIRE(!pending.empty(), "mapping before any request");
+      if (pending.empty()) fields.fail("mapping before any request");
       std::vector<net::NodeId> map;
-      int host = 0;
-      while (ls >> host) map.push_back(host);
+      while (fields.remaining() > 0) map.push_back(fields.next_int("host"));
       pending.back().mapping = std::move(map);
     } else {
-      TVNEP_REQUIRE(false, "unknown instance keyword: " + keyword);
+      fields.fail("unknown instance keyword: " + keyword, 1);
     }
-    TVNEP_REQUIRE(!ls.bad(), "malformed instance line: " + line);
+    if (is.bad())
+      throw ParseError(source, line_number, 0,
+                       "I/O error while reading instance");
   }
 
   net::TvnepInstance instance(std::move(substrate), horizon);
@@ -127,7 +215,7 @@ void save_instance(const net::TvnepInstance& instance,
 net::TvnepInstance load_instance(const std::string& path) {
   std::ifstream in(path);
   TVNEP_REQUIRE(in.good(), "cannot open instance file for read: " + path);
-  return read_instance(in);
+  return read_instance(in, path);
 }
 
 }  // namespace tvnep::io

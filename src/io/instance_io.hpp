@@ -27,9 +27,13 @@ namespace tvnep::io {
 /// Serializes the instance; the output round-trips through read_instance.
 void write_instance(const net::TvnepInstance& instance, std::ostream& os);
 
-/// Parses an instance written by write_instance. Throws CheckError on
-/// malformed input.
-net::TvnepInstance read_instance(std::istream& is);
+/// Parses an instance written by write_instance. Malformed input throws
+/// ParseError (a CheckError) carrying `source`, the 1-based line and,
+/// where it applies, the column of the offending field — numeric fields
+/// are parsed strictly (std::from_chars over the whole token), so a
+/// mistyped value is reported instead of silently defaulting to zero.
+net::TvnepInstance read_instance(std::istream& is,
+                                 const std::string& source = "<instance>");
 
 /// File-based convenience wrappers.
 void save_instance(const net::TvnepInstance& instance,

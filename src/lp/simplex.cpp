@@ -463,7 +463,7 @@ SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
       return SolveStatus::kOptimal;  // feasible; caller proceeds to phase 2
     if (iterations >= options_.max_iterations)
       return SolveStatus::kIterationLimit;
-    if ((iterations & 63) == 0 && deadline.expired())
+    if ((iterations & 63) == 0 && out_of_time(deadline))
       return SolveStatus::kTimeLimit;
     if (fault_injected()) {
       obs::counter_add("lp.faults_injected");
@@ -573,7 +573,7 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
         return false;
       }
     }
-    if ((iterations & 63) == 0 && deadline.expired()) {
+    if ((iterations & 63) == 0 && out_of_time(deadline)) {
       *status_out = SolveStatus::kTimeLimit;
       return true;
     }

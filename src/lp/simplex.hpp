@@ -30,6 +30,7 @@
 // caller's original units.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -87,6 +88,12 @@ struct SimplexOptions {
   // as a real breakdown would. Tests use it to force failures at chosen
   // pivots and prove every rung of the recovery ladder.
   std::function<bool(long pivot)> fault_hook;
+  // Cooperative soft-cancel seam: polled at the same cadence as the
+  // deadline (every 64 iterations); a set flag makes the solve return
+  // kTimeLimit at the next poll. The pointee must outlive the solve. The
+  // sweep watchdog uses this to cut a runaway cell loose without killing
+  // its worker thread.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SolveStats {
@@ -230,6 +237,14 @@ class Simplex {
   void pivot(int entering, double direction, const RatioResult& ratio,
              const std::vector<double>& alpha);
   void update_binv(int leaving_row, const std::vector<double>& alpha);
+
+  /// Deadline expiry or external soft-cancel — both end the solve with
+  /// kTimeLimit at the next poll.
+  bool out_of_time(const Deadline& deadline) const {
+    return deadline.expired() ||
+           (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed));
+  }
 
   SolveStatus primal_simplex(Phase phase, const Deadline& deadline);
   // Returns true when it ran to completion (status_out set); false when the

@@ -199,7 +199,12 @@ MipResult MipSolver::solve_tree(
 
   std::vector<bool> is_int;
   lp::Problem problem = model.to_lp(&is_int);
-  lp::Simplex simplex(problem, options_.lp);
+  // The MIP-level soft-cancel seam reaches into every node LP so a cancel
+  // fired mid-LP takes effect within one polling interval, not one node.
+  lp::SimplexOptions lp_options = options_.lp;
+  if (options_.cancel != nullptr && lp_options.cancel == nullptr)
+    lp_options.cancel = options_.cancel;
+  lp::Simplex simplex(problem, lp_options);
 
   obs::SpanScope tree_span(
       obs::Tracer::active(), "mip.solve_tree", "mip",
@@ -400,7 +405,12 @@ MipResult MipSolver::solve_tree(
   long nodes_since_heuristic = 0;
 
   while (dive || !open.empty()) {
-    if (deadline.expired()) { aborted_time = true; break; }
+    if (deadline.expired() ||
+        (options_.cancel != nullptr &&
+         options_.cancel->load(std::memory_order_relaxed))) {
+      aborted_time = true;
+      break;
+    }
     if (options_.max_nodes > 0 && result.nodes >= options_.max_nodes) {
       aborted_nodes = true;
       break;

@@ -12,6 +12,7 @@
 //    quantity the paper plots in Figures 4 and 6.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -70,6 +71,13 @@ struct MipOptions {
   // LP phase spans) for every Nth processed node; <= 0 disables node-LP
   // spans. The root LP is always node 0 and therefore always sampled.
   long trace_node_sample = 16;
+  // Cooperative soft-cancel: polled at the top of the branch-and-bound
+  // loop and propagated into every node LP (lp.cancel, unless the caller
+  // set that seam itself). A set flag aborts with anytime time-limit
+  // semantics — incumbent, bound and gap stay valid exactly as when the
+  // wall-clock budget runs out. The pointee must outlive the solve. The
+  // sweep watchdog fires this flag when a cell overruns `--cell-timeout`.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MipResult {

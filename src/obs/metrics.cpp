@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 
 #include "obs/trace.hpp"  // json_number / json_escape
+#include "support/atomic_file.hpp"
 
 namespace tvnep::obs {
 
@@ -115,8 +115,8 @@ MetricsSnapshot Metrics::snapshot() const {
 }
 
 bool Metrics::write_json(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
+  AtomicFile file(path);
+  std::ostream& os = file.stream();
   const MetricsSnapshot snap = snapshot();
   os << "{\n  \"counters\": {";
   bool first = true;
@@ -152,7 +152,7 @@ bool Metrics::write_json(const std::string& path) const {
     first = false;
   }
   os << "\n  }\n}\n";
-  return os.good();
+  return file.commit();
 }
 
 }  // namespace tvnep::obs

@@ -59,8 +59,7 @@ bool ObsSession::finish() {
          config_.metrics_path);
   }
   if (tree_log_) {
-    tree_log_->flush();
-    save(tree_log_->ok(), "tree log", config_.tree_log_path);
+    save(tree_log_->close(), "tree log", config_.tree_log_path);
     tree_log_.reset();  // clears the global pointer via ~TreeLog
   }
   return ok;

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+
+#include "support/atomic_file.hpp"
 
 namespace tvnep::obs {
 
@@ -133,8 +134,8 @@ void write_event_body(std::ostream& os, const TraceEvent& e) {
 }  // namespace
 
 bool Tracer::write_chrome_trace(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
+  AtomicFile file(path);
+  std::ostream& os = file.stream();
   const std::vector<TraceEvent> events = snapshot();
   os << "{\"traceEvents\":[";
   bool first = true;
@@ -145,17 +146,17 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
     first = false;
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
-  return os.good();
+  return file.commit();
 }
 
 bool Tracer::write_jsonl(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
+  AtomicFile file(path);
+  std::ostream& os = file.stream();
   for (const TraceEvent& e : snapshot()) {
     write_event_body(os, e);
     os << '\n';
   }
-  return os.good();
+  return file.commit();
 }
 
 void SpanScope::begin(const char* name, const char* cat, std::string args) {

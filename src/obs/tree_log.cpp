@@ -1,27 +1,32 @@
 #include "obs/tree_log.hpp"
 
+#include <cstdio>
+
 #include "obs/trace.hpp"  // json_number / json_escape
 
 namespace tvnep::obs {
 
 std::atomic<TreeLog*> TreeLog::global_{nullptr};
 
-TreeLog::TreeLog(const std::string& path) : out_(path) {}
+TreeLog::TreeLog(const std::string& path)
+    : path_(path), out_(path + ".partial") {}
 
 TreeLog::~TreeLog() {
   // Never leave a dangling global pointer behind.
   TreeLog* self = this;
   global_.compare_exchange_strong(self, nullptr);
+  close();
 }
 
 bool TreeLog::ok() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return close_ok_;
   return out_.good();
 }
 
 void TreeLog::write(const NodeRecord& r, const std::string& context) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!out_) return;
+  if (closed_ || !out_) return;
   if (!context.empty()) out_ << "{\"ctx\":\"" << json_escape(context) << "\",";
   else out_ << '{';
   out_ << "\"node\":" << r.node << ",\"depth\":" << r.depth
@@ -44,7 +49,22 @@ void TreeLog::write(const NodeRecord& r, const std::string& context) {
 
 void TreeLog::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!closed_) out_.flush();
+}
+
+bool TreeLog::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return close_ok_;
+  closed_ = true;
   out_.flush();
+  close_ok_ = out_.good();
+  out_.close();
+  const std::string partial = path_ + ".partial";
+  if (close_ok_)
+    close_ok_ = std::rename(partial.c_str(), path_.c_str()) == 0;
+  else
+    std::remove(partial.c_str());
+  return close_ok_;
 }
 
 long TreeLog::records() const {

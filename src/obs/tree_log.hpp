@@ -57,7 +57,11 @@ struct NodeRecord {
 
 class TreeLog {
  public:
-  /// Opens `path` for writing (truncates). Check ok() afterwards.
+  /// Starts the log. Records stream into "<path>.partial"; close() (or the
+  /// destructor) renames the finished file over `path`, so `path` is only
+  /// ever a complete log — a crashed run leaves its partial stream under
+  /// the .partial name instead of a torn file at the export path. Check
+  /// ok() afterwards.
   explicit TreeLog(const std::string& path);
   ~TreeLog();
 
@@ -67,6 +71,10 @@ class TreeLog {
   bool ok() const;
   void write(const NodeRecord& record, const std::string& context = {});
   void flush();
+  /// Flushes, closes the stream and publishes the log at its final path.
+  /// Idempotent; returns false when the stream went bad or the rename
+  /// failed. The destructor calls it.
+  bool close();
   long records() const;
 
   /// The process-wide default log consulted by MipSolver when
@@ -81,8 +89,11 @@ class TreeLog {
 
  private:
   mutable std::mutex mutex_;
+  std::string path_;
   std::ofstream out_;
   long records_ = 0;
+  bool closed_ = false;
+  bool close_ok_ = false;
   static std::atomic<TreeLog*> global_;
 };
 

@@ -1,0 +1,45 @@
+// Structured parse errors for the line-oriented readers (instance files,
+// checkpoint journals): every failure names its source, line and column,
+// so a malformed record in a thousand-line file is a one-glance fix
+// instead of an unannotated abort. Derives CheckError so existing
+// catch/EXPECT_THROW sites keep working.
+#pragma once
+
+#include <string>
+
+#include "support/check.hpp"
+
+namespace tvnep {
+
+class ParseError : public CheckError {
+ public:
+  /// `source` is a display label (usually a path or "<stream>"); `line`
+  /// and `column` are 1-based; column 0 means "whole line".
+  ParseError(std::string source, long line, long column, std::string message)
+      : CheckError(format(source, line, column, message)),
+        source_(std::move(source)),
+        line_(line),
+        column_(column),
+        message_(std::move(message)) {}
+
+  const std::string& source() const { return source_; }
+  long line() const { return line_; }
+  long column() const { return column_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  static std::string format(const std::string& source, long line, long column,
+                            const std::string& message) {
+    std::string out = source + ":" + std::to_string(line);
+    if (column > 0) out += ":" + std::to_string(column);
+    out += ": " + message;
+    return out;
+  }
+
+  std::string source_;
+  long line_ = 0;
+  long column_ = 0;
+  std::string message_;
+};
+
+}  // namespace tvnep

@@ -1,11 +1,11 @@
 #include "support/table.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "support/atomic_file.hpp"
 #include "support/check.hpp"
 
 namespace tvnep {
@@ -72,9 +72,11 @@ void Table::print_csv(std::ostream& os) const {
 }
 
 void Table::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  TVNEP_REQUIRE(out.good(), "cannot open CSV output file: " + path);
-  print_csv(out);
+  // Atomic temp-then-rename: a crash mid-export never leaves a torn CSV
+  // behind (an older complete file, if any, survives instead).
+  AtomicFile file(path);
+  print_csv(file.stream());
+  TVNEP_REQUIRE(file.commit(), "cannot write CSV output file: " + path);
 }
 
 }  // namespace tvnep

@@ -57,8 +57,10 @@ TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
   result.presolve_bounds_tightened = mip_result.presolve_bounds_tightened;
   result.presolve_infeasible = mip_result.presolve_infeasible;
   result.presolve_seconds = mip_result.presolve_seconds;
-  if (mip_result.has_solution)
+  if (mip_result.has_solution) {
     result.solution = formulation->extract(mip_result.solution);
+    result.accepted_requests = result.solution.num_accepted();
+  }
   return result;
 }
 

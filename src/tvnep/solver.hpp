@@ -22,6 +22,10 @@ struct TvnepSolveResult {
   mip::MipStatus status = mip::MipStatus::kNumericalFailure;
   bool has_solution = false;
   TvnepSolution solution;
+  /// Accepted-request count of `solution` (0 when no solution) as a flat
+  /// field: sweep checkpoints journal it and figure 8 plots it without
+  /// needing the full solution object reconstituted on resume.
+  int accepted_requests = 0;
   double objective = 0.0;
   double best_bound = 0.0;
   double gap = 0.0;  // +inf when no incumbent (paper's "∞" marker)

@@ -1,0 +1,275 @@
+// Per-cell resilience: the watchdog's cooperative soft-cancel and
+// recorded-abandonment escalation, the deterministic retry backoff, and
+// the sweep harness's retry ladder end-to-end (transient failures re-run,
+// presolve dropped on the final rung, non-transient outcomes untouched).
+#include "eval/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "eval/runner.hpp"
+
+namespace tvnep::eval {
+namespace {
+
+// One-cell sweep: everything the ladder does is observable on outcome[0].
+SweepConfig one_cell_config() {
+  SweepConfig config;
+  config.base.num_requests = 2;
+  config.base.grid_rows = 2;
+  config.base.grid_cols = 2;
+  config.base.star_leaves = 1;
+  config.flexibilities = {0.0};
+  config.seeds = 1;
+  config.time_limit = 60.0;
+  config.threads = 1;
+  config.retry_backoff = 0.001;  // keep ladder waits microscopic in tests
+  return config;
+}
+
+core::TvnepSolveResult optimal_result() {
+  core::TvnepSolveResult r;
+  r.status = mip::MipStatus::kOptimal;
+  r.has_solution = true;
+  return r;
+}
+
+// Polls `flag` until it flips or `seconds` elapse; true when it flipped.
+template <typename Flag>
+bool wait_for(const Flag& flag, double seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (flag()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return flag();
+}
+
+TEST(RetryBackoff, DeterministicExponentialWithBoundedJitter) {
+  const std::uint64_t hash = cell_key_hash({"cSigma", 3, 7});
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    const double lo = 0.1 * std::pow(2.0, attempt - 1);
+    const double v = retry_backoff_seconds(0.1, hash, attempt);
+    EXPECT_GE(v, lo) << attempt;
+    EXPECT_LT(v, lo * 1.25) << attempt;
+    // Re-running the same (cell, attempt) waits exactly as long.
+    EXPECT_EQ(v, retry_backoff_seconds(0.1, hash, attempt)) << attempt;
+  }
+  // Different cells jitter differently (the fleet doesn't thunder).
+  EXPECT_NE(retry_backoff_seconds(0.1, hash, 1),
+            retry_backoff_seconds(0.1, cell_key_hash({"cSigma", 3, 8}), 1));
+  EXPECT_EQ(retry_backoff_seconds(0.0, hash, 1), 0.0);
+  EXPECT_EQ(retry_backoff_seconds(-1.0, hash, 1), 0.0);
+  EXPECT_EQ(retry_backoff_seconds(0.1, hash, 0), 0.0);
+}
+
+TEST(WatchdogTest, DisabledWatchdogHandsOutInertGuards) {
+  Watchdog watchdog(0.0);
+  EXPECT_FALSE(watchdog.enabled());
+  Watchdog::CellGuard guard = watchdog.watch("cell");
+  EXPECT_EQ(guard.cancel_flag(), nullptr);
+  EXPECT_FALSE(guard.timed_out());
+  EXPECT_FALSE(guard.abandoned());
+  EXPECT_EQ(watchdog.timeouts(), 0);
+}
+
+TEST(WatchdogTest, SoftTimeoutFlipsCancelFlag) {
+  Watchdog watchdog(0.05);
+  Watchdog::CellGuard guard = watchdog.watch("slow-cell");
+  const std::atomic<bool>* cancel = guard.cancel_flag();
+  ASSERT_NE(cancel, nullptr);
+  EXPECT_FALSE(cancel->load());
+  ASSERT_TRUE(wait_for([&] { return cancel->load(); }, 5.0));
+  EXPECT_TRUE(guard.timed_out());
+  EXPECT_EQ(watchdog.timeouts(), 1);
+}
+
+TEST(WatchdogTest, HardTimeoutRecordsAbandonmentWithoutKillingAnything) {
+  Watchdog watchdog(0.05);
+  Watchdog::CellGuard guard = watchdog.watch("stuck-cell");
+  // A cell ignoring the cancel flag is escalated at 2x the timeout.
+  ASSERT_TRUE(wait_for([&] { return guard.abandoned(); }, 5.0));
+  EXPECT_TRUE(guard.timed_out());
+  EXPECT_EQ(watchdog.timeouts(), 1);
+  EXPECT_EQ(watchdog.abandonments(), 1);
+}
+
+TEST(WatchdogTest, ReleasedGuardNeverFires) {
+  Watchdog watchdog(0.05);
+  { Watchdog::CellGuard guard = watchdog.watch("fast-cell"); }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(watchdog.timeouts(), 0);
+  EXPECT_EQ(watchdog.abandonments(), 0);
+}
+
+TEST(WatchdogTest, ConcurrentGuardsTimeOutIndependently) {
+  Watchdog watchdog(0.05);
+  Watchdog::CellGuard slow = watchdog.watch("slow");
+  // The fast cell registers later and releases before its deadline; the
+  // slow one must still fire even though the monitor re-sorted deadlines.
+  {
+    Watchdog::CellGuard fast = watchdog.watch("fast");
+  }
+  ASSERT_NE(slow.cancel_flag(), nullptr);
+  ASSERT_TRUE(wait_for([&] { return slow.cancel_flag()->load(); }, 5.0));
+  EXPECT_EQ(watchdog.timeouts(), 1);
+}
+
+TEST(RetryLadder, TransientThrowIsRetriedAndSucceeds) {
+  SweepConfig config = one_cell_config();
+  config.cell_retries = 2;
+  std::atomic<int> calls{0};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams&)
+      -> core::TvnepSolveResult {
+    if (calls.fetch_add(1) == 0) throw std::runtime_error("transient blip");
+    return optimal_result();
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_FALSE(outcomes[0].failed);
+  EXPECT_TRUE(outcomes[0].error.empty());  // retry wiped the failed attempt
+  EXPECT_EQ(outcomes[0].retries, 1);
+  EXPECT_EQ(outcomes[0].result.status, mip::MipStatus::kOptimal);
+}
+
+TEST(RetryLadder, FinalRungDropsPresolve) {
+  SweepConfig config = one_cell_config();
+  config.cell_retries = 2;
+  config.presolve = true;
+  std::vector<bool> presolve_by_attempt;
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams& params)
+      -> core::TvnepSolveResult {
+    presolve_by_attempt.push_back(params.mip.presolve);
+    if (presolve_by_attempt.size() < 3)
+      throw std::runtime_error("still failing");
+    return optimal_result();
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].retries, 2);
+  EXPECT_FALSE(outcomes[0].failed);
+  ASSERT_EQ(presolve_by_attempt.size(), 3u);
+  EXPECT_TRUE(presolve_by_attempt[0]);
+  EXPECT_TRUE(presolve_by_attempt[1]);
+  EXPECT_FALSE(presolve_by_attempt[2]);  // attempt >= 2: presolve off
+}
+
+TEST(RetryLadder, ExhaustedRetriesKeepTheFinalFailure) {
+  SweepConfig config = one_cell_config();
+  config.cell_retries = 1;
+  std::atomic<int> calls{0};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams&)
+      -> core::TvnepSolveResult {
+    ++calls;
+    throw std::runtime_error("permanent");
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_TRUE(outcomes[0].failed);
+  EXPECT_EQ(outcomes[0].error, "permanent");
+  EXPECT_EQ(outcomes[0].retries, 1);
+}
+
+TEST(RetryLadder, CleanOutcomesNeverRetry) {
+  SweepConfig config = one_cell_config();
+  config.flexibilities = {0.0, 1.0};
+  config.seeds = 2;
+  config.cell_retries = 3;
+  std::atomic<int> calls{0};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams&) {
+    ++calls;
+    return optimal_result();
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(calls.load(), 4);
+  for (const auto& o : outcomes) EXPECT_EQ(o.retries, 0);
+}
+
+TEST(RetryLadder, NumericalLimitIsTransientAndRetried) {
+  SweepConfig config = one_cell_config();
+  config.cell_retries = 1;
+  std::atomic<int> calls{0};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams&) {
+    if (calls.fetch_add(1) == 0) {
+      core::TvnepSolveResult r;
+      r.status = mip::MipStatus::kNumericalLimit;
+      r.has_solution = true;
+      return r;
+    }
+    return optimal_result();
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(outcomes[0].retries, 1);
+  EXPECT_EQ(outcomes[0].result.status, mip::MipStatus::kOptimal);
+  EXPECT_TRUE(outcomes[0].failure_reason.empty());  // wiped with the retry
+}
+
+// End-to-end soft-cancel: the cell stalls until the watchdog flips the
+// cancel flag the harness forwarded, then returns its anytime incumbent.
+TEST(RetryLadder, WatchdogCancelsAStalledCell) {
+  SweepConfig config = one_cell_config();
+  config.cell_timeout = 0.05;
+  config.cell_retries = 0;  // timed_out is transient; don't re-run here
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams& params)
+      -> core::TvnepSolveResult {
+    EXPECT_NE(params.mip.cancel, nullptr);
+    // Cooperative stall: spin on the flag like the solver's poll sites,
+    // with a hard cap so a watchdog bug fails the test instead of hanging.
+    const bool cancelled =
+        wait_for([&] { return params.mip.cancel->load(); }, 10.0);
+    EXPECT_TRUE(cancelled);
+    core::TvnepSolveResult r;
+    r.status = mip::MipStatus::kTimeLimit;
+    r.has_solution = true;
+    return r;
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].timed_out);
+  EXPECT_FALSE(outcomes[0].abandoned);
+  EXPECT_FALSE(outcomes[0].failed);
+  EXPECT_EQ(outcomes[0].result.status, mip::MipStatus::kTimeLimit);
+}
+
+// A timed-out attempt is transient: with retries available the harness
+// re-runs it, and a fast second attempt clears the timeout verdict.
+TEST(RetryLadder, TimedOutAttemptRetriesAndClears) {
+  SweepConfig config = one_cell_config();
+  config.cell_timeout = 0.05;
+  config.cell_retries = 1;
+  std::atomic<int> calls{0};
+  config.solve_override = [&](const net::TvnepInstance&, core::ModelKind,
+                              const core::SolveParams& params)
+      -> core::TvnepSolveResult {
+    if (calls.fetch_add(1) == 0)
+      wait_for([&] { return params.mip.cancel->load(); }, 10.0);
+    return optimal_result();
+  };
+  const auto outcomes = run_model_sweep(config, core::ModelKind::kCSigma);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(outcomes[0].retries, 1);
+  EXPECT_FALSE(outcomes[0].timed_out);  // the verdict of the final attempt
+  EXPECT_EQ(outcomes[0].result.status, mip::MipStatus::kOptimal);
+}
+
+}  // namespace
+}  // namespace tvnep::eval

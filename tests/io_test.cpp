@@ -6,6 +6,7 @@
 #include "io/mps_writer.hpp"
 #include "net/topology.hpp"
 #include "support/check.hpp"
+#include "support/parse_error.hpp"
 #include "tvnep/solver.hpp"
 #include "workload/generator.hpp"
 
@@ -83,19 +84,79 @@ TEST(InstanceIo, FreePlacementRoundTrips) {
   EXPECT_FALSE(loaded.has_fixed_mapping(0));
 }
 
+// Parses `text` expecting a structured failure; returns the ParseError so
+// callers can assert on its source/line/column annotations.
+ParseError expect_parse_error(const std::string& text,
+                              const std::string& source = "<instance>") {
+  std::stringstream buffer(text);
+  try {
+    read_instance(buffer, source);
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return ParseError("", 0, 0, "");
+}
+
 TEST(InstanceIo, RejectsBadHeader) {
-  std::stringstream buffer("not-a-tvnep-file\n");
-  EXPECT_THROW(read_instance(buffer), CheckError);
+  const ParseError e = expect_parse_error("not-a-tvnep-file\n");
+  EXPECT_EQ(e.line(), 1);
+  EXPECT_NE(e.message().find("tvnep 1"), std::string::npos);
 }
 
 TEST(InstanceIo, RejectsUnknownKeyword) {
-  std::stringstream buffer("tvnep 1\nbogus 1 2 3\n");
-  EXPECT_THROW(read_instance(buffer), CheckError);
+  const ParseError e = expect_parse_error("tvnep 1\nbogus 1 2 3\n");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.column(), 1);
+  EXPECT_NE(e.message().find("bogus"), std::string::npos);
 }
 
 TEST(InstanceIo, RejectsDanglingVnode) {
-  std::stringstream buffer("tvnep 1\nhorizon 5\nvnode 1.0\n");
-  EXPECT_THROW(read_instance(buffer), CheckError);
+  const ParseError e = expect_parse_error("tvnep 1\nhorizon 5\nvnode 1.0\n");
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_NE(e.message().find("vnode before any request"), std::string::npos);
+}
+
+TEST(InstanceIo, MalformedNumberPointsAtItsColumn) {
+  // "3.5x" is a strict-parse failure, not a silent 3.5: the previous
+  // operator>> reader accepted the prefix and dropped the garbage.
+  const ParseError e =
+      expect_parse_error("tvnep 1\nhorizon 5\nsubstrate-node 3.5x\n");
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_EQ(e.column(), 16);  // first char of the offending token
+  EXPECT_NE(e.message().find("'3.5x'"), std::string::npos);
+  // The formatted what() carries the full source:line:column prefix.
+  EXPECT_NE(std::string(e.what()).find("<instance>:3:16"), std::string::npos);
+}
+
+TEST(InstanceIo, MissingFieldIsReported) {
+  const ParseError e =
+      expect_parse_error("tvnep 1\nhorizon 5\nsubstrate-link 0 1\n");
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_NE(e.message().find("missing capacity field"), std::string::npos);
+}
+
+TEST(InstanceIo, TrailingFieldIsReported) {
+  const ParseError e = expect_parse_error("tvnep 1\nhorizon 5 extra\n");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(e.column(), 11);
+  EXPECT_NE(e.message().find("unexpected trailing field 'extra'"),
+            std::string::npos);
+}
+
+TEST(InstanceIo, SourceLabelPropagatesIntoErrors) {
+  const ParseError e =
+      expect_parse_error("tvnep 1\nhorizon oops\n", "workload.tvnep");
+  EXPECT_EQ(e.source(), "workload.tvnep");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_EQ(std::string(e.what()).rfind("workload.tvnep:2", 0), 0u);
+}
+
+TEST(InstanceIo, CommentsAndBlankLinesKeepLineNumbersHonest) {
+  const ParseError e = expect_parse_error(
+      "tvnep 1\n# a comment\n\nhorizon 5\nvlink 0 1 2.0\n");
+  EXPECT_EQ(e.line(), 5);
+  EXPECT_NE(e.message().find("vlink before any request"), std::string::npos);
 }
 
 TEST(MpsWriter, ContainsAllSections) {

@@ -137,7 +137,9 @@ TEST_F(ObsConcurrentTest, TreeLogSerializesConcurrentWriters) {
         },
         /*threads=*/8);
     EXPECT_EQ(log.records(), static_cast<long>(kRecords));
-    log.flush();
+    // The log streams to `<path>.partial` until close() renames it into
+    // place (atomic publication) — close before reading the final path.
+    EXPECT_TRUE(log.close());
     std::ifstream in(path);
     std::string line;
     std::size_t lines = 0;

@@ -1,0 +1,73 @@
+// Atomic write-temp-then-rename semantics: a committed file is complete,
+// an uncommitted one never appears, and durable appends land line by line.
+#include "support/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tvnep {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "atomic_file_test.txt";
+};
+
+TEST_F(AtomicFileTest, CommitPublishesBufferedContent) {
+  AtomicFile file(path_);
+  file.stream() << "line one\n" << 42 << '\n';
+  ASSERT_TRUE(file.commit());
+  EXPECT_EQ(read_all(path_), "line one\n42\n");
+}
+
+TEST_F(AtomicFileTest, NoCommitLeavesNoFile) {
+  {
+    AtomicFile file(path_);
+    file.stream() << "never published";
+  }
+  std::ifstream probe(path_);
+  EXPECT_FALSE(probe.good());
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingFileWhole) {
+  {
+    std::ofstream old(path_);
+    old << "old content that is much longer than the replacement\n";
+  }
+  AtomicFile file(path_);
+  file.stream() << "new\n";
+  ASSERT_TRUE(file.commit());
+  EXPECT_EQ(read_all(path_), "new\n");
+}
+
+TEST_F(AtomicFileTest, CommitIntoMissingDirectoryFails) {
+  AtomicFile file("no_such_dir_xyz/out.txt");
+  file.stream() << "content";
+  EXPECT_FALSE(file.commit());
+}
+
+TEST_F(AtomicFileTest, AtomicWriteFileRoundTrips) {
+  ASSERT_TRUE(atomic_write_file(path_, "payload\n"));
+  EXPECT_EQ(read_all(path_), "payload\n");
+}
+
+TEST_F(AtomicFileTest, DurableAppendLineAccumulates) {
+  ASSERT_TRUE(durable_append_line(path_, "first"));
+  ASSERT_TRUE(durable_append_line(path_, "second"));
+  EXPECT_EQ(read_all(path_), "first\nsecond\n");
+}
+
+}  // namespace
+}  // namespace tvnep
