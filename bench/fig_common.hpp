@@ -247,6 +247,7 @@ inline void save_outcomes_csv(const std::string& path,
        << r.lp_pivots << ',' << r.lp_iterations << ',' << r.dual_fallbacks
        << ',' << r.refactorizations << ',' << r.numerical_drops << ','
        << r.lp_recoveries
+       << ',' << r.basis_updates << ',' << r.lp_basis_fill_max
        << ',' << r.model_vars << ',' << r.model_constraints << ','
        << r.model_integer_vars << ',' << r.presolve_rows_removed << ','
        << r.presolve_cols_removed << ',' << r.presolve_coeffs_tightened << ','
@@ -261,6 +262,7 @@ inline void save_outcomes_csv(const std::string& path,
       << "model,flex_h,seed,status,failed,objective,best_bound,gap,"
          "solve_seconds,wall_seconds,nodes,lp_pivots,lp_iterations,"
          "dual_fallbacks,refactorizations,numerical_drops,lp_recoveries,"
+         "basis_updates,basis_fill,"
          "model_vars,model_constraints,model_integer_vars,"
          "presolve_rows_removed,presolve_cols_removed,"
          "presolve_coeffs_tightened,presolve_bounds_tightened,"

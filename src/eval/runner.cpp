@@ -54,6 +54,19 @@ SweepConfig sweep_from_args(const Args& args, int default_requests,
 
   config.presolve = !args.get_bool("no-presolve", false);
   config.lp_scaling = !args.get_bool("no-lp-scaling", false);
+  const std::string basis = args.get_string("basis", "sparse");
+  if (basis == "sparse") config.lp_basis = lp::BasisBackend::kSparseLu;
+  else if (basis == "dense") config.lp_basis = lp::BasisBackend::kDenseInverse;
+  else TVNEP_REQUIRE(false, "--basis must be 'sparse' or 'dense'");
+  const std::string pricing = args.get_string("pricing", "partial");
+  if (pricing == "partial")
+    config.lp_pricing = lp::PricingRule::kPartialDantzig;
+  else if (pricing == "dantzig")
+    config.lp_pricing = lp::PricingRule::kDantzig;
+  else if (pricing == "devex")
+    config.lp_pricing = lp::PricingRule::kDevex;
+  else
+    TVNEP_REQUIRE(false, "--pricing must be 'partial', 'dantzig' or 'devex'");
   config.lp_fault_period = args.get_int("lp-fault-period", 0);
   config.lp_fault_burst = args.get_int("lp-fault-burst", 1);
   TVNEP_REQUIRE(config.lp_fault_period >= 0,
@@ -274,6 +287,8 @@ std::string cell_tree_log_context(const char* label, double flexibility,
 void apply_lp_resilience(const SweepConfig& config, lp::SimplexOptions& lp,
                          int attempt) {
   lp.scaling = config.lp_scaling;
+  lp.basis = config.lp_basis;
+  lp.pricing = config.lp_pricing;
   if (config.lp_fault_period <= 0) return;
   auto counter = std::make_shared<long>(0);
   long period = config.lp_fault_period;
@@ -315,6 +330,9 @@ CellRecord encode_outcome(const std::string& label, std::size_t flex_index,
       JournalValue(static_cast<double>(r.dual_fallbacks));
   fields["refactorizations"] =
       JournalValue(static_cast<double>(r.refactorizations));
+  fields["basis_updates"] =
+      JournalValue(static_cast<double>(r.basis_updates));
+  fields["basis_fill"] = JournalValue(r.lp_basis_fill_max);
   fields["lp_recoveries"] =
       JournalValue(static_cast<double>(r.lp_recoveries));
   fields["numerical_drops"] =
@@ -365,6 +383,10 @@ bool decode_outcome(const CellRecord& record, ScenarioOutcome& outcome) {
   r.lp_iterations = static_cast<long>(record.number("lp_iterations"));
   r.dual_fallbacks = static_cast<long>(record.number("dual_fallbacks"));
   r.refactorizations = static_cast<long>(record.number("refactorizations"));
+  // Absent in journals written before the basis-factorization telemetry
+  // existed; the fallback keeps those records decodable.
+  r.basis_updates = static_cast<long>(record.number("basis_updates", 0.0));
+  r.lp_basis_fill_max = record.number("basis_fill", 0.0);
   r.lp_recoveries = static_cast<long>(record.number("lp_recoveries"));
   r.numerical_drops = static_cast<long>(record.number("numerical_drops"));
   r.model_vars = static_cast<int>(record.number("model_vars"));

@@ -1,16 +1,36 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "support/check.hpp"
 
 namespace tvnep::linalg {
 
+namespace {
+
+/// Entries this small are dropped during sparse elimination and eta
+/// assembly; the LP is equilibrated upstream so an absolute cutoff is safe.
+constexpr double kDropTol = 1e-14;
+
+}  // namespace
+
 std::optional<LuFactorization> LuFactorization::factorize(
-    const DenseMatrix& a, double pivot_tol) {
+    const DenseMatrix& a, double pivot_tol, LuFailure* failure) {
   TVNEP_REQUIRE(a.rows() == a.cols(), "LU: matrix must be square");
   const std::size_t n = a.rows();
+
+  // The singularity threshold is relative to the largest input entry, so a
+  // uniformly scaled-up singular matrix is rejected rather than "factorized"
+  // into huge, meaningless entries.
+  double amax = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      amax = std::max(amax, std::fabs(a(r, c)));
+  const double threshold = std::max(pivot_tol, kRelativePivotTol * amax);
+
   LuFactorization f;
   f.lu_ = a;
   f.perm_.resize(n);
@@ -27,7 +47,10 @@ std::optional<LuFactorization> LuFactorization::factorize(
         pivot_row = r;
       }
     }
-    if (pivot_mag < pivot_tol) return std::nullopt;
+    if (pivot_mag < threshold) {
+      if (failure != nullptr) *failure = {k, pivot_mag, threshold};
+      return std::nullopt;
+    }
     if (pivot_row != k) {
       for (std::size_t c = 0; c < n; ++c)
         std::swap(f.lu_(k, c), f.lu_(pivot_row, c));
@@ -104,6 +127,412 @@ double LuFactorization::determinant() const {
   double det = static_cast<double>(sign_);
   for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
   return det;
+}
+
+// ---------------------------------------------------------------------------
+// SparseLuBasis
+// ---------------------------------------------------------------------------
+
+bool SparseLuBasis::factorize(const BasisColumns& basis, LuFailure* failure) {
+  const int m = basis.rows();
+  TVNEP_REQUIRE(basis.cols() == m, "basis factorize: not square");
+  m_ = m;
+  basis_nnz_ = basis.nonzeros();
+  l_entries_.clear();
+  u_entries_.clear();
+  u_diag_.clear();
+  l_start_.assign(1, 0);
+  u_start_.assign(1, 0);
+  perm_row_.assign(static_cast<std::size_t>(m), -1);
+  perm_col_.assign(static_cast<std::size_t>(m), -1);
+  row_stage_.assign(static_cast<std::size_t>(m), -1);
+  col_stage_.assign(static_cast<std::size_t>(m), -1);
+  etas_.clear();
+  eta_nnz_ = 0;
+  scratch_.assign(static_cast<std::size_t>(m), 0.0);
+  if (m == 0) return true;
+  u_diag_.reserve(static_cast<std::size_t>(m));
+
+  // Row-major working copy of the active submatrix. `col_rows` lists the
+  // rows that may hold a column's entries — it is append-only per fill-in
+  // and tolerates stale rows (purged lazily during pivot search), while
+  // `col_count` is exact.
+  std::vector<std::vector<SparseEntry>> rows(static_cast<std::size_t>(m));
+  std::vector<std::vector<int>> col_rows(static_cast<std::size_t>(m));
+  std::vector<int> col_count(static_cast<std::size_t>(m), 0);
+  std::vector<char> row_active(static_cast<std::size_t>(m), 1);
+  std::vector<char> col_active(static_cast<std::size_t>(m), 1);
+  double amax = 0.0;
+  for (int c = 0; c < m; ++c) {
+    for (const auto& e : basis.column(c)) {
+      rows[static_cast<std::size_t>(e.index)].push_back({c, e.value});
+      col_rows[static_cast<std::size_t>(c)].push_back(e.index);
+      ++col_count[static_cast<std::size_t>(c)];
+      amax = std::max(amax, std::fabs(e.value));
+    }
+  }
+  const double threshold = std::max(pivot_tol_, kRelativePivotTol * amax);
+
+  // Dense merge accumulator (stamp-based so it never needs clearing).
+  std::vector<double> acc(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> mark(static_cast<std::size_t>(m), -1);
+  int stamp = 0;
+  std::vector<int> fill;
+  std::vector<SparseEntry> col_buf;  // active entries of the scanned column
+
+  for (int k = 0; k < m; ++k) {
+    int best_row = -1;
+    int best_col = -1;
+    double best_val = 0.0;
+    long best_cost = 0;
+    double best_mag_seen = 0.0;
+
+    // Scores column q for the pivot of this stage: collect its active
+    // entries (purging stale col_rows references along the way), apply the
+    // Markowitz threshold against the column max, and keep the candidate
+    // with the lowest Markowitz cost (r_i - 1)(c_q - 1).
+    auto evaluate = [&](int q) {
+      auto& qr = col_rows[static_cast<std::size_t>(q)];
+      std::size_t keep = 0;
+      double colmax = 0.0;
+      col_buf.clear();
+      for (int i : qr) {
+        if (!row_active[static_cast<std::size_t>(i)]) continue;
+        double val = 0.0;
+        bool found = false;
+        for (const auto& e : rows[static_cast<std::size_t>(i)]) {
+          if (e.index == q) {
+            val = e.value;
+            found = true;
+            break;
+          }
+        }
+        if (!found) continue;
+        qr[keep++] = i;
+        col_buf.push_back({i, val});
+        colmax = std::max(colmax, std::fabs(val));
+      }
+      qr.resize(keep);
+      best_mag_seen = std::max(best_mag_seen, colmax);
+      if (colmax < threshold) return;
+      const double accept = std::max(threshold, markowitz_tol_ * colmax);
+      const long cq = col_count[static_cast<std::size_t>(q)];
+      for (const auto& e : col_buf) {
+        const double mag = std::fabs(e.value);
+        if (mag < accept) continue;
+        const long ri =
+            static_cast<long>(rows[static_cast<std::size_t>(e.index)].size());
+        const long cost = (ri - 1) * (cq - 1);
+        if (best_row < 0 || cost < best_cost ||
+            (cost == best_cost && mag > std::fabs(best_val))) {
+          best_row = e.index;
+          best_col = q;
+          best_val = e.value;
+          best_cost = cost;
+        }
+      }
+    };
+
+    // Candidate preselection: the four active columns with the fewest
+    // entries. Falls back to a full scan when none of them admits a pivot.
+    int cand[4];
+    int ncand = 0;
+    for (int q = 0; q < m; ++q) {
+      const auto uq = static_cast<std::size_t>(q);
+      if (!col_active[uq] || col_count[uq] == 0) continue;
+      if (ncand == 4 &&
+          col_count[uq] >= col_count[static_cast<std::size_t>(cand[3])])
+        continue;
+      int idx = (ncand < 4) ? ncand++ : 3;
+      while (idx > 0 &&
+             col_count[uq] < col_count[static_cast<std::size_t>(cand[idx - 1])]) {
+        cand[idx] = cand[idx - 1];
+        --idx;
+      }
+      cand[idx] = q;
+    }
+    for (int t = 0; t < ncand; ++t) evaluate(cand[t]);
+    if (best_row < 0) {
+      for (int q = 0; q < m; ++q)
+        if (col_active[static_cast<std::size_t>(q)]) evaluate(q);
+    }
+    if (best_row < 0) {
+      if (failure != nullptr)
+        *failure = {static_cast<std::size_t>(k), best_mag_seen, threshold};
+      m_ = 0;  // leave the object loudly unusable rather than half-factorized
+      return false;
+    }
+
+    const int p = best_row;
+    const int q = best_col;
+    const double v = best_val;
+    perm_row_[static_cast<std::size_t>(k)] = p;
+    perm_col_[static_cast<std::size_t>(k)] = q;
+    row_stage_[static_cast<std::size_t>(p)] = k;
+    col_stage_[static_cast<std::size_t>(q)] = k;
+    u_diag_.push_back(v);
+    auto& prow = rows[static_cast<std::size_t>(p)];
+    for (const auto& e : prow)
+      if (e.index != q) u_entries_.push_back(e);
+    u_start_.push_back(u_entries_.size());
+
+    // Eliminate column q from every other active row holding it.
+    for (int i : col_rows[static_cast<std::size_t>(q)]) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (!row_active[ui] || i == p) continue;
+      auto& ri = rows[ui];
+      double aiq = 0.0;
+      std::size_t pos = ri.size();
+      for (std::size_t t = 0; t < ri.size(); ++t) {
+        if (ri[t].index == q) {
+          aiq = ri[t].value;
+          pos = t;
+          break;
+        }
+      }
+      if (pos == ri.size()) continue;  // stale reference
+      ri[pos] = ri.back();
+      ri.pop_back();
+      const double f = aiq / v;
+      l_entries_.push_back({i, f});
+
+      // Merge -f * (pivot row) into row i through the stamped accumulator.
+      ++stamp;
+      for (const auto& e : ri) {
+        mark[static_cast<std::size_t>(e.index)] = stamp;
+        acc[static_cast<std::size_t>(e.index)] = e.value;
+      }
+      fill.clear();
+      for (const auto& e : prow) {
+        if (e.index == q) continue;
+        const auto uc = static_cast<std::size_t>(e.index);
+        if (mark[uc] == stamp) {
+          acc[uc] -= f * e.value;
+        } else {
+          mark[uc] = stamp;
+          acc[uc] = -f * e.value;
+          fill.push_back(e.index);
+        }
+      }
+      std::size_t w = 0;
+      for (std::size_t t = 0; t < ri.size(); ++t) {
+        const int c = ri[t].index;
+        const double val = acc[static_cast<std::size_t>(c)];
+        if (std::fabs(val) > kDropTol) {
+          ri[w++] = {c, val};
+        } else {
+          --col_count[static_cast<std::size_t>(c)];  // entry cancelled out
+        }
+      }
+      ri.resize(w);
+      for (int c : fill) {
+        const double val = acc[static_cast<std::size_t>(c)];
+        if (std::fabs(val) > kDropTol) {
+          ri.push_back({c, val});
+          ++col_count[static_cast<std::size_t>(c)];
+          col_rows[static_cast<std::size_t>(c)].push_back(i);
+        }
+      }
+    }
+    l_start_.push_back(l_entries_.size());
+
+    row_active[static_cast<std::size_t>(p)] = 0;
+    col_active[static_cast<std::size_t>(q)] = 0;
+    for (const auto& e : prow)
+      if (e.index != q) --col_count[static_cast<std::size_t>(e.index)];
+    prow.clear();
+    col_rows[static_cast<std::size_t>(q)].clear();
+  }
+  return true;
+}
+
+void SparseLuBasis::ftran(std::span<double> x) const {
+  TVNEP_REQUIRE(x.size() == static_cast<std::size_t>(m_),
+                "ftran: vector length mismatch");
+  // L pass in stage order (x stays row-indexed).
+  for (int k = 0; k < m_; ++k) {
+    const double t = x[static_cast<std::size_t>(perm_row_[static_cast<std::size_t>(k)])];
+    if (t == 0.0) continue;
+    for (std::size_t e = l_start_[static_cast<std::size_t>(k)];
+         e < l_start_[static_cast<std::size_t>(k) + 1]; ++e)
+      x[static_cast<std::size_t>(l_entries_[e].index)] -= l_entries_[e].value * t;
+  }
+  // U back substitution, descending stages: U row k references only
+  // positions eliminated at later stages, already solved into scratch_.
+  for (int k = m_; k-- > 0;) {
+    const auto uk = static_cast<std::size_t>(k);
+    double s = x[static_cast<std::size_t>(perm_row_[uk])];
+    for (std::size_t e = u_start_[uk]; e < u_start_[uk + 1]; ++e)
+      s -= u_entries_[e].value *
+           scratch_[static_cast<std::size_t>(u_entries_[e].index)];
+    scratch_[static_cast<std::size_t>(perm_col_[uk])] = s / u_diag_[uk];
+  }
+  std::copy(scratch_.begin(), scratch_.end(), x.begin());
+  // Product-form updates, oldest first (x now in basis-position space).
+  for (const Eta& eta : etas_) {
+    const auto ur = static_cast<std::size_t>(eta.row);
+    const double t = x[ur] / eta.pivot;
+    if (t != 0.0)
+      for (const auto& e : eta.entries)
+        x[static_cast<std::size_t>(e.index)] -= e.value * t;
+    x[ur] = t;
+  }
+}
+
+void SparseLuBasis::btran(std::span<double> x) const {
+  TVNEP_REQUIRE(x.size() == static_cast<std::size_t>(m_),
+                "btran: vector length mismatch");
+  // Eta transposes, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const auto ur = static_cast<std::size_t>(it->row);
+    double t = x[ur];
+    for (const auto& e : it->entries)
+      t -= e.value * x[static_cast<std::size_t>(e.index)];
+    x[ur] = t / it->pivot;
+  }
+  // U^T forward substitution with scatter: scratch_ holds the still-to-be-
+  // reduced right-hand side in basis-position space; w_k lands in x[p_k].
+  std::copy(x.begin(), x.end(), scratch_.begin());
+  for (int k = 0; k < m_; ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    const double w = scratch_[static_cast<std::size_t>(perm_col_[uk])] / u_diag_[uk];
+    for (std::size_t e = u_start_[uk]; e < u_start_[uk + 1]; ++e)
+      scratch_[static_cast<std::size_t>(u_entries_[e].index)] -=
+          u_entries_[e].value * w;
+    x[static_cast<std::size_t>(perm_row_[uk])] = w;
+  }
+  // L^T pass, descending stages, in place: L stage k only references rows
+  // whose own stage is > k, whose components are already final.
+  for (int k = m_; k-- > 0;) {
+    const auto uk = static_cast<std::size_t>(k);
+    const auto up = static_cast<std::size_t>(perm_row_[uk]);
+    double t = x[up];
+    for (std::size_t e = l_start_[uk]; e < l_start_[uk + 1]; ++e)
+      t -= l_entries_[e].value * x[static_cast<std::size_t>(l_entries_[e].index)];
+    x[up] = t;
+  }
+}
+
+bool SparseLuBasis::update(int leaving_row, std::span<const double> alpha) {
+  TVNEP_REQUIRE(alpha.size() == static_cast<std::size_t>(m_),
+                "basis update: vector length mismatch");
+  TVNEP_REQUIRE(leaving_row >= 0 && leaving_row < m_,
+                "basis update: row out of range");
+  if (static_cast<int>(etas_.size()) >= max_updates_) return false;
+  const double pivot = alpha[static_cast<std::size_t>(leaving_row)];
+  if (!std::isfinite(pivot) || std::fabs(pivot) < update_tol_) return false;
+  Eta eta;
+  eta.row = leaving_row;
+  eta.pivot = pivot;
+  for (int i = 0; i < m_; ++i) {
+    if (i == leaving_row) continue;
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (!std::isfinite(a)) return false;
+    if (std::fabs(a) > kDropTol) eta.entries.push_back({i, a});
+  }
+  // Refuse once the eta file dwarfs the factors: solves would be paying
+  // more for the update chain than a fresh factorization costs.
+  const std::size_t factor_nnz =
+      l_entries_.size() + u_entries_.size() + static_cast<std::size_t>(m_);
+  if (eta_nnz_ + eta.entries.size() > 4 * factor_nnz + 256) return false;
+  eta_nnz_ += eta.entries.size();
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+double SparseLuBasis::fill_ratio() const {
+  const std::size_t factor_nnz =
+      l_entries_.size() + u_entries_.size() + static_cast<std::size_t>(m_);
+  return static_cast<double>(factor_nnz) /
+         static_cast<double>(std::max<std::size_t>(basis_nnz_, 1));
+}
+
+// ---------------------------------------------------------------------------
+// DenseInverseBasis
+// ---------------------------------------------------------------------------
+
+bool DenseInverseBasis::factorize(const BasisColumns& basis,
+                                  LuFailure* failure) {
+  const int m = basis.rows();
+  TVNEP_REQUIRE(basis.cols() == m, "basis factorize: not square");
+  m_ = m;
+  basis_nnz_ = basis.nonzeros();
+  updates_ = 0;
+  const auto um = static_cast<std::size_t>(m);
+  scratch_.assign(um, 0.0);
+  DenseMatrix b(um, um);
+  for (int c = 0; c < m; ++c)
+    for (const auto& e : basis.column(c))
+      b(static_cast<std::size_t>(e.index), static_cast<std::size_t>(c)) =
+          e.value;
+  auto lu = LuFactorization::factorize(b, pivot_tol_, failure);
+  if (!lu.has_value()) {
+    m_ = 0;
+    return false;
+  }
+  const DenseMatrix inv = lu->inverse();
+  inv_.resize(um * um);
+  for (std::size_t r = 0; r < um; ++r)
+    for (std::size_t c = 0; c < um; ++c) inv_[r * um + c] = inv(r, c);
+  return true;
+}
+
+void DenseInverseBasis::ftran(std::span<double> x) const {
+  TVNEP_REQUIRE(x.size() == static_cast<std::size_t>(m_),
+                "ftran: vector length mismatch");
+  const auto um = static_cast<std::size_t>(m_);
+  std::copy(x.begin(), x.end(), scratch_.begin());
+  for (std::size_t i = 0; i < um; ++i) {
+    const double* row = inv_.data() + i * um;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < um; ++k) {
+      const double t = scratch_[k];
+      if (t != 0.0) sum += row[k] * t;
+    }
+    x[i] = sum;
+  }
+}
+
+void DenseInverseBasis::btran(std::span<double> x) const {
+  TVNEP_REQUIRE(x.size() == static_cast<std::size_t>(m_),
+                "btran: vector length mismatch");
+  const auto um = static_cast<std::size_t>(m_);
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  for (std::size_t i = 0; i < um; ++i) {
+    const double w = x[i];
+    if (w == 0.0) continue;
+    const double* row = inv_.data() + i * um;
+    for (std::size_t k = 0; k < um; ++k) scratch_[k] += w * row[k];
+  }
+  std::copy(scratch_.begin(), scratch_.end(), x.begin());
+}
+
+bool DenseInverseBasis::update(int leaving_row, std::span<const double> alpha) {
+  TVNEP_REQUIRE(alpha.size() == static_cast<std::size_t>(m_),
+                "basis update: vector length mismatch");
+  TVNEP_REQUIRE(leaving_row >= 0 && leaving_row < m_,
+                "basis update: row out of range");
+  // Product-form update of the explicit inverse — the historical simplex
+  // `update_binv` arithmetic, preserved verbatim for reproducibility.
+  const auto um = static_cast<std::size_t>(m_);
+  const auto ur = static_cast<std::size_t>(leaving_row);
+  const double inv_pivot = 1.0 / alpha[ur];
+  double* pivot_row = inv_.data() + ur * um;
+  for (std::size_t k = 0; k < um; ++k) pivot_row[k] *= inv_pivot;
+  for (std::size_t i = 0; i < um; ++i) {
+    if (i == ur) continue;
+    const double factor = alpha[i];
+    if (factor == 0.0) continue;
+    double* row = inv_.data() + i * um;
+    for (std::size_t k = 0; k < um; ++k) row[k] -= factor * pivot_row[k];
+  }
+  ++updates_;
+  return true;
+}
+
+double DenseInverseBasis::fill_ratio() const {
+  const double dense = static_cast<double>(m_) * static_cast<double>(m_);
+  return dense / static_cast<double>(std::max<std::size_t>(basis_nnz_, 1));
 }
 
 }  // namespace tvnep::linalg

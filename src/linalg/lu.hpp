@@ -1,24 +1,60 @@
-// Dense LU factorization with partial pivoting.
+// LU factorizations for the simplex basis.
 //
-// Used by tests to cross-check the simplex's incrementally maintained basis
-// inverse and as a general small-system solver.
+// Two layers live here:
+//
+//  * `LuFactorization` — dense LU with partial pivoting, used by tests to
+//    cross-check basis maintenance and as a general small-system solver.
+//    A breakdown (no pivot above the combined absolute/relative threshold)
+//    is reported as a structured `LuFailure` instead of silently producing
+//    Inf/NaN factors.
+//
+//  * `BasisFactorization` — the abstract basis-maintenance interface the
+//    revised simplex drives: factorize the basis from its sparse columns,
+//    FTRAN/BTRAN solves, and a rank-one exchange update after each pivot.
+//    `SparseLuBasis` implements it with a sparse LU under Markowitz
+//    threshold pivoting plus product-form (sparse eta) updates in the
+//    Forrest–Tomlin spirit: the factorization is reused across pivots and
+//    only rebuilt when the update is numerically unsafe or the eta file
+//    has grown past its budget. `DenseInverseBasis` keeps the historical
+//    explicit m×m inverse as a selectable debug/reference backend.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
 
 namespace tvnep::linalg {
+
+/// Relative pivot threshold: a pivot is rejected when its magnitude falls
+/// below max(absolute_tol, kRelativePivotTol * max|a_ij|), so a uniformly
+/// up-scaled yet numerically singular matrix is caught instead of yielding
+/// a huge-entry "inverse".
+inline constexpr double kRelativePivotTol = 1e-13;
+
+/// Structured description of a factorization breakdown: the elimination
+/// stage that found no admissible pivot, the best magnitude it saw, and
+/// the threshold it needed. Callers route this into their recovery ladder
+/// instead of consuming Inf/NaN factors.
+struct LuFailure {
+  std::size_t stage = 0;
+  double pivot_magnitude = 0.0;
+  double threshold = 0.0;
+};
 
 /// PA = LU factorization of a square matrix with partial (row) pivoting.
 class LuFactorization {
  public:
   /// Factorizes `a`; returns std::nullopt if the matrix is singular to
-  /// working precision (pivot magnitude below `pivot_tol`).
+  /// working precision — the effective threshold is
+  /// max(pivot_tol, kRelativePivotTol * max|a_ij|). When `failure` is
+  /// non-null it receives the breakdown details.
   static std::optional<LuFactorization> factorize(const DenseMatrix& a,
-                                                  double pivot_tol = 1e-12);
+                                                  double pivot_tol = 1e-12,
+                                                  LuFailure* failure = nullptr);
 
   std::size_t order() const { return lu_.rows(); }
 
@@ -39,6 +75,147 @@ class LuFactorization {
   DenseMatrix lu_;              // packed L (unit diagonal) and U
   std::vector<std::size_t> perm_;  // row permutation: row i of PA is perm_[i] of A
   int sign_ = 1;
+};
+
+/// Basis maintenance for the revised simplex. The basis B is the m×m
+/// matrix whose column i is the system column of the variable basic in row
+/// i; FTRAN maps a row-space right-hand side to basis-position space
+/// (x = B^-1 b) and BTRAN the other way (y = B^-T c). Both solves operate
+/// in place on a dense length-m span. `update` performs the rank-one
+/// column exchange of a simplex pivot; a `false` return (numerically
+/// unsafe, or the incremental representation has outgrown its budget)
+/// obliges the caller to `factorize` the new basis before the next solve.
+class BasisFactorization {
+ public:
+  virtual ~BasisFactorization() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Factorizes the basis given in column-major sparse form. Returns false
+  /// when the basis is singular to working precision; `failure` (optional)
+  /// receives the breakdown details.
+  virtual bool factorize(const BasisColumns& basis,
+                         LuFailure* failure = nullptr) = 0;
+
+  virtual int order() const = 0;
+
+  /// In-place FTRAN: on entry x holds b (row space), on exit B^-1 b.
+  virtual void ftran(std::span<double> x) const = 0;
+
+  /// In-place BTRAN: on entry x holds c (basis-position space), on exit
+  /// B^-T c (row space).
+  virtual void btran(std::span<double> x) const = 0;
+
+  /// Basis exchange: the column at position `leaving_row` is replaced by
+  /// the entering column whose FTRAN image is `alpha` (length m). Returns
+  /// false when the caller must refactorize instead.
+  virtual bool update(int leaving_row, std::span<const double> alpha) = 0;
+
+  /// Updates absorbed since the last factorize (telemetry).
+  virtual long updates_since_factorize() const = 0;
+
+  /// nnz(factors) / nnz(B) of the last factorization (fill-in telemetry;
+  /// the dense backend reports m^2 / nnz(B) — the price of density).
+  virtual double fill_ratio() const = 0;
+};
+
+/// Sparse LU with Markowitz threshold pivoting + product-form updates.
+///
+/// Factorization is a right-looking elimination choosing, at each stage,
+/// the entry minimizing the Markowitz cost (r_i - 1)(c_j - 1) among the
+/// lowest-count candidate columns, subject to the threshold
+/// |a_ij| >= markowitz_tol * max|a_*j| (and the absolute/relative
+/// singularity floor of `LuFailure`). Pivots land where they keep the
+/// factors sparse, so FTRAN/BTRAN cost O(nnz(L+U) + nnz(etas)) instead of
+/// the dense inverse's O(m^2).
+///
+/// Updates append sparse eta vectors (product form of the inverse); an
+/// update is refused — forcing a refactorization — when the eta pivot
+/// |alpha_r| < update_tol, when `max_updates` etas have accumulated, or
+/// when the eta file outweighs the factors by 4x.
+class SparseLuBasis final : public BasisFactorization {
+ public:
+  explicit SparseLuBasis(int max_updates = 64, double pivot_tol = 1e-11,
+                         double markowitz_tol = 0.1,
+                         double update_tol = 1e-9)
+      : max_updates_(max_updates),
+        pivot_tol_(pivot_tol),
+        markowitz_tol_(markowitz_tol),
+        update_tol_(update_tol) {}
+
+  const char* name() const override { return "sparse-lu"; }
+  bool factorize(const BasisColumns& basis,
+                 LuFailure* failure = nullptr) override;
+  int order() const override { return m_; }
+  void ftran(std::span<double> x) const override;
+  void btran(std::span<double> x) const override;
+  bool update(int leaving_row, std::span<const double> alpha) override;
+  long updates_since_factorize() const override {
+    return static_cast<long>(etas_.size());
+  }
+  double fill_ratio() const override;
+
+ private:
+  int max_updates_;
+  double pivot_tol_;
+  double markowitz_tol_;
+  double update_tol_;
+
+  int m_ = 0;
+  std::size_t basis_nnz_ = 0;
+  // L multipliers per elimination stage: row i of the active submatrix was
+  // reduced by factor * (pivot row of stage k). Entries are (original row,
+  // factor), grouped by stage.
+  std::vector<SparseEntry> l_entries_;
+  std::vector<std::size_t> l_start_;  // size m+1
+  // U rows per stage: off-diagonal entries as (original basis position,
+  // value) — every referenced position is eliminated at a later stage —
+  // plus the diagonal pivot value.
+  std::vector<SparseEntry> u_entries_;
+  std::vector<std::size_t> u_start_;  // size m+1
+  std::vector<double> u_diag_;
+  std::vector<int> perm_row_;   // stage -> original row
+  std::vector<int> perm_col_;   // stage -> original basis position
+  std::vector<int> row_stage_;  // original row -> stage
+  std::vector<int> col_stage_;  // original basis position -> stage
+
+  // Product-form updates since the last factorization, oldest first.
+  struct Eta {
+    int row;       // replaced basis position r
+    double pivot;  // alpha_r
+    std::vector<SparseEntry> entries;  // (i, alpha_i) for i != r
+  };
+  std::vector<Eta> etas_;
+  std::size_t eta_nnz_ = 0;
+
+  mutable std::vector<double> scratch_;
+};
+
+/// The historical dense explicit-inverse backend, kept selectable for
+/// debugging and as the reference arm of the backend-equivalence tests.
+/// O(m^2) memory, O(m^2) per solve and per update.
+class DenseInverseBasis final : public BasisFactorization {
+ public:
+  explicit DenseInverseBasis(double pivot_tol = 1e-12)
+      : pivot_tol_(pivot_tol) {}
+
+  const char* name() const override { return "dense-inverse"; }
+  bool factorize(const BasisColumns& basis,
+                 LuFailure* failure = nullptr) override;
+  int order() const override { return m_; }
+  void ftran(std::span<double> x) const override;
+  void btran(std::span<double> x) const override;
+  bool update(int leaving_row, std::span<const double> alpha) override;
+  long updates_since_factorize() const override { return updates_; }
+  double fill_ratio() const override;
+
+ private:
+  double pivot_tol_;
+  int m_ = 0;
+  std::size_t basis_nnz_ = 0;
+  long updates_ = 0;
+  std::vector<double> inv_;  // row-major m×m B^-1
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace tvnep::linalg

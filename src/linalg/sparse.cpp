@@ -11,6 +11,32 @@ SparseBuilder::SparseBuilder(int rows, int cols) : rows_(rows), cols_(cols) {
   TVNEP_REQUIRE(rows >= 0 && cols >= 0, "negative matrix dimensions");
 }
 
+BasisColumns::BasisColumns(int rows) : rows_(rows) {
+  TVNEP_REQUIRE(rows >= 0, "negative basis dimension");
+  start_.push_back(0);
+  entries_.reserve(static_cast<std::size_t>(rows) * 4);
+}
+
+void BasisColumns::begin_column() {
+  TVNEP_REQUIRE(cols() < rows_, "basis has more columns than rows");
+  start_.push_back(entries_.size());
+}
+
+void BasisColumns::add(int row, double value) {
+  TVNEP_REQUIRE(row >= 0 && row < rows_, "basis add: row out of range");
+  TVNEP_REQUIRE(cols() > 0, "basis add: begin_column() not called");
+  if (value == 0.0) return;
+  entries_.push_back({row, value});
+  start_.back() = entries_.size();
+}
+
+std::span<const SparseEntry> BasisColumns::column(int c) const {
+  TVNEP_REQUIRE(c >= 0 && c < cols(), "basis column out of range");
+  const std::size_t begin = start_[static_cast<std::size_t>(c)];
+  const std::size_t end = start_[static_cast<std::size_t>(c) + 1];
+  return {entries_.data() + begin, end - begin};
+}
+
 void SparseBuilder::add(int row, int col, double value) {
   TVNEP_REQUIRE(row >= 0 && row < rows_, "sparse add: row out of range");
   TVNEP_REQUIRE(col >= 0 && col < cols_, "sparse add: col out of range");

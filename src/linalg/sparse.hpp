@@ -40,6 +40,33 @@ class SparseBuilder {
   std::vector<Triplet> triplets_;
 };
 
+/// Column-major assembly buffer for handing a square basis matrix to a
+/// BasisFactorization (linalg/lu.hpp) without the sort/deduplicate cost of
+/// SparseBuilder: the simplex appends one column per basic variable, rows
+/// within a column in whatever order the source stores them. Rows must not
+/// repeat within a column (SparseMatrix columns are already deduplicated).
+class BasisColumns {
+ public:
+  explicit BasisColumns(int rows);
+
+  /// Starts the next column; entries added afterwards belong to it.
+  void begin_column();
+  void add(int row, double value);
+
+  int rows() const { return rows_; }
+  /// Columns appended so far (== rows() once assembly is complete).
+  int cols() const { return static_cast<int>(start_.size()) - 1; }
+  std::size_t nonzeros() const { return entries_.size(); }
+
+  /// Entries of column c as (row, value) pairs, in insertion order.
+  std::span<const SparseEntry> column(int c) const;
+
+ private:
+  int rows_;
+  std::vector<SparseEntry> entries_;
+  std::vector<std::size_t> start_;  // column c spans start_[c]..start_[c+1]
+};
+
 /// Immutable sparse matrix with both column-major and row-major layouts.
 class SparseMatrix {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "linalg/lu.hpp"
 #include "obs/metrics.hpp"
@@ -44,6 +45,17 @@ Simplex::Simplex(const Problem& problem, SimplexOptions options)
     options_.max_iterations = std::max(20000, 60 * (n + m));
   if (options_.max_dual_iterations <= 0)
     options_.max_dual_iterations = std::max(2000, 4 * m);
+  switch (options_.basis) {
+    case BasisBackend::kDenseInverse:
+      factor_ = std::make_unique<linalg::DenseInverseBasis>();
+      obs::counter_add("lp.basis.backend.dense_inverse");
+      break;
+    case BasisBackend::kSparseLu:
+      factor_ = std::make_unique<linalg::SparseLuBasis>(
+          std::max(1, options_.refactor_interval));
+      obs::counter_add("lp.basis.backend.sparse_lu");
+      break;
+  }
 }
 
 // Geometric-mean equilibration of the constraint matrix. Two sweeps of
@@ -160,20 +172,12 @@ void Simplex::ftran(int v, std::vector<double>& alpha) const {
   const int m = num_rows();
   alpha.assign(static_cast<std::size_t>(m), 0.0);
   if (is_slack(v)) {
-    const int r = v - num_structural();
-    for (int i = 0; i < m; ++i)
-      alpha[static_cast<std::size_t>(i)] =
-          -binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
-                 static_cast<std::size_t>(r)];
-    return;
+    alpha[static_cast<std::size_t>(v - num_structural())] = -1.0;
+  } else {
+    for (const auto& entry : mat().column(v))
+      alpha[static_cast<std::size_t>(entry.index)] = entry.value;
   }
-  for (const auto& entry : mat().column(v)) {
-    const double val = entry.value;
-    const std::size_t r = static_cast<std::size_t>(entry.index);
-    for (int i = 0; i < m; ++i)
-      alpha[static_cast<std::size_t>(i)] +=
-          val * binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) + r];
-  }
+  factor_->ftran(alpha);
 }
 
 double Simplex::column_dot(int v, const std::vector<double>& y) const {
@@ -188,13 +192,9 @@ void Simplex::cold_start() {
   const int n = num_structural();
   const int m = num_rows();
   basis_.resize(static_cast<std::size_t>(m));
-  binv_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
   for (int i = 0; i < m; ++i) {
     basis_[static_cast<std::size_t>(i)] = n + i;
     status_[static_cast<std::size_t>(n + i)] = VarStatus::kBasic;
-    // Slack column is -e_i, so B = -I and B^-1 = -I.
-    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
-          static_cast<std::size_t>(i)] = -1.0;
   }
   for (int j = 0; j < n; ++j) {
     const double lo = lower(j);
@@ -211,7 +211,9 @@ void Simplex::cold_start() {
       x_[static_cast<std::size_t>(j)] = 0.0;
     }
   }
-  compute_basic_values();
+  // B = -I (every slack column is -e_i), which factorizes unconditionally.
+  const bool ok = factorize_basis();
+  TVNEP_REQUIRE(ok, "cold start: all-slack basis failed to factorize");
   has_basis_ = true;
   degenerate_streak_ = 0;
 }
@@ -232,25 +234,20 @@ void Simplex::compute_basic_values() {
         rhs[static_cast<std::size_t>(entry.index)] -= entry.value * xv;
     }
   }
-  for (int i = 0; i < m; ++i) {
-    const double* row = binv_.data() +
-                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
-    double sum = 0.0;
-    for (int k = 0; k < m; ++k) sum += row[k] * rhs[static_cast<std::size_t>(k)];
-    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] = sum;
-  }
+  factor_->ftran(rhs);
+  for (int i = 0; i < m; ++i)
+    x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] =
+        rhs[static_cast<std::size_t>(i)];
 }
 
 void Simplex::compute_duals_phase2(std::vector<double>& y) const {
   const int m = num_rows();
+  // y = B^-T c_B: load the basic costs in basis-position space and BTRAN.
   y.assign(static_cast<std::size_t>(m), 0.0);
-  for (int i = 0; i < m; ++i) {
-    const double c = var_cost(basis_[static_cast<std::size_t>(i)]);
-    if (c == 0.0) continue;
-    const double* row = binv_.data() +
-                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
-    for (int k = 0; k < m; ++k) y[static_cast<std::size_t>(k)] += c * row[k];
-  }
+  for (int i = 0; i < m; ++i)
+    y[static_cast<std::size_t>(i)] =
+        var_cost(basis_[static_cast<std::size_t>(i)]);
+  factor_->btran(y);
 }
 
 void Simplex::compute_duals_phase1(std::vector<double>& y) const {
@@ -263,11 +260,9 @@ void Simplex::compute_duals_phase1(std::vector<double>& y) const {
     double w = 0.0;
     if (xv < lower(v) - tol) w = -1.0;
     else if (xv > upper(v) + tol) w = 1.0;
-    if (w == 0.0) continue;
-    const double* row = binv_.data() +
-                        static_cast<std::size_t>(i) * static_cast<std::size_t>(m);
-    for (int k = 0; k < m; ++k) y[static_cast<std::size_t>(k)] += w * row[k];
+    y[static_cast<std::size_t>(i)] = w;
   }
+  factor_->btran(y);
 }
 
 double Simplex::infeasibility() const {
@@ -281,37 +276,119 @@ double Simplex::infeasibility() const {
   return total;
 }
 
+void Simplex::rebuild_pricing() {
+  const int total = num_vars();
+  pricing_candidates_.clear();
+  pricing_candidates_.reserve(static_cast<std::size_t>(total));
+  for (int v = 0; v < total; ++v) {
+    // Fixed columns (lb == ub under the working bounds) can never
+    // profitably enter; they stay out of the candidate list so pricing
+    // never visits them. Presolve substitutes input-fixed columns away
+    // before the LP even reaches the solver; the ones excluded here are
+    // branch-and-bound fixings applied through set_bounds.
+    if (!options_.price_fixed_columns && upper(v) - lower(v) < 1e-14)
+      continue;
+    pricing_candidates_.push_back(v);
+  }
+  pricing_cursor_ = 0;
+  if (options_.pricing == PricingRule::kDevex)
+    devex_weights_.assign(static_cast<std::size_t>(total), 1.0);
+}
+
 int Simplex::price(Phase phase, const std::vector<double>& y, bool bland,
                    double* direction) const {
-  const int total = num_vars();
   const double tol = options_.optimality_tol;
-  int best = -1;
-  double best_score = tol;
-  double best_dir = 0.0;
-  for (int v = 0; v < total; ++v) {
+  *direction = 0.0;
+  const std::size_t count = pricing_candidates_.size();
+  if (count == 0) return -1;
+
+  // Admissibility + reduced cost of one candidate. Returns the entering
+  // direction (0 when the variable cannot improve).
+  auto reduced = [&](int v, double* d_out) -> double {
     const VarStatus st = status_[static_cast<std::size_t>(v)];
-    if (st == VarStatus::kBasic) continue;
-    if (upper(v) - lower(v) < 1e-14) continue;  // fixed
+    if (st == VarStatus::kBasic) return 0.0;
+    if (upper(v) - lower(v) < 1e-14) return 0.0;  // fixed
     const double c = (phase == Phase::kPhase2) ? var_cost(v) : 0.0;
     const double d = c - column_dot(v, y);
     double dir = 0.0;
     if (st == VarStatus::kAtLower && d < -tol) dir = 1.0;
     else if (st == VarStatus::kAtUpper && d > tol) dir = -1.0;
     else if (st == VarStatus::kFree && std::fabs(d) > tol) dir = d > 0 ? -1.0 : 1.0;
-    if (dir == 0.0) continue;
-    if (bland) {
-      *direction = dir;
-      return v;
+    *d_out = d;
+    return dir;
+  };
+
+  if (bland) {
+    // Bland's rule: lowest-index admissible candidate, scanned in index
+    // order from the start (the cursor must not influence anti-cycling).
+    for (const int v : pricing_candidates_) {
+      double d = 0.0;
+      const double dir = reduced(v, &d);
+      if (dir != 0.0) {
+        *direction = dir;
+        return v;
+      }
     }
-    const double score = std::fabs(d);
-    if (score > best_score) {
-      best_score = score;
-      best = v;
-      best_dir = dir;
+    return -1;
+  }
+
+  if (options_.pricing == PricingRule::kDevex) {
+    int best = -1;
+    double best_score = 0.0;
+    double best_dir = 0.0;
+    for (const int v : pricing_candidates_) {
+      double d = 0.0;
+      const double dir = reduced(v, &d);
+      if (dir == 0.0) continue;
+      const double w =
+          std::max(devex_weights_[static_cast<std::size_t>(v)], 1e-12);
+      const double score = d * d / w;
+      if (best < 0 || score > best_score) {
+        best_score = score;
+        best = v;
+        best_dir = dir;
+      }
+    }
+    *direction = best_dir;
+    return best;
+  }
+
+  // Dantzig scoring. kDantzig scans the whole candidate list; the partial
+  // rule scans rotating windows from the cursor and takes the best of the
+  // first window containing an admissible candidate, so an iteration
+  // typically prices a fraction of the columns. Optimality is only
+  // declared after a full-list scan finds nothing.
+  const std::size_t window =
+      options_.pricing == PricingRule::kDantzig
+          ? count
+          : std::max<std::size_t>(64, count / 8);
+  std::size_t scanned = 0;
+  while (scanned < count) {
+    const std::size_t chunk = std::min(window, count - scanned);
+    int best = -1;
+    double best_score = tol;
+    double best_dir = 0.0;
+    for (std::size_t t = 0; t < chunk; ++t) {
+      const int v =
+          pricing_candidates_[(pricing_cursor_ + scanned + t) % count];
+      double d = 0.0;
+      const double dir = reduced(v, &d);
+      if (dir == 0.0) continue;
+      const double score = std::fabs(d);
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+        best_dir = dir;
+      }
+    }
+    scanned += chunk;
+    if (best >= 0) {
+      pricing_cursor_ = (pricing_cursor_ + scanned) % count;
+      *direction = best_dir;
+      return best;
     }
   }
-  *direction = best_dir;
-  return best;
+  return -1;
 }
 
 Simplex::RatioResult Simplex::ratio_test(Phase /*phase*/, int entering,
@@ -412,10 +489,62 @@ void Simplex::apply_bound_flip(int entering, double direction, double step,
   }
 }
 
-void Simplex::pivot(int entering, double direction, const RatioResult& ratio,
+void Simplex::update_devex(int entering, int leaving_row,
+                           const std::vector<double>& alpha,
+                           std::vector<double>& rho) {
+  const int m = num_rows();
+  const double apiv = alpha[static_cast<std::size_t>(leaving_row)];
+  if (std::fabs(apiv) < 1e-12) return;
+  const double wq =
+      std::max(devex_weights_[static_cast<std::size_t>(entering)], 1.0);
+  const double inv_apiv2 = 1.0 / (apiv * apiv);
+  // rho = B^-T e_r of the *outgoing* basis gives the pivot row needed for
+  // the reference-weight propagation.
+  rho.assign(static_cast<std::size_t>(m), 0.0);
+  rho[static_cast<std::size_t>(leaving_row)] = 1.0;
+  factor_->btran(rho);
+  double max_weight = 0.0;
+  for (const int v : pricing_candidates_) {
+    const auto uv = static_cast<std::size_t>(v);
+    if (v == entering || status_[uv] == VarStatus::kBasic) continue;
+    const double arj = column_dot(v, rho);
+    if (arj != 0.0) {
+      const double cand = wq * arj * arj * inv_apiv2;
+      if (cand > devex_weights_[uv]) devex_weights_[uv] = cand;
+    }
+    max_weight = std::max(max_weight, devex_weights_[uv]);
+  }
+  const int leaving = basis_[static_cast<std::size_t>(leaving_row)];
+  devex_weights_[static_cast<std::size_t>(leaving)] =
+      std::max(wq * inv_apiv2, 1.0);
+  devex_weights_[static_cast<std::size_t>(entering)] = 1.0;
+  if (max_weight > 1e7) {
+    // Weights have drifted far from the reference framework: restart it.
+    std::fill(devex_weights_.begin(), devex_weights_.end(), 1.0);
+    obs::counter_add("lp.pricing.devex_resets");
+  }
+}
+
+bool Simplex::apply_basis_update(int leaving_row,
+                                 const std::vector<double>& alpha) {
+  if (options_.basis_update_fault_hook &&
+      options_.basis_update_fault_hook(total_pivots_)) {
+    obs::counter_add("lp.basis.update_faults");
+  } else if (factor_->update(leaving_row, alpha)) {
+    ++stats_.basis_updates;
+    return true;
+  }
+  // Update refused (eta budget, unsafe pivot, or injected fault): rebuild
+  // the factorization from the basis columns instead.
+  return refactorize();
+}
+
+bool Simplex::pivot(int entering, double direction, const RatioResult& ratio,
                     const std::vector<double>& alpha) {
   const int r = ratio.leaving_row;
   const int leaving = basis_[static_cast<std::size_t>(r)];
+  if (options_.pricing == PricingRule::kDevex)
+    update_devex(entering, r, alpha, devex_rho_);
   for (int i = 0; i < num_rows(); ++i) {
     const double a = alpha[static_cast<std::size_t>(i)];
     if (a == 0.0) continue;
@@ -427,23 +556,8 @@ void Simplex::pivot(int entering, double direction, const RatioResult& ratio,
   status_[static_cast<std::size_t>(leaving)] = ratio.leaving_status;
   status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
   basis_[static_cast<std::size_t>(r)] = entering;
-  update_binv(r, alpha);
   ++total_pivots_;
-}
-
-void Simplex::update_binv(int leaving_row, const std::vector<double>& alpha) {
-  const int m = num_rows();
-  const std::size_t mm = static_cast<std::size_t>(m);
-  double* pivot_row = binv_.data() + static_cast<std::size_t>(leaving_row) * mm;
-  const double inv_pivot = 1.0 / alpha[static_cast<std::size_t>(leaving_row)];
-  for (int k = 0; k < m; ++k) pivot_row[k] *= inv_pivot;
-  for (int i = 0; i < m; ++i) {
-    if (i == leaving_row) continue;
-    const double a = alpha[static_cast<std::size_t>(i)];
-    if (a == 0.0) continue;
-    double* row = binv_.data() + static_cast<std::size_t>(i) * mm;
-    for (int k = 0; k < m; ++k) row[k] -= a * pivot_row[k];
-  }
+  return apply_basis_update(r, alpha);
 }
 
 SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
@@ -504,14 +618,21 @@ SolveStatus Simplex::primal_simplex(Phase phase, const Deadline& deadline) {
     if (ratio.step < 1e-11) ++degenerate_streak_;
     else degenerate_streak_ = 0;
 
-    if (ratio.bound_flip) apply_bound_flip(entering, direction, ratio.step, alpha);
-    else pivot(entering, direction, ratio, alpha);
+    if (ratio.bound_flip) {
+      apply_bound_flip(entering, direction, ratio.step, alpha);
+    } else if (!pivot(entering, direction, ratio, alpha)) {
+      return SolveStatus::kNumericalFailure;
+    }
 
     ++iterations;
     ++stat_iters;
-    if (total_pivots_ % 512 == 0 && !binv_.empty()) {
-      // Periodic accuracy sweep: recompute basic values from the inverse.
+    // Periodic accuracy sweep: recompute basic values from the
+    // factorization. Keyed on the per-solve iteration counter — bound
+    // flips advance it too, so the cadence cannot park on the lifetime
+    // pivot count and either re-run every iteration or never fire.
+    if (iterations % 512 == 0) {
       compute_basic_values();
+      ++stats_.accuracy_sweeps;
     }
   }
 }
@@ -611,10 +732,10 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
     // Periodic refresh guards against drift in the incremental updates.
     if (iterations > 0 && (iterations & 255) == 0) recompute_reduced_costs();
 
-    const double* binv_row =
-        binv_.data() +
-        static_cast<std::size_t>(leaving_row) * static_cast<std::size_t>(m);
-    std::copy(binv_row, binv_row + m, rho.begin());
+    // rho = row r of B^-1, extracted as B^-T e_r.
+    std::fill(rho.begin(), rho.end(), 0.0);
+    rho[static_cast<std::size_t>(leaving_row)] = 1.0;
+    factor_->btran(rho);
 
     const double e = below ? 1.0 : -1.0;  // desired change sign of x_B(r)
 
@@ -712,16 +833,11 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
             aggregate[static_cast<std::size_t>(entry.index)] += entry.value * dx;
         }
       }
-      // x_B -= B^-1 * (A_flips · dx).
-      for (int i = 0; i < m; ++i) {
-        const double* row = binv_.data() + static_cast<std::size_t>(i) *
-                                               static_cast<std::size_t>(m);
-        double sum = 0.0;
-        for (int k = 0; k < m; ++k)
-          sum += row[k] * aggregate[static_cast<std::size_t>(k)];
+      // x_B -= B^-1 * (A_flips · dx), one FTRAN for the whole batch.
+      factor_->ftran(aggregate);
+      for (int i = 0; i < m; ++i)
         x_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] -=
-            sum;
-      }
+            aggregate[static_cast<std::size_t>(i)];
     }
 
     ftran(entering, alpha);
@@ -755,7 +871,11 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
         below ? VarStatus::kAtLower : VarStatus::kAtUpper;
     status_[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
     basis_[static_cast<std::size_t>(leaving_row)] = entering;
-    update_binv(leaving_row, alpha);
+    ++total_pivots_;
+    if (!apply_basis_update(leaving_row, alpha)) {
+      *status_out = SolveStatus::kNumericalFailure;
+      return true;
+    }
     // Incremental reduced-cost update: d_j -= θ · α_rj with
     // θ = d_q / α_rq; the leaving variable picks up -θ.
     const double theta = d[static_cast<std::size_t>(entering)] / pivot_val;
@@ -767,59 +887,49 @@ bool Simplex::dual_simplex(const Deadline& deadline, SolveStatus* status_out) {
     }
     d[static_cast<std::size_t>(entering)] = 0.0;
     d[static_cast<std::size_t>(leaving)] = -theta;
-    ++total_pivots_;
     ++iterations;
     ++stats_.dual_iterations;
   }
 }
 
 bool Simplex::refactorize() {
-  const int m = num_rows();
-  const int n = num_structural();
   ++stats_.refactorizations;
   obs::counter_add("lp.refactorizations");
   obs::instant("lp.refactorize", "lp");
-  // Gauss-Jordan replay with prescribed pivot positions.
-  binv_.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
-  for (int i = 0; i < m; ++i)
-    binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
-          static_cast<std::size_t>(i)] = 1.0;
-  // Start from identity: first absorb the slack pattern (-1 diagonal) for
-  // rows whose basic variable is their own slack; others pivot in below.
-  std::vector<double> alpha;
-  bool replay_ok = true;
-  for (int i = 0; i < m && replay_ok; ++i) {
+  return factorize_basis();
+}
+
+bool Simplex::factorize_basis() {
+  const int m = num_rows();
+  const int n = num_structural();
+  linalg::BasisColumns cols(m);
+  for (int i = 0; i < m; ++i) {
+    cols.begin_column();
     const int v = basis_[static_cast<std::size_t>(i)];
-    ftran(v, alpha);
-    if (std::fabs(alpha[static_cast<std::size_t>(i)]) < 1e-9) {
-      replay_ok = false;
-      break;
+    if (is_slack(v)) {
+      cols.add(v - n, -1.0);
+    } else {
+      for (const auto& entry : mat().column(v))
+        cols.add(entry.index, entry.value);
     }
-    update_binv(i, alpha);
   }
-  if (!replay_ok) {
-    // Dense LU fallback.
-    linalg::DenseMatrix b(static_cast<std::size_t>(m),
-                          static_cast<std::size_t>(m), 0.0);
-    for (int i = 0; i < m; ++i) {
-      const int v = basis_[static_cast<std::size_t>(i)];
-      if (is_slack(v)) {
-        b(static_cast<std::size_t>(v - n), static_cast<std::size_t>(i)) = -1.0;
-      } else {
-        for (const auto& entry : mat().column(v))
-          b(static_cast<std::size_t>(entry.index), static_cast<std::size_t>(i)) =
-              entry.value;
-      }
-    }
-    auto lu = linalg::LuFactorization::factorize(b);
-    if (!lu) return false;
-    const linalg::DenseMatrix inv = lu->inverse();
-    for (int i = 0; i < m; ++i)
-      for (int k = 0; k < m; ++k)
-        binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
-              static_cast<std::size_t>(k)] =
-            inv(static_cast<std::size_t>(i), static_cast<std::size_t>(k));
+  linalg::LuFailure failure;
+  if (!factor_->factorize(cols, &failure)) {
+    // Singular basis: surface the breakdown to the obs layer and report
+    // failure so the caller's recovery ladder (refactorize → Bland →
+    // perturb → cold restart) takes over.
+    factor_valid_ = false;
+    obs::counter_add("lp.basis.singular");
+    obs::instant("lp.basis_singular", "lp",
+                 "\"stage\":" + std::to_string(failure.stage) +
+                     ",\"pivot\":" + std::to_string(failure.pivot_magnitude) +
+                     ",\"threshold\":" + std::to_string(failure.threshold));
+    return false;
   }
+  factor_valid_ = true;
+  const double fill = factor_->fill_ratio();
+  stats_.basis_fill_max = std::max(stats_.basis_fill_max, fill);
+  obs::histogram_observe("lp.basis.fill", fill);
   compute_basic_values();
   return true;
 }
@@ -834,6 +944,11 @@ void Simplex::finish_solution() {
 }
 
 SolveStatus Simplex::solve_attempt(const Deadline& deadline) {
+  rebuild_pricing();
+  // A failed refactorization from a previous attempt leaves factor_
+  // unusable; bounds don't change B, so one rebuild restores the warm
+  // start. If even that fails the basis is truly singular — start cold.
+  if (has_basis_ && !factor_valid_ && !factorize_basis()) has_basis_ = false;
   if (has_basis_) {
     // Reposition nonbasic variables onto the (possibly changed) bounds.
     for (int v = 0; v < num_vars(); ++v) {

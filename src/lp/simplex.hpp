@@ -1,4 +1,4 @@
-// Bounded-variable revised simplex with explicit basis inverse.
+// Bounded-variable revised simplex over a pluggable basis factorization.
 //
 // The solver operates on the computational form of lp::Problem. Internally
 // one logical (slack) variable is appended per row:
@@ -9,16 +9,20 @@
 //
 // Provided algorithms:
 //  * primal simplex with a Phase-I infeasibility minimization (no big-M,
-//    no artificial variables) and Dantzig pricing with a Bland fallback
-//    after degeneracy stalls;
+//    no artificial variables), partial Dantzig pricing (full-scan Dantzig
+//    and Devex selectable via SimplexOptions::pricing) with a Bland
+//    fallback after degeneracy stalls;
 //  * dual simplex used to re-optimize after bound changes (branch & bound
 //    warm starts); it refuses to run when the current basis is not dual
 //    feasible, in which case the caller falls back to the primal.
 //
-// The basis inverse is kept as a dense row-major matrix updated by
-// product-form pivots; it is rebuilt (pivot replay, dense-LU fallback) when
-// numerical drift is detected. This is O(m^2) per iteration and perfectly
-// adequate for the matrix sizes produced by the TVNEP formulations.
+// Basis maintenance goes through linalg::BasisFactorization: the default
+// backend is a sparse LU with Markowitz threshold pivoting plus
+// product-form eta updates (sub-quadratic per iteration on sparse bases);
+// the historical dense explicit inverse remains selectable via
+// SimplexOptions::basis for debugging and A/B comparison. When an eta
+// update is numerically unsafe or the update budget is exhausted the
+// backend refuses it and the simplex refactorizes from the basis columns.
 //
 // Numerical resilience: the constraint matrix is equilibrated with
 // power-of-two geometric-mean row/column scaling before Phase I (the TVNEP
@@ -31,9 +35,12 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "linalg/lu.hpp"
 #include "lp/problem.hpp"
 #include "support/stopwatch.hpp"
 
@@ -56,6 +63,20 @@ enum class VarStatus : unsigned char {
   kAtUpper,
   kFree,   // nonbasic free variable resting at zero
   kBasic,
+};
+
+/// Which linalg::BasisFactorization backend maintains the basis.
+enum class BasisBackend {
+  kSparseLu,       // sparse Markowitz LU + eta updates (default)
+  kDenseInverse,   // historical explicit dense inverse (debug/reference)
+};
+
+/// Entering-variable selection rule for the primal phases. Bland's rule
+/// (degeneracy/recovery fallback) overrides whichever rule is configured.
+enum class PricingRule {
+  kPartialDantzig,  // Dantzig scoring over a rotating candidate window
+  kDantzig,         // classic full-scan Dantzig (historical behavior)
+  kDevex,           // Devex reference-framework weights, full scan
 };
 
 struct SimplexOptions {
@@ -82,12 +103,31 @@ struct SimplexOptions {
   // cold restart. Each rung taken is counted in SolveStats and surfaced as
   // an lp.recovery.* metric plus an lp.recover trace instant.
   bool recovery = true;
+  // Basis-maintenance backend (see BasisBackend). The dense inverse is
+  // kept selectable so tests and benches can A/B the two implementations.
+  BasisBackend basis = BasisBackend::kSparseLu;
+  // Primal pricing rule (see PricingRule).
+  PricingRule pricing = PricingRule::kPartialDantzig;
+  // Eta updates the sparse backend absorbs before it forces a
+  // refactorization. Ignored by the dense backend, whose product-form
+  // update never degrades capacity.
+  int refactor_interval = 64;
+  // Debug/bench escape hatch: keep fixed (lb == ub) columns in the pricing
+  // candidate list, as the historical full-scan pricing did. They can never
+  // profitably enter, so scanning them is pure overhead; micro_solver uses
+  // this flag for its before/after pricing pair.
+  bool price_fixed_columns = false;
   // Deterministic fault-injection seam (compiled always, null by default):
   // consulted once per simplex iteration with the lifetime pivot count; a
   // true return makes the current solve attempt fail numerically, exactly
   // as a real breakdown would. Tests use it to force failures at chosen
   // pivots and prove every rung of the recovery ladder.
   std::function<bool(long pivot)> fault_hook;
+  // Second fault seam targeting basis maintenance: consulted at each
+  // post-pivot basis update with the lifetime pivot count; a true return
+  // makes the update report failure so the refactorization path (and the
+  // recovery ladder behind it) is exercised deterministically.
+  std::function<bool(long pivot)> basis_update_fault_hook;
   // Cooperative soft-cancel seam: polled at the same cadence as the
   // deadline (every 64 iterations); a set flag makes the solve return
   // kTimeLimit at the next poll. The pointee must outlive the solve. The
@@ -101,6 +141,13 @@ struct SolveStats {
   int phase2_iterations = 0;
   int dual_iterations = 0;
   int refactorizations = 0;
+  // Incremental basis updates absorbed without a refactorization.
+  long basis_updates = 0;
+  // Periodic accuracy sweeps (basic-value recomputation) taken.
+  int accuracy_sweeps = 0;
+  // Worst nnz(factors)/nnz(B) ratio across this solve's factorizations
+  // (the dense backend reports m^2/nnz(B)); 0 when none happened.
+  double basis_fill_max = 0.0;
   bool warm_started = false;
   // A warm-start basis existed but the dual simplex could not finish the
   // solve (dual-infeasible start, stall, or numerical failure) and the
@@ -225,6 +272,11 @@ class Simplex {
   void compute_duals_phase1(std::vector<double>& y) const;
   double infeasibility() const;
 
+  // Rebuilds the pricing candidate list (and Devex weights) for a solve
+  // attempt: every variable except those fixed by the working bounds
+  // (unless options_.price_fixed_columns keeps them for benchmarking).
+  void rebuild_pricing();
+
   // Returns entering variable (or -1) and its reduced cost / direction.
   int price(Phase phase, const std::vector<double>& y, bool bland,
             double* direction) const;
@@ -234,9 +286,18 @@ class Simplex {
 
   void apply_bound_flip(int entering, double direction, double step,
                         const std::vector<double>& alpha);
-  void pivot(int entering, double direction, const RatioResult& ratio,
+  // Devex reference-weight maintenance; must run before the basis changes
+  // (it needs B^-T of the outgoing basis). `rho` is caller-owned scratch.
+  void update_devex(int entering, int leaving_row,
+                    const std::vector<double>& alpha,
+                    std::vector<double>& rho);
+  // Performs the basis exchange; returns false when basis maintenance
+  // failed beyond repair (update refused and refactorization failed too).
+  bool pivot(int entering, double direction, const RatioResult& ratio,
              const std::vector<double>& alpha);
-  void update_binv(int leaving_row, const std::vector<double>& alpha);
+  // Post-pivot eta update with refactorization fallback; false only when
+  // the refactorization itself failed.
+  bool apply_basis_update(int leaving_row, const std::vector<double>& alpha);
 
   /// Deadline expiry or external soft-cancel — both end the solve with
   /// kTimeLimit at the next poll.
@@ -251,8 +312,12 @@ class Simplex {
   // starting basis was not dual feasible and the caller must go primal.
   bool dual_simplex(const Deadline& deadline, SolveStatus* status_out);
 
+  // Counts a refactorization (stats + obs) and rebuilds the factorization.
   bool refactorize();
-  double binv_residual() const;
+  // Factorizes the current basis columns into factor_; on success also
+  // recomputes the basic values. Does not touch the refactorization stats
+  // (cold starts factorize without counting as a refactorization).
+  bool factorize_basis();
   void finish_solution();
 
   // One end-to-end solve attempt (warm dual → primal fallback, or cold
@@ -281,8 +346,17 @@ class Simplex {
   std::vector<double> x_;       // current values, size num_vars()
   std::vector<VarStatus> status_;
   std::vector<int> basis_;      // size m: variable basic in each row
-  std::vector<double> binv_;    // dense m*m row-major
+  std::unique_ptr<linalg::BasisFactorization> factor_;
+  bool factor_valid_ = false;   // factor_ matches basis_ and is usable
   bool has_basis_ = false;
+
+  // Pricing state, rebuilt per solve attempt: candidate variable indices
+  // (ascending, fixed columns excluded), the rotating partial-pricing
+  // cursor, and the Devex reference weights.
+  std::vector<int> pricing_candidates_;
+  mutable std::size_t pricing_cursor_ = 0;
+  std::vector<double> devex_weights_;
+  std::vector<double> devex_rho_;  // BTRAN scratch for weight updates
 
   double objective_ = 0.0;
   std::vector<double> duals_;

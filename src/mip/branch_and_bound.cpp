@@ -461,6 +461,9 @@ MipResult MipSolver::solve_tree(
       result.phase2_iterations += st.phase2_iterations;
       result.dual_iterations += st.dual_iterations;
       result.refactorizations += st.refactorizations;
+      result.basis_updates += st.basis_updates;
+      result.lp_basis_fill_max =
+          std::max(result.lp_basis_fill_max, st.basis_fill_max);
       result.lp_recoveries += st.recoveries();
       if (st.dual_fallback) ++result.dual_fallbacks;
     };

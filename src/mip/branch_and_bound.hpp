@@ -94,7 +94,11 @@ struct MipResult {
   long phase2_iterations = 0;
   long dual_iterations = 0;
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
-  long refactorizations = 0;  // basis-inverse rebuilds across node LPs
+  long refactorizations = 0;  // basis refactorizations across node LPs
+  long basis_updates = 0;   // incremental basis updates across node LPs
+  // Worst nnz(factors)/nnz(B) fill ratio any node LP factorization hit
+  // (dense backend: m^2/nnz(B)); 0 when no factorization happened.
+  double lp_basis_fill_max = 0.0;
   // Numerical-resilience telemetry. `lp_recoveries` totals the recovery
   // ladder rungs taken across all node LPs (per-rung counts are on the
   // lp.recovery.* metrics); `numerical_drops` counts subtrees abandoned

@@ -452,6 +452,12 @@ struct PresolveRun {
         post.fixed_value_[j] = c.fixed_value;
         continue;
       }
+      // With substitution on, every fixed (lower == upper) column must have
+      // been folded away — the simplex pricing candidate list relies on the
+      // reduced model carrying none, so a survivor here is a presolve bug.
+      TVNEP_CHECK_MSG(!opts.substitute_fixed_columns ||
+                          c.upper - c.lower > opts.feasibility_tol,
+                      "presolve emit: fixed column survived substitution");
       const mip::Var v = out.reduced.add_var(
           c.lower, c.upper, c.type,
           model.var_name(mip::Var{static_cast<int>(j)}));

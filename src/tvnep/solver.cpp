@@ -46,6 +46,8 @@ TvnepSolveResult solve(const net::TvnepInstance& instance, ModelKind kind,
                          mip_result.dual_iterations;
   result.dual_fallbacks = mip_result.dual_fallbacks;
   result.refactorizations = mip_result.refactorizations;
+  result.basis_updates = mip_result.basis_updates;
+  result.lp_basis_fill_max = mip_result.lp_basis_fill_max;
   result.lp_recoveries = mip_result.lp_recoveries;
   result.numerical_drops = mip_result.numerical_drops;
   result.model_vars = formulation->model().num_vars();

@@ -36,7 +36,9 @@ struct TvnepSolveResult {
   long lp_pivots = 0;
   long lp_iterations = 0;   // primal phase 1 + phase 2 + dual, summed
   long dual_fallbacks = 0;  // warm starts that fell back to primal phases
-  long refactorizations = 0;  // basis-inverse rebuilds across node LPs
+  long refactorizations = 0;  // basis refactorizations across node LPs
+  long basis_updates = 0;   // incremental basis updates across node LPs
+  double lp_basis_fill_max = 0.0;  // worst factorization fill ratio seen
   long lp_recoveries = 0;   // recovery-ladder rungs taken across node LPs
   long numerical_drops = 0;  // subtrees dropped after recovery + requeue
   int model_vars = 0;

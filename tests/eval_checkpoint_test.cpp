@@ -215,6 +215,8 @@ TEST_F(CheckpointTest, ScenarioOutcomeCodecRoundTrips) {
   r.lp_iterations = 890;
   r.dual_fallbacks = 1;
   r.refactorizations = 2;
+  r.basis_updates = 4321;
+  r.lp_basis_fill_max = 2.75;
   r.lp_recoveries = 3;
   r.numerical_drops = 4;
   r.model_vars = 55;
@@ -260,6 +262,8 @@ TEST_F(CheckpointTest, ScenarioOutcomeCodecRoundTrips) {
   EXPECT_EQ(decoded.result.lp_iterations, r.lp_iterations);
   EXPECT_EQ(decoded.result.dual_fallbacks, r.dual_fallbacks);
   EXPECT_EQ(decoded.result.refactorizations, r.refactorizations);
+  EXPECT_EQ(decoded.result.basis_updates, r.basis_updates);
+  EXPECT_EQ(decoded.result.lp_basis_fill_max, r.lp_basis_fill_max);
   EXPECT_EQ(decoded.result.lp_recoveries, r.lp_recoveries);
   EXPECT_EQ(decoded.result.numerical_drops, r.numerical_drops);
   EXPECT_EQ(decoded.result.model_vars, r.model_vars);
@@ -273,6 +277,26 @@ TEST_F(CheckpointTest, ScenarioOutcomeCodecRoundTrips) {
             r.presolve_bounds_tightened);
   EXPECT_EQ(decoded.result.presolve_infeasible, r.presolve_infeasible);
   EXPECT_EQ(decoded.result.presolve_seconds, r.presolve_seconds);
+}
+
+TEST_F(CheckpointTest, DecodesRecordsFromJournalsWithoutBasisFields) {
+  // Journals written before the basis telemetry existed carry no
+  // basis_updates/basis_fill fields; resuming them must still decode the
+  // cell (with the new counters zeroed) instead of re-solving it.
+  ScenarioOutcome outcome;
+  outcome.flexibility = 1.0;
+  outcome.seed = 2;
+  outcome.result.status = mip::MipStatus::kOptimal;
+  outcome.result.basis_updates = 99;
+  outcome.result.lp_basis_fill_max = 3.5;
+  CellRecord record = encode_outcome("cSigma", 0, outcome);
+  record.fields.erase("basis_updates");
+  record.fields.erase("basis_fill");
+
+  ScenarioOutcome decoded;
+  ASSERT_TRUE(decode_outcome(record, decoded));
+  EXPECT_EQ(decoded.result.basis_updates, 0);
+  EXPECT_EQ(decoded.result.lp_basis_fill_max, 0.0);
 }
 
 TEST_F(CheckpointTest, GreedyOutcomeCodecRoundTrips) {

@@ -108,5 +108,228 @@ TEST(Lu, RequiresPivotingMatrix) {
   EXPECT_NEAR(b[1], 2.0, 1e-12);
 }
 
+TEST(Lu, SingularFailureIsStructured) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 2; a(1, 1) = 4; a(1, 2) = 6;  // row 1 = 2 * row 0
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 1;
+  LuFailure failure;
+  EXPECT_FALSE(LuFactorization::factorize(a, 1e-12, &failure).has_value());
+  // The dependent rows survive the first two eliminations; the breakdown
+  // is at the last stage, with the best remaining pivot below threshold.
+  EXPECT_EQ(failure.stage, 2u);
+  EXPECT_GT(failure.threshold, 0.0);
+  EXPECT_LT(failure.pivot_magnitude, failure.threshold);
+}
+
+TEST(Lu, RelativePivotToleranceRejectsNearSingular) {
+  // Two nearly parallel rows at a huge scale: elimination leaves a pivot
+  // of 512, which an absolute tolerance of 1e-12 would happily accept but
+  // which is ~1e-14 of amax — numerically the matrix is singular at this
+  // scale, and kRelativePivotTol (1e-13) must reject it.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1e16; a(0, 1) = 1e16;
+  a(1, 0) = 1e16; a(1, 1) = 1e16 + 512.0;
+  LuFailure failure;
+  EXPECT_FALSE(LuFactorization::factorize(a, 1e-12, &failure).has_value());
+  EXPECT_EQ(failure.stage, 1u);
+  EXPECT_GE(failure.threshold, kRelativePivotTol * 1e16);
+  EXPECT_NEAR(failure.pivot_magnitude, 512.0, 1e-6);
+}
+
+// ---- BasisFactorization backends --------------------------------------
+
+// Diagonally dominant tridiagonal basis: always factorizable, sparse.
+BasisColumns tridiagonal_basis(int m) {
+  BasisColumns b(m);
+  for (int c = 0; c < m; ++c) {
+    b.begin_column();
+    b.add(c, 4.0 + 0.1 * c);
+    if (c > 0) b.add(c - 1, 1.0);
+    if (c + 1 < m) b.add(c + 1, -1.0);
+  }
+  return b;
+}
+
+// rhs = B * x for a column-assembled basis.
+std::vector<double> basis_times(const BasisColumns& b,
+                                const std::vector<double>& x) {
+  std::vector<double> rhs(static_cast<std::size_t>(b.rows()), 0.0);
+  for (int c = 0; c < b.cols(); ++c)
+    for (const auto& e : b.column(c))
+      rhs[static_cast<std::size_t>(e.index)] +=
+          e.value * x[static_cast<std::size_t>(c)];
+  return rhs;
+}
+
+// c = B^T * y (c indexed by basis position).
+std::vector<double> basis_transpose_times(const BasisColumns& b,
+                                          const std::vector<double>& y) {
+  std::vector<double> out(static_cast<std::size_t>(b.cols()), 0.0);
+  for (int c = 0; c < b.cols(); ++c)
+    for (const auto& e : b.column(c))
+      out[static_cast<std::size_t>(c)] +=
+          e.value * y[static_cast<std::size_t>(e.index)];
+  return out;
+}
+
+TEST(BasisFactorization, SparseFtranSolvesAgainstMultiply) {
+  const int m = 12;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis factor;
+  ASSERT_TRUE(factor.factorize(b));
+  EXPECT_EQ(factor.order(), m);
+  std::vector<double> x_true(m);
+  for (int i = 0; i < m; ++i) x_true[static_cast<std::size_t>(i)] = i - 5.5;
+  std::vector<double> rhs = basis_times(b, x_true);
+  factor.ftran(rhs);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(BasisFactorization, SparseBtranSolvesAgainstTransposeMultiply) {
+  const int m = 12;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis factor;
+  ASSERT_TRUE(factor.factorize(b));
+  std::vector<double> y_true(m);
+  for (int i = 0; i < m; ++i) y_true[static_cast<std::size_t>(i)] = 2.0 - i;
+  std::vector<double> c = basis_transpose_times(b, y_true);
+  factor.btran(c);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(c[static_cast<std::size_t>(i)],
+                y_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(BasisFactorization, SparseMatchesDenseBackend) {
+  const int m = 9;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis sparse;
+  DenseInverseBasis dense;
+  ASSERT_TRUE(sparse.factorize(b));
+  ASSERT_TRUE(dense.factorize(b));
+  std::vector<double> rhs(m), rhs2(m);
+  for (int i = 0; i < m; ++i) {
+    rhs[static_cast<std::size_t>(i)] = 0.5 * i - 1.0;
+    rhs2[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)];
+  }
+  sparse.ftran(rhs);
+  dense.ftran(rhs2);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(i)],
+                rhs2[static_cast<std::size_t>(i)], 1e-9);
+  for (int i = 0; i < m; ++i) {
+    rhs[static_cast<std::size_t>(i)] = 3.0 - 0.7 * i;
+    rhs2[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)];
+  }
+  sparse.btran(rhs);
+  dense.btran(rhs2);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(i)],
+                rhs2[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(BasisFactorization, EtaUpdateMatchesRefactorization) {
+  const int m = 8;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis factor;
+  ASSERT_TRUE(factor.factorize(b));
+  EXPECT_EQ(factor.updates_since_factorize(), 0);
+
+  // Replace basis position 3 with a new column a = e_2 + 2 e_3 + e_5.
+  std::vector<double> new_col(m, 0.0);
+  new_col[2] = 1.0; new_col[3] = 2.0; new_col[5] = 1.0;
+  std::vector<double> alpha = new_col;
+  factor.ftran(alpha);  // alpha = B^-1 a
+  ASSERT_TRUE(factor.update(3, alpha));
+  EXPECT_EQ(factor.updates_since_factorize(), 1);
+
+  // The updated factorization must solve against the modified basis.
+  BasisColumns modified(m);
+  for (int c = 0; c < m; ++c) {
+    modified.begin_column();
+    if (c == 3) {
+      for (int r = 0; r < m; ++r)
+        if (new_col[static_cast<std::size_t>(r)] != 0.0)
+          modified.add(r, new_col[static_cast<std::size_t>(r)]);
+    } else {
+      for (const auto& e : b.column(c)) modified.add(e.index, e.value);
+    }
+  }
+  std::vector<double> x_true(m);
+  for (int i = 0; i < m; ++i) x_true[static_cast<std::size_t>(i)] = 1.0 + i;
+  std::vector<double> rhs = basis_times(modified, x_true);
+  factor.ftran(rhs);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(rhs[static_cast<std::size_t>(i)],
+                x_true[static_cast<std::size_t>(i)], 1e-9)
+        << "position " << i;
+
+  std::vector<double> y_true(m);
+  for (int i = 0; i < m; ++i) y_true[static_cast<std::size_t>(i)] = i * 0.3;
+  std::vector<double> c = basis_transpose_times(modified, y_true);
+  factor.btran(c);
+  for (int i = 0; i < m; ++i)
+    EXPECT_NEAR(c[static_cast<std::size_t>(i)],
+                y_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(BasisFactorization, UpdateRefusedOnTinyPivot) {
+  const int m = 6;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis factor;
+  ASSERT_TRUE(factor.factorize(b));
+  std::vector<double> alpha(m, 0.5);
+  alpha[2] = 1e-12;  // |alpha_r| below the update tolerance
+  EXPECT_FALSE(factor.update(2, alpha));
+}
+
+TEST(BasisFactorization, UpdateRefusedWhenBudgetExhausted) {
+  const int m = 6;
+  const BasisColumns b = tridiagonal_basis(m);
+  SparseLuBasis factor(/*max_updates=*/2);
+  ASSERT_TRUE(factor.factorize(b));
+  std::vector<double> alpha(m, 0.0);
+  for (int k = 0; k < 2; ++k) {
+    alpha.assign(static_cast<std::size_t>(m), 0.0);
+    alpha[static_cast<std::size_t>(k)] = 2.0;  // harmless diagonal rescale
+    ASSERT_TRUE(factor.update(k, alpha));
+  }
+  alpha.assign(static_cast<std::size_t>(m), 0.0);
+  alpha[4] = 2.0;
+  EXPECT_FALSE(factor.update(4, alpha));  // budget spent → refactorize
+  EXPECT_EQ(factor.updates_since_factorize(), 2);
+}
+
+TEST(BasisFactorization, SingularBasisFailsWithStructuredFailure) {
+  const int m = 4;
+  BasisColumns b(m);
+  for (int c = 0; c < m; ++c) {
+    b.begin_column();
+    b.add(1, 1.0);  // every column identical → rank 1
+  }
+  SparseLuBasis sparse;
+  LuFailure failure;
+  failure.threshold = -1.0;
+  EXPECT_FALSE(sparse.factorize(b, &failure));
+  EXPECT_GE(failure.threshold, 0.0);  // populated by the backend
+  DenseInverseBasis dense;
+  EXPECT_FALSE(dense.factorize(b, &failure));
+}
+
+TEST(BasisFactorization, FillRatioReported) {
+  const BasisColumns b = tridiagonal_basis(16);
+  SparseLuBasis sparse;
+  ASSERT_TRUE(sparse.factorize(b));
+  EXPECT_GT(sparse.fill_ratio(), 0.0);
+  // Tridiagonal elimination in natural order causes no fill at all.
+  EXPECT_LE(sparse.fill_ratio(), 1.5);
+  DenseInverseBasis dense;
+  ASSERT_TRUE(dense.factorize(b));
+  // The dense backend stores m^2 entries regardless of sparsity.
+  EXPECT_GT(dense.fill_ratio(), sparse.fill_ratio());
+}
+
 }  // namespace
 }  // namespace tvnep::linalg

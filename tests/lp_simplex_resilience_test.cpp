@@ -310,6 +310,78 @@ TEST(SimplexRecovery, WarmStartedResolveRecoversToo) {
   EXPECT_NEAR(s.objective(), -5.0, 1e-8);  // x = (3, 1)
 }
 
+// --- Basis-update fault seam ------------------------------------------
+//
+// SimplexOptions::basis_update_fault_hook makes the post-pivot eta update
+// report failure, driving the simplex down its refactorize-instead path —
+// the same path a genuine Forrest-Tomlin/eta refusal (tiny pivot, budget
+// exhausted, runaway eta fill) takes.
+
+TEST(SimplexBasisUpdateFault, RefusedUpdateFallsBackToRefactorize) {
+  for (const BasisBackend backend :
+       {BasisBackend::kSparseLu, BasisBackend::kDenseInverse}) {
+    const Problem p = make_reference_lp();
+    SimplexOptions opts;
+    opts.basis = backend;
+    opts.basis_update_fault_hook = fail_first(1);
+    Simplex s(p, opts);
+    ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective(), -7.0, 1e-9);
+    // The refusal is absorbed below the recovery ladder: the update's
+    // refactorization fallback clears it without a failed attempt.
+    EXPECT_GE(s.stats().refactorizations, 1);
+    EXPECT_EQ(s.stats().recoveries(), 0);
+  }
+}
+
+TEST(SimplexBasisUpdateFault, EveryUpdateRefusedStillSolves) {
+  for (const BasisBackend backend :
+       {BasisBackend::kSparseLu, BasisBackend::kDenseInverse}) {
+    const Problem p = make_reference_lp();
+    SimplexOptions opts;
+    opts.basis = backend;
+    opts.basis_update_fault_hook = [](long) { return true; };
+    Simplex s(p, opts);
+    ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective(), -7.0, 1e-9);
+    EXPECT_EQ(s.stats().basis_updates, 0);  // no update ever succeeded
+    EXPECT_GE(s.stats().refactorizations, 1);
+  }
+}
+
+TEST(SimplexBasisUpdateFault, FaultedSolveMatchesCleanOnRandomLps) {
+  Rng rng(515);
+  int compared = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const IllConditionedLp lp = make_ill_conditioned_lp(rng);
+    Simplex clean(lp.problem);
+    if (clean.solve() != SolveStatus::kOptimal) continue;
+    SimplexOptions opts;
+    opts.basis_update_fault_hook = fail_first(
+        static_cast<int>(rng.uniform_int(1, 5)));
+    Simplex faulted(lp.problem, opts);
+    ASSERT_EQ(faulted.solve(), SolveStatus::kOptimal) << "trial " << trial;
+    const double tol = 1e-6 * std::max(1.0, std::fabs(clean.objective()));
+    EXPECT_NEAR(faulted.objective(), clean.objective(), tol)
+        << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 15);
+}
+
+TEST(SimplexBasisUpdateFault, TinyUpdateBudgetForcesGenuineRefusals) {
+  // refactor_interval = 1 exhausts the sparse backend's eta budget after
+  // one absorbed update, so the genuine (non-hook) refusal path runs on
+  // every later pivot.
+  const Problem p = make_reference_lp();
+  SimplexOptions opts;
+  opts.refactor_interval = 1;
+  Simplex s(p, opts);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -7.0, 1e-9);
+  EXPECT_LE(s.stats().basis_updates, 1 + s.stats().refactorizations);
+}
+
 TEST(SimplexRecovery, LadderHandlesGenuineIllConditioning) {
   // Random ill-conditioned instances with injected faults on top: the
   // recovered optimum must match a clean solve of the same instance.

@@ -236,6 +236,30 @@ TEST(Simplex, EmptyProblemNoRows) {
   EXPECT_NEAR(s.objective(), -3.0, 1e-9);
 }
 
+TEST(Simplex, AccuracySweepKeyedOnIterationsNotLifetimePivots) {
+  // A bound-flip-heavy LP: 600 columns each travel 0 → 1 without any
+  // basic variable blocking, so nearly every iteration is a bound flip
+  // and the lifetime pivot count stays parked near zero. The periodic
+  // accuracy sweep must be keyed on the per-solve iteration counter:
+  // the old total_pivots_-keyed gate sat at 0 % 512 == 0 throughout and
+  // re-ran the sweep on every single bound flip.
+  Problem p;
+  const int n = 600;
+  for (int j = 0; j < n; ++j) p.add_column(0.0, 1.0, -1.0);
+  std::vector<std::pair<int, double>> coeffs;
+  for (int j = 0; j < n; ++j) coeffs.emplace_back(j, 1.0);
+  p.add_row(-kInfinity, 2.0 * n, coeffs);  // never binding
+  p.finalize();
+  Simplex s(p);
+  ASSERT_EQ(s.solve(), SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective(), -static_cast<double>(n), 1e-6);
+  EXPECT_GE(s.stats().phase2_iterations, n);  // one flip per column
+  EXPECT_LE(s.total_pivots(), 8);
+  // 600-ish iterations → exactly one 512-boundary crossed.
+  EXPECT_GE(s.stats().accuracy_sweeps, 1);
+  EXPECT_LE(s.stats().accuracy_sweeps, 3);
+}
+
 TEST(Simplex, DualValuesOnActiveRow) {
   // min -x with x <= 5 (row): dual reflects the binding row.
   Problem p;

@@ -230,6 +230,36 @@ TEST(Presolve, FixedColumnSubstitution) {
   EXPECT_NEAR(r.objective, 14.0, 1e-6);  // 5*2 + 4
 }
 
+TEST(Presolve, NoFixedColumnSurvivesOnTvnepInstances) {
+  // The simplex pricing candidate list assumes presolved models carry no
+  // fixed (lower == upper) columns — with substitution on, every one must
+  // be folded away, including columns fixed mid-run by bound propagation.
+  // (emit() enforces the same invariant with a TVNEP_CHECK.)
+  workload::WorkloadParams params;
+  params.grid_rows = 2;
+  params.grid_cols = 2;
+  params.star_leaves = 2;
+  params.num_requests = 3;
+  params.flexibility = 1.0;
+  for (const core::ModelKind kind :
+       {core::ModelKind::kDelta, core::ModelKind::kSigma,
+        core::ModelKind::kCSigma}) {
+    for (int seed = 1; seed <= 3; ++seed) {
+      params.seed = seed;
+      const net::TvnepInstance instance =
+          workload::generate_workload(params);
+      const auto formulation = core::build_formulation(instance, kind, {});
+      const PresolveResult pre = run(formulation->model());
+      if (pre.stats.infeasible) continue;
+      for (int j = 0; j < pre.reduced.num_vars(); ++j)
+        EXPECT_GT(pre.reduced.var_upper(Var{j}) - pre.reduced.var_lower(Var{j}),
+                  PresolveOptions{}.feasibility_tol)
+            << "model " << static_cast<int>(kind) << " seed " << seed
+            << " col " << j;
+    }
+  }
+}
+
 TEST(Presolve, PostsolveRestoreAndReduce) {
   Model m;
   const Var x = m.add_continuous(1.0, 1.0, "x");  // fixed
