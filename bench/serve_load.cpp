@@ -1,0 +1,191 @@
+// Load bench for the admission service: replays a generated arrival trace
+// through the AdmissionEngine at 10x-1000x the paper's workload scale and
+// reports per-request decision latency (p50/p90/p99 from the log-bucket
+// histogram), throughput, acceptance and revenue — greedy-only versus
+// greedy plus periodic exact re-optimization, so the reoptimizer's revenue
+// win is measurable on the same trace.
+//
+//   serve_load [--scale K] [--mode greedy|reopt|both] [--csv out.csv]
+//              [--seed N] [--flex F] [--slo-ms MS] [--shed-fraction F]
+//              [--max-step N] [--reopt-every N] [--reopt-budget S]
+//              [--emit-trace PATH]
+//
+// `--scale K` runs K * 20 requests (the paper's evaluation uses 20).
+// Reoptimization runs synchronously every `--reopt-every` admissions so
+// the bench is deterministic; the daemon runs the same passes on a wall
+// clock interval thread instead.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/args.hpp"
+#include "fig_common.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/reoptimizer.hpp"
+#include "support/atomic_file.hpp"
+#include "support/stopwatch.hpp"
+#include "workload/trace.hpp"
+
+using namespace tvnep;
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  long requests = 0;
+  long accepted = 0;
+  long shed = 0;  // decided by the fastpath after the exact path bailed
+  double revenue = 0.0;
+  long reopt_passes = 0;
+  long reopt_installs = 0;
+  obs::HistogramSnapshot latency_ms;
+  double total_seconds = 0.0;
+
+  double req_per_s() const {
+    return total_seconds > 0.0
+               ? static_cast<double>(requests) / total_seconds
+               : 0.0;
+  }
+};
+
+ModeResult run_mode(const workload::ArrivalTrace& trace,
+                    const workload::WorkloadParams& params,
+                    const serve::AdmissionOptions& admission, bool with_reopt,
+                    int reopt_every, const serve::ReoptOptions& reopt_options) {
+  ModeResult result;
+  result.mode = with_reopt ? "reopt" : "greedy";
+  serve::AdmissionEngine engine(
+      net::make_grid(params.grid_rows, params.grid_cols, params.node_capacity,
+                     params.link_capacity),
+      admission);
+  serve::Reoptimizer reoptimizer(&engine, reopt_options);
+
+  Stopwatch total;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    serve::RequestMessage message;
+    message.id = "R" + std::to_string(i);
+    message.request = trace.requests[i].request;
+    message.mapping = trace.requests[i].mapping;
+
+    Stopwatch per_request;
+    serve::AdmitResult admit = engine.admit(message);
+    // The daemon's shed ladder: an oversized component or a failed solve
+    // falls back to the heuristic fastpath instead of dropping the request.
+    if (admit.outcome == serve::AdmitOutcome::kComponentTooLarge ||
+        admit.outcome == serve::AdmitOutcome::kSolverFailed) {
+      ++result.shed;
+      admit = engine.admit_fastpath(message);
+    }
+    result.latency_ms.observe(per_request.seconds() * 1000.0);
+    ++result.requests;
+    if (admit.outcome == serve::AdmitOutcome::kAccepted) ++result.accepted;
+
+    if (with_reopt && reopt_every > 0 &&
+        (i + 1) % static_cast<std::size_t>(reopt_every) == 0) {
+      const serve::ReoptReport report = reoptimizer.reoptimize_once();
+      if (report.attempted) ++result.reopt_passes;
+      if (report.installed) ++result.reopt_installs;
+    }
+  }
+  result.total_seconds = total.seconds();
+
+  // Paper revenue (Section IV-E.1): every commit in the history is an
+  // accepted request contributing d_R * sum of its node demands.
+  for (const serve::Commit& c : engine.history())
+    result.revenue += c.original.duration() * c.original.total_node_demand();
+  return result;
+}
+
+void print_result(const ModeResult& r) {
+  std::printf(
+      "%-6s  requests=%-6ld accepted=%-6ld shed=%-5ld revenue=%-10.3f "
+      "reopt=%ld/%ld  p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms  "
+      "%.1f req/s (%.2fs total)\n",
+      r.mode.c_str(), r.requests, r.accepted, r.shed, r.revenue,
+      r.reopt_installs, r.reopt_passes, r.latency_ms.p50(),
+      r.latency_ms.p90(), r.latency_ms.p99(), r.latency_ms.max,
+      r.req_per_s(), r.total_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eval::Args args(argc, argv);
+  bench::init_observability(args);
+
+  const int scale = args.get_int("scale", 10);
+  const std::string mode = args.get_string("mode", "both");
+  const double slo_ms = args.get_double("slo-ms", 100.0);
+  const double shed_fraction = args.get_double("shed-fraction", 0.5);
+
+  workload::WorkloadParams params;
+  params.num_requests = scale * 20;
+  params.flexibility = args.get_double("flex", 1.5);
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  params.grid_rows = args.get_int("rows", params.grid_rows);
+  params.grid_cols = args.get_int("cols", params.grid_cols);
+
+  const workload::ArrivalTrace trace = workload::make_trace(params);
+  const std::string trace_out = args.get_string("emit-trace", "");
+  if (!trace_out.empty()) workload::save_trace(trace, trace_out);
+
+  serve::AdmissionOptions admission;
+  admission.max_step_requests = args.get_int("max-step", 24);
+  // The exact path gets the same per-step budget the daemon's shed ladder
+  // would leave it before falling back to the fastpath.
+  admission.greedy.per_iteration_time_limit =
+      shed_fraction * slo_ms / 1000.0;
+
+  serve::ReoptOptions reopt_options;
+  reopt_options.time_limit_seconds = args.get_double("reopt-budget", 2.0);
+  const int reopt_every = args.get_int("reopt-every", 4);
+
+  std::printf("serve_load: scale=%dx (%d requests), seed=%llu, flex=%g, "
+              "slo=%gms, max-step=%d\n",
+              scale, params.num_requests,
+              static_cast<unsigned long long>(params.seed),
+              params.flexibility, slo_ms, admission.max_step_requests);
+
+  std::vector<ModeResult> results;
+  if (mode == "greedy" || mode == "both")
+    results.push_back(run_mode(trace, params, admission, /*with_reopt=*/false,
+                               reopt_every, reopt_options));
+  if (mode == "reopt" || mode == "both")
+    results.push_back(run_mode(trace, params, admission, /*with_reopt=*/true,
+                               reopt_every, reopt_options));
+  for (const ModeResult& r : results) print_result(r);
+
+  if (results.size() == 2) {
+    const double delta = results[1].revenue - results[0].revenue;
+    std::printf("reopt revenue delta: %+.3f (%+.2f%%), accepted %+ld\n",
+                delta,
+                results[0].revenue > 0.0 ? 100.0 * delta / results[0].revenue
+                                         : 0.0,
+                results[1].accepted - results[0].accepted);
+  }
+
+  const std::string csv = args.get_string("csv", "");
+  if (!csv.empty()) {
+    AtomicFile out(csv);
+    out.stream() << "scale,mode,requests,accepted,shed,revenue,reopt_passes,"
+                    "reopt_installs,p50_ms,p90_ms,p99_ms,max_ms,req_per_s,"
+                    "total_s\n";
+    for (const ModeResult& r : results)
+      out.stream() << scale << ',' << r.mode << ',' << r.requests << ','
+                   << r.accepted << ',' << r.shed << ',' << r.revenue << ','
+                   << r.reopt_passes << ',' << r.reopt_installs << ','
+                   << r.latency_ms.p50() << ',' << r.latency_ms.p90() << ','
+                   << r.latency_ms.p99() << ','
+                   << (r.latency_ms.count > 0 ? r.latency_ms.max : 0.0) << ','
+                   << r.req_per_s() << ',' << r.total_seconds << '\n';
+    if (!out.commit()) {
+      std::cerr << "serve_load: failed to write " << csv << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

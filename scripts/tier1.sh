@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verification: full build + test suite, then the concurrency-bearing
-# pieces (the parallel sweep engine and support/parallel) again under
-# ThreadSanitizer (-DTVNEP_SANITIZE=thread, preset "tsan").
+# pieces (the parallel sweep engine, support/parallel, and the serve
+# daemon's reader/worker/reoptimizer threads) again under ThreadSanitizer
+# (-DTVNEP_SANITIZE=thread, preset "tsan").
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,4 +23,4 @@ cmake -B build-tsan -S . -DTVNEP_SANITIZE=thread
 cmake --build build-tsan -j "$jobs"
 (cd build-tsan && TSAN_OPTIONS=halt_on_error=1 \
    ctest --output-on-failure -j "$jobs" \
-   -R 'ParallelFor|HardwareParallelism|ForEachCell|RunModelSweep|RunGreedySweep|ObsConcurrent|WatchdogTest|RetryLadder|CheckpointTest|SimplexBackend')
+   -R 'ParallelFor|HardwareParallelism|ForEachCell|RunModelSweep|RunGreedySweep|ObsConcurrent|WatchdogTest|RetryLadder|CheckpointTest|SimplexBackend|ServeDaemon|ServeReopt|ServeAdmission')

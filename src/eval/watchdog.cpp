@@ -26,9 +26,9 @@ Watchdog::CellGuard Watchdog::watch(std::string label) {
   if (!enabled()) return CellGuard(nullptr, nullptr);
   auto entry = std::make_shared<Entry>();
   entry->label = std::move(label);
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = MonotonicClock::now();
   const auto timeout = std::chrono::duration_cast<
-      std::chrono::steady_clock::duration>(
+      MonotonicClock::duration>(
       std::chrono::duration<double>(timeout_seconds_));
   entry->soft_deadline = now + timeout;
   entry->hard_deadline = now + 2 * timeout;
@@ -52,20 +52,20 @@ void Watchdog::monitor() {
   while (!stop_) {
     // Sleep until the earliest pending deadline (or indefinitely when
     // nothing is registered); watch()/the destructor notify to re-arm.
-    auto wake = std::chrono::steady_clock::time_point::max();
+    auto wake = MonotonicClock::time_point::max();
     for (const auto& entry : entries_) {
       if (!entry->timed_out.load())
         wake = std::min(wake, entry->soft_deadline);
       else if (!entry->abandoned.load())
         wake = std::min(wake, entry->hard_deadline);
     }
-    if (wake == std::chrono::steady_clock::time_point::max())
+    if (wake == MonotonicClock::time_point::max())
       cv_.wait(lock);
     else
       cv_.wait_until(lock, wake);
     if (stop_) break;
 
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = MonotonicClock::now();
     for (const auto& entry : entries_) {
       if (!entry->timed_out.load() && now >= entry->soft_deadline) {
         entry->timed_out.store(true);

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -24,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+
+#include "support/stopwatch.hpp"
 
 namespace tvnep::eval {
 
@@ -34,8 +35,8 @@ class Watchdog {
   /// it.
   struct Entry {
     std::string label;
-    std::chrono::steady_clock::time_point soft_deadline;
-    std::chrono::steady_clock::time_point hard_deadline;
+    MonotonicClock::time_point soft_deadline;
+    MonotonicClock::time_point hard_deadline;
     std::atomic<bool> cancel{false};     // soft-cancel flag the solver polls
     std::atomic<bool> timed_out{false};  // soft deadline passed
     std::atomic<bool> abandoned{false};  // hard deadline passed, recorded

@@ -1,6 +1,7 @@
 #include "greedy/greedy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "support/check.hpp"
@@ -9,10 +10,84 @@
 
 namespace tvnep::greedy {
 
+namespace {
+
+// MIP start times carry simplex-level noise (the solver may return
+// 8 - 2e-15 where the binding event is exactly 8). Pinning such a schedule
+// poisons every later step: the noisy boundary opens a phantom sliver of
+// overlap with the neighboring request, and the sliver makes an otherwise
+// feasible step MIP infeasible. Snap the target's start to the nearest
+// event anchor — its own window bounds, or a boundary another request's
+// schedule can induce — whenever one lies within kSnapTol.
+constexpr double kSnapTol = 1e-6;
+
+double snap_step_start(const net::TvnepInstance& working, int target,
+                       double start) {
+  const net::VnetRequest& req = working.request(target);
+  double best = start;
+  double best_gap = kSnapTol;
+  const auto consider = [&](double anchor) {
+    if (anchor < req.earliest_start() - kSnapTol ||
+        anchor > req.latest_start() + kSnapTol)
+      return;
+    const double gap = std::abs(anchor - start);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = anchor;
+    }
+  };
+  consider(req.earliest_start());
+  consider(req.latest_start());
+  for (int r = 0; r < working.num_requests(); ++r) {
+    if (r == target) continue;
+    const net::VnetRequest& other = working.request(r);
+    // Start right at the other's earliest/latest end...
+    consider(other.earliest_start() + other.duration());
+    consider(other.latest_end());
+    // ...or end right at the other's earliest/latest start.
+    consider(other.earliest_start() - req.duration());
+    consider(other.latest_end() - other.duration() - req.duration());
+  }
+  // Never snap outside the window itself.
+  return std::min(std::max(best, req.earliest_start()), req.latest_start());
+}
+
+}  // namespace
+
 double GreedyResult::max_iteration_seconds() const {
   double worst = 0.0;
   for (double s : iteration_seconds) worst = std::max(worst, s);
   return worst;
+}
+
+GreedyStepResult solve_greedy_step(const net::TvnepInstance& working,
+                                   int target,
+                                   const std::vector<int>& force_accept,
+                                   const std::vector<int>& force_reject,
+                                   const GreedyOptions& options) {
+  core::SolveParams params;
+  params.build.objective = core::ObjectiveKind::kGreedyStep;
+  params.build.greedy_target = target;
+  params.build.dependency_cuts = options.dependency_cuts;
+  params.build.force_accept = force_accept;
+  params.build.force_reject = force_reject;
+  params.time_limit_seconds = options.per_iteration_time_limit;
+  params.mip = options.mip;
+
+  GreedyStepResult result;
+  result.step = core::solve(working, core::ModelKind::kCSigma, params);
+  if (result.step.has_solution) {
+    auto& emb =
+        result.step.solution.requests[static_cast<std::size_t>(target)];
+    if (emb.accepted) {
+      emb.start = snap_step_start(working, target, emb.start);
+      emb.end = emb.start + working.request(target).duration();
+    }
+    result.accepted = emb.accepted;
+    result.start = emb.start;
+    result.end = emb.end;
+  }
+  return result;
 }
 
 GreedyResult solve_greedy(const net::TvnepInstance& instance,
@@ -56,33 +131,21 @@ GreedyResult solve_greedy(const net::TvnepInstance& instance,
     sub_to_original.push_back(original);
     const int target = static_cast<int>(i);
 
-    core::SolveParams params;
-    params.build.objective = core::ObjectiveKind::kGreedyStep;
-    params.build.greedy_target = target;
-    params.build.dependency_cuts = options.dependency_cuts;
-    params.build.force_accept = accepted_subs;
-    params.build.force_reject = rejected_subs;
-    params.time_limit_seconds = options.per_iteration_time_limit;
-    params.mip = options.mip;
-
     Stopwatch iteration_watch;
-    const core::TvnepSolveResult step =
-        core::solve(working, core::ModelKind::kCSigma, params);
+    const GreedyStepResult step = solve_greedy_step(
+        working, target, accepted_subs, rejected_subs, options);
     result.iteration_seconds.push_back(iteration_watch.seconds());
 
-    bool accepted = false;
-    if (step.has_solution) {
-      const auto& emb =
-          step.solution.requests[static_cast<std::size_t>(target)];
-      accepted = emb.accepted;
+    const bool accepted = step.accepted;
+    if (step.step.has_solution) {
       if (accepted) {
         // Pin the schedule: the request must run at exactly these times in
         // all later iterations (its flexibility collapses).
-        working.mutable_request(target).set_temporal(emb.start, emb.end,
+        working.mutable_request(target).set_temporal(step.start, step.end,
                                                      req.duration());
         accepted_subs.push_back(target);
       }
-      last_good = step.solution;
+      last_good = step.step.solution;
       last_good_mapping = sub_to_original;
     }
     if (!accepted) {
@@ -93,7 +156,7 @@ GreedyResult solve_greedy(const net::TvnepInstance& instance,
           req.duration());
       rejected_subs.push_back(target);
     }
-    if (step.status != mip::MipStatus::kOptimal) result.complete = false;
+    if (step.step.status != mip::MipStatus::kOptimal) result.complete = false;
   }
 
   // Assemble the final solution in original request order from the last

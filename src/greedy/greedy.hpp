@@ -18,7 +18,7 @@
 
 #include "mip/branch_and_bound.hpp"
 #include "net/instance.hpp"
-#include "tvnep/solution.hpp"
+#include "tvnep/solver.hpp"
 
 namespace tvnep::greedy {
 
@@ -45,5 +45,26 @@ struct GreedyResult {
 /// returned solution).
 GreedyResult solve_greedy(const net::TvnepInstance& instance,
                           const GreedyOptions& options = {});
+
+/// Outcome of one insertion step (one iteration of the loop above).
+struct GreedyStepResult {
+  core::TvnepSolveResult step;  // the raw step-MIP solve
+  bool accepted = false;
+  /// Target's schedule when accepted: the earliest feasible completion
+  /// under the step objective (Eq. 21), start = end - duration.
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Solves one cΣ_A^G insertion step on `working`: a cΣ step MIP with the
+/// greedy objective for `target`, admissions in `force_accept` /
+/// `force_reject` fixed. Shared by the batch loop and the online admission
+/// engine (src/serve), so an online insertion is the batch iteration by
+/// construction — same model, same objective, same solver options.
+GreedyStepResult solve_greedy_step(const net::TvnepInstance& working,
+                                   int target,
+                                   const std::vector<int>& force_accept,
+                                   const std::vector<int>& force_reject,
+                                   const GreedyOptions& options);
 
 }  // namespace tvnep::greedy

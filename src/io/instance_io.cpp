@@ -1,12 +1,12 @@
 #include "io/instance_io.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <optional>
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/line_fields.hpp"
 #include "support/parse_error.hpp"
 
 namespace tvnep::io {
@@ -46,83 +46,6 @@ void write_instance(const net::TvnepInstance& instance, std::ostream& os) {
     }
   }
 }
-
-namespace {
-
-// Whitespace tokenizer over one line that remembers each token's 1-based
-// column, so every parse failure can point at the offending field instead
-// of echoing the whole line. All numeric fields go through std::from_chars
-// and must consume the entire token — "3.5x" or a missing field is a
-// structured ParseError, never a silently defaulted zero (the failbit
-// paths of operator>> that the previous reader ignored).
-class LineFields {
- public:
-  LineFields(const std::string& source, long line_number,
-             const std::string& line)
-      : source_(source), line_number_(line_number) {
-    std::size_t i = 0;
-    while (i < line.size()) {
-      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-      if (i >= line.size()) break;
-      const std::size_t start = i;
-      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
-      tokens_.push_back(line.substr(start, i - start));
-      columns_.push_back(static_cast<long>(start) + 1);
-    }
-  }
-
-  std::size_t remaining() const { return tokens_.size() - next_; }
-
-  [[noreturn]] void fail(const std::string& message, long column = 0) const {
-    throw ParseError(source_, line_number_, column, message);
-  }
-
-  std::string next_string(const char* what) {
-    if (next_ >= tokens_.size())
-      fail(std::string("missing ") + what + " field");
-    ++next_;
-    return tokens_[next_ - 1];
-  }
-
-  double next_double(const char* what) {
-    const std::size_t at = next_;
-    const std::string token = next_string(what);
-    double value = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec != std::errc{} || ptr != token.data() + token.size())
-      fail(std::string("malformed ") + what + " value '" + token + "'",
-           columns_[at]);
-    return value;
-  }
-
-  int next_int(const char* what) {
-    const std::size_t at = next_;
-    const std::string token = next_string(what);
-    int value = 0;
-    const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec != std::errc{} || ptr != token.data() + token.size())
-      fail(std::string("malformed ") + what + " value '" + token + "'",
-           columns_[at]);
-    return value;
-  }
-
-  void expect_done() const {
-    if (next_ < tokens_.size())
-      fail("unexpected trailing field '" + tokens_[next_] + "'",
-           columns_[next_]);
-  }
-
- private:
-  const std::string& source_;
-  long line_number_;
-  std::vector<std::string> tokens_;
-  std::vector<long> columns_;
-  std::size_t next_ = 0;
-};
-
-}  // namespace
 
 net::TvnepInstance read_instance(std::istream& is,
                                  const std::string& source) {

@@ -30,6 +30,38 @@ void HistogramSnapshot::observe(double value) {
   ++buckets[static_cast<std::size_t>(histogram_bucket(value))];
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  if (clamped_q <= 0.0) return min;
+  if (clamped_q >= 1.0) return max;
+  // Nearest-rank target in [1, count], then walk the cumulative counts.
+  const long rank = std::max<long>(
+      1, static_cast<long>(std::ceil(clamped_q * static_cast<double>(count))));
+  long cumulative = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const long in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank lands in bucket b: interpolate linearly between the bucket
+    // edges by the fraction of the bucket's samples below the rank. The
+    // open-ended tail bucket and the sub-2^-20 bucket have no finite edge
+    // pair, so they fall back to the exact extremes.
+    double lower = b == 0 ? min : histogram_bucket_upper(b - 1);
+    double upper = b >= kHistogramBuckets - 1 ? max : histogram_bucket_upper(b);
+    lower = std::max(lower, min);
+    upper = std::min(upper, max);
+    if (!(upper > lower)) return std::clamp(upper, min, max);
+    const double fraction = (static_cast<double>(rank - cumulative) - 0.5) /
+                            static_cast<double>(in_bucket);
+    return std::clamp(lower + fraction * (upper - lower), min, max);
+  }
+  return max;
+}
+
 void HistogramSnapshot::merge(const HistogramSnapshot& other) {
   count += other.count;
   sum += other.sum;

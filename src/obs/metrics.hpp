@@ -43,6 +43,17 @@ struct HistogramSnapshot {
 
   void observe(double value);
   void merge(const HistogramSnapshot& other);
+
+  /// Approximate quantile (q in [0, 1]) from the log2 buckets: the sample
+  /// at nearest rank ceil(q·count) located by cumulative bucket counts,
+  /// linearly interpolated inside its bucket and clamped to the exact
+  /// [min, max] seen. Exact at q=0 and q=1; elsewhere the bucket geometry
+  /// bounds the error to a factor of 2. Returns 0 on an empty histogram.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
 };
 
 struct MetricsSnapshot {

@@ -41,7 +41,7 @@ std::string json_escape(const std::string& value) {
   return out;
 }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_(MonotonicClock::now()) {}
 
 Tracer& Tracer::instance() {
   // Intentionally leaked: flushing sessions (bench ObsSession statics) and
@@ -65,7 +65,7 @@ void Tracer::reset() {
 
 std::int64_t Tracer::now_us() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
+             MonotonicClock::now() - epoch_)
       .count();
 }
 

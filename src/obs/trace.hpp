@@ -6,7 +6,7 @@
 // Cost model (the contract the micro_solver overhead pair verifies):
 //  * inactive tracer — every instrumentation site is one relaxed atomic
 //    load plus one predictable branch; no allocation, no clock read;
-//  * active tracer — two steady_clock reads per span plus an append to the
+//  * active tracer — two monotonic-clock reads per span plus an append to the
 //    calling thread's shard. Shard mutexes are uncontended on the hot path
 //    (only the flush/snapshot walker ever takes a foreign shard's lock),
 //    so `--threads N` sweeps trace without cross-thread contention.
@@ -18,12 +18,13 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/stopwatch.hpp"
 
 namespace tvnep::obs {
 
@@ -90,7 +91,7 @@ class Tracer {
 
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::chrono::steady_clock::time_point epoch_;
+  MonotonicClock::time_point epoch_;
   static std::atomic<bool> active_;
 };
 

@@ -1,0 +1,303 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/fastpath.hpp"
+
+namespace tvnep::serve {
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+}
+
+AdmissionEngine::AdmissionEngine(net::SubstrateNetwork substrate,
+                                 AdmissionOptions options)
+    : substrate_(std::move(substrate)), options_(std::move(options)) {}
+
+void AdmissionEngine::advance_now(double t_s) {
+  now_ = std::max(now_, t_s);
+  if (!options_.gc || active_.empty()) return;
+  // Retire whole overlap-closure components, never single commits. An
+  // ended commit (end <= now) cannot couple a *future candidate* — but it
+  // can still share an instant with a live neighbor straddling now, and a
+  // later step MIP that re-embeds that neighbor must keep seeing the ended
+  // commit's flows (batch greedy would). Only when an entire component has
+  // ended can none of it constrain anything the engine will solve again.
+  const std::size_t n = active_.size();
+  std::vector<std::size_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  const auto find = [&](std::size_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (active_[i].start < active_[j].end &&
+          active_[j].start < active_[i].end)
+        parent[find(i)] = find(j);
+  std::vector<double> component_end(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    component_end[root] = std::max(component_end[root], active_[i].end);
+  }
+  std::vector<Commit> still;
+  still.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (component_end[find(i)] > now_ + kTimeTol)
+      still.push_back(std::move(active_[i]));
+    else
+      retired_.push_back(std::move(active_[i]));
+  }
+  active_ = std::move(still);
+}
+
+void AdmissionEngine::collect_component(double window_start, double window_end,
+                                        std::vector<std::size_t>* out) const {
+  const std::size_t n = active_.size();
+  std::vector<char> in(n, 0);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i].start < window_end && window_start < active_[i].end) {
+      in[i] = 1;
+      stack.push_back(i);
+    }
+  }
+  // Transitive closure over interval overlap: any commit that co-occurs
+  // with one already in the set can constrain the candidate indirectly.
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in[j]) continue;
+      if (active_[j].start < active_[i].end &&
+          active_[i].start < active_[j].end) {
+        in[j] = 1;
+        stack.push_back(j);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (in[i]) out->push_back(i);  // ascending index == admission order
+}
+
+AdmitResult AdmissionEngine::admit(const RequestMessage& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::SpanScope span("serve.step", "serve");
+  AdmitResult result = admit_locked(message);
+  obs::histogram_observe("serve.step.component_size",
+                         static_cast<double>(result.component_size));
+  return result;
+}
+
+AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
+  AdmitResult result;
+  advance_now(message.request.earliest_start());
+
+  // Clamp the window to the virtual now: a request cannot start in the
+  // past. For nondecreasing arrival traces the clamp is the identity, so
+  // the online outcome matches batch greedy exactly.
+  net::VnetRequest candidate = message.request;
+  if (candidate.latest_start() < now_ - kTimeTol) {
+    result.outcome = AdmitOutcome::kWindowClosed;
+    return result;
+  }
+  const double effective_start = std::max(candidate.earliest_start(), now_);
+  candidate.set_temporal(effective_start,
+                         std::max(candidate.latest_end(),
+                                  effective_start + candidate.duration()),
+                         candidate.duration());
+
+  std::vector<std::size_t> component;
+  collect_component(effective_start, candidate.latest_end(), &component);
+  result.component_size = static_cast<int>(component.size());
+  if (options_.max_step_requests > 0 &&
+      static_cast<int>(component.size()) + 1 > options_.max_step_requests) {
+    result.outcome = AdmitOutcome::kComponentTooLarge;
+    return result;
+  }
+
+  // The pruned step instance: the component's commits pinned to their
+  // schedules (admission forced), plus the candidate as the greedy target.
+  net::TvnepInstance working(substrate_, 0.0);
+  std::vector<int> force_accept;
+  for (std::size_t idx : component) {
+    const Commit& c = active_[idx];
+    net::VnetRequest pinned = c.original;
+    pinned.set_temporal(c.start, c.end, pinned.duration());
+    force_accept.push_back(working.add_request(std::move(pinned), c.mapping));
+  }
+  const int target = working.add_request(candidate, message.mapping);
+  working.fit_horizon();
+
+  const greedy::GreedyStepResult step = greedy::solve_greedy_step(
+      working, target, force_accept, {}, options_.greedy);
+  if (!step.step.has_solution) {
+    result.outcome = AdmitOutcome::kSolverFailed;
+    return result;
+  }
+
+  // Refresh the component's stored flows from the step solution — one
+  // jointly consistent allocation per component, and components never
+  // overlap in time, so the stored state stays globally consistent.
+  for (std::size_t k = 0; k < component.size(); ++k)
+    active_[component[k]].embedding =
+        step.step.solution.requests[static_cast<std::size_t>(k)];
+
+  if (!step.accepted) {
+    result.outcome = AdmitOutcome::kRejected;
+    return result;
+  }
+
+  Commit commit;
+  commit.seq = next_seq_++;
+  commit.id = message.id;
+  commit.original = message.request;
+  commit.mapping = message.mapping;
+  commit.start = step.start;
+  commit.end = step.end;
+  commit.embedding =
+      step.step.solution.requests[static_cast<std::size_t>(target)];
+  active_.push_back(std::move(commit));
+  ++version_;
+  ++accepted_total_;
+  result.outcome = AdmitOutcome::kAccepted;
+  result.start = step.start;
+  result.end = step.end;
+  return result;
+}
+
+AdmitResult AdmissionEngine::admit_fastpath(const RequestMessage& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::SpanScope span("serve.fastpath", "serve");
+  return fastpath_locked(message);
+}
+
+AdmitResult AdmissionEngine::fastpath_locked(const RequestMessage& message) {
+  AdmitResult result;
+  advance_now(message.request.earliest_start());
+
+  net::VnetRequest candidate = message.request;
+  if (candidate.latest_start() < now_ - kTimeTol) {
+    result.outcome = AdmitOutcome::kWindowClosed;
+    return result;
+  }
+  const double effective_start = std::max(candidate.earliest_start(), now_);
+  candidate.set_temporal(effective_start,
+                         std::max(candidate.latest_end(),
+                                  effective_start + candidate.duration()),
+                         candidate.duration());
+
+  const FastpathResult routed =
+      fastpath_route(substrate_, active_, candidate, message.mapping);
+  if (!routed.accepted) {
+    result.outcome = AdmitOutcome::kRejected;
+    return result;
+  }
+
+  Commit commit;
+  commit.seq = next_seq_++;
+  commit.id = message.id;
+  commit.original = message.request;
+  commit.mapping = message.mapping;
+  commit.start = routed.start;
+  commit.end = routed.end;
+  commit.embedding = routed.embedding;
+  commit.fastpath = true;
+  active_.push_back(std::move(commit));
+  ++version_;
+  ++accepted_total_;
+  result.outcome = AdmitOutcome::kAccepted;
+  result.start = routed.start;
+  result.end = routed.end;
+  return result;
+}
+
+double AdmissionEngine::virtual_now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+std::uint64_t AdmissionEngine::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return version_;
+}
+
+std::size_t AdmissionEngine::active_commits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+std::size_t AdmissionEngine::retired_commits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_.size();
+}
+
+AdmissionEngine::Snapshot AdmissionEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.version = version_;
+  snap.now = now_;
+  snap.commits = active_;
+  return snap;
+}
+
+bool AdmissionEngine::try_install(std::uint64_t expected_version,
+                                  const std::vector<NewSchedule>& reschedules,
+                                  const std::vector<NewSchedule>& embeddings) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (version_ != expected_version) {
+    obs::counter_add("serve.reopt.stale");
+    return false;
+  }
+  auto find_active = [&](std::uint64_t seq) -> Commit* {
+    for (Commit& c : active_)
+      if (c.seq == seq) return &c;
+    return nullptr;
+  };
+  // Validate before mutating: all-or-nothing.
+  std::vector<std::pair<Commit*, const NewSchedule*>> moves;
+  for (const NewSchedule& schedule : reschedules) {
+    Commit* commit = find_active(schedule.seq);
+    if (commit == nullptr) {
+      obs::counter_add("serve.reopt.stale");
+      return false;
+    }
+    // Never move a request that has already started (virtually).
+    if (commit->start <= now_ + kTimeTol || schedule.start < now_ - kTimeTol) {
+      obs::counter_add("serve.reopt.stale");
+      return false;
+    }
+    moves.emplace_back(commit, &schedule);
+  }
+  for (auto& [commit, schedule] : moves) {
+    commit->start = schedule->start;
+    commit->end = schedule->end;
+    commit->embedding = schedule->embedding;
+  }
+  // Refresh the pinned commits' flows too: the reopt solution is one joint
+  // allocation over the whole active set.
+  for (const NewSchedule& embedding : embeddings) {
+    if (Commit* commit = find_active(embedding.seq))
+      commit->embedding = embedding.embedding;
+  }
+  ++version_;
+  obs::counter_add("serve.reopt.installed");
+  return true;
+}
+
+std::vector<Commit> AdmissionEngine::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Commit> all = retired_;
+  all.insert(all.end(), active_.begin(), active_.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Commit& a, const Commit& b) { return a.seq < b.seq; });
+  return all;
+}
+
+}  // namespace tvnep::serve

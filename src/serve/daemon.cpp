@@ -1,0 +1,289 @@
+#include "serve/daemon.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/parse_error.hpp"
+
+namespace tvnep::serve {
+
+namespace {
+constexpr int kPollMs = 50;  // stop-flag latency bound for the I/O loops
+}
+
+Daemon::Daemon(net::SubstrateNetwork substrate, DaemonOptions options)
+    : options_(std::move(options)),
+      engine_(std::move(substrate), options_.admission),
+      reoptimizer_(&engine_, options_.reopt) {
+  if (options_.reopt_interval_seconds > 0.0)
+    reoptimizer_.start_background(options_.reopt_interval_seconds);
+}
+
+Daemon::~Daemon() {
+  reoptimizer_.stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool Daemon::write_line(int fd, const std::string& line) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone; the stream is ending anyway
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Daemon::reader_loop(int in_fd, int out_fd) {
+  std::string pending;
+  char buffer[65536];
+  long line_number = 0;
+  bool eof = false;
+
+  auto handle_line = [&](const std::string& line) -> bool {
+    ++line_number;
+    if (line.empty()) return true;
+    InMessage message;
+    try {
+      message = parse_message(line, "<stdin>", line_number);
+    } catch (const ParseError& e) {
+      obs::counter_add("serve.protocol.errors");
+      write_line(out_fd, encode_error(e.what()));
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (message.kind == MessageKind::kRequest) {
+      if (queued_requests_ >= options_.queue_capacity) {
+        lock.unlock();
+        // Reject at the door: bounded queue, bounded memory, and the
+        // client learns immediately instead of waiting out the backlog.
+        obs::counter_add("serve.reject.queue_full");
+        Decision decision;
+        decision.id = message.request.id;
+        decision.accepted = false;
+        decision.reason = "overload";
+        decision.mode = "shed";
+        write_line(out_fd, encode_decision(decision));
+        decided_total_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      ++queued_requests_;
+    }
+    const bool drain = message.kind == MessageKind::kDrain;
+    queue_.push_back(Item{std::move(message), clock_.seconds()});
+    lock.unlock();
+    queue_cv_.notify_one();
+    return !drain;  // nothing after a drain is read
+  };
+
+  while (!eof) {
+    if (stopped()) break;
+    struct pollfd pfd{};
+    pfd.fd = in_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::read(in_fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    pending.append(buffer, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t i = pending.find('\n', 0); i != std::string::npos;
+         i = pending.find('\n', start)) {
+      if (!handle_line(pending.substr(start, i - start))) {
+        start = pending.size();
+        eof = true;
+        break;
+      }
+      start = i + 1;
+    }
+    pending.erase(0, start);
+  }
+  if (eof && !pending.empty()) handle_line(pending);
+
+  // EOF and external stop both mean: finish what is queued, then say bye.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    InMessage drain;
+    drain.kind = MessageKind::kDrain;
+    queue_.push_back(Item{std::move(drain), clock_.seconds()});
+  }
+  queue_cv_.notify_one();
+}
+
+Decision Daemon::decide(const RequestMessage& request,
+                        double arrival_seconds) {
+  Decision decision;
+  decision.id = request.id;
+  const double slo_s = options_.slo_ms / 1000.0;
+  const double age = clock_.seconds() - arrival_seconds;
+
+  auto fill = [&](const AdmitResult& result, const char* mode) {
+    decision.mode = mode;
+    switch (result.outcome) {
+      case AdmitOutcome::kAccepted:
+        decision.accepted = true;
+        decision.start = result.start;
+        decision.end = result.end;
+        break;
+      case AdmitOutcome::kWindowClosed:
+        decision.reason = "window";
+        break;
+      default:
+        decision.reason = "capacity";
+        break;
+    }
+  };
+
+  if (age >= slo_s) {
+    // SLO already blown while queued: structured reject, no work.
+    obs::counter_add("serve.reject.overload");
+    decision.reason = "overload";
+    decision.mode = "shed";
+  } else if (age >= options_.shed_fraction * slo_s) {
+    obs::counter_add("serve.shed.fastpath");
+    fill(engine_.admit_fastpath(request), "fastpath");
+  } else {
+    const AdmitResult exact = engine_.admit(request);
+    if (exact.outcome == AdmitOutcome::kComponentTooLarge ||
+        exact.outcome == AdmitOutcome::kSolverFailed) {
+      // The exact path could not decide in budget — degrade, don't fail.
+      obs::counter_add("serve.shed.fastpath");
+      fill(engine_.admit_fastpath(request), "fastpath");
+    } else {
+      fill(exact, "exact");
+    }
+  }
+
+  decision.latency_ms = (clock_.seconds() - arrival_seconds) * 1000.0;
+  obs::histogram_observe("serve.admit.latency_ms", decision.latency_ms);
+  obs::counter_add(decision.accepted ? "serve.decision.accepted"
+                                     : "serve.decision.rejected");
+  return decision;
+}
+
+long Daemon::serve(int in_fd, int out_fd) {
+  obs::SpanScope span("serve.stream", "serve");
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.clear();
+    queued_requests_ = 0;
+  }
+  std::thread reader([this, in_fd, out_fd] { reader_loop(in_fd, out_fd); });
+
+  long decided = 0;
+  while (true) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty(); });
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      if (item.message.kind == MessageKind::kRequest) --queued_requests_;
+      obs::gauge_set("serve.queue.depth", static_cast<double>(queue_.size()));
+    }
+    switch (item.message.kind) {
+      case MessageKind::kRequest: {
+        const Decision decision =
+            decide(item.message.request, item.arrival_seconds);
+        write_line(out_fd, encode_decision(decision));
+        ++decided;
+        decided_total_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case MessageKind::kStats:
+        write_line(out_fd, encode_stats(stats_fields()));
+        break;
+      case MessageKind::kReopt: {
+        const ReoptReport report = reoptimizer_.reoptimize_once();
+        std::ostringstream fields;
+        fields << "\"reopt_attempted\":" << (report.attempted ? "true" : "false")
+               << ",\"reopt_installed\":" << (report.installed ? "true" : "false")
+               << ",\"reopt_rescheduled\":" << report.rescheduled;
+        write_line(out_fd, encode_stats(fields.str()));
+        break;
+      }
+      case MessageKind::kDrain:
+        write_line(out_fd, encode_bye(decided));
+        reader.join();
+        return decided;
+    }
+  }
+}
+
+std::string Daemon::stats_fields() const {
+  std::ostringstream os;
+  os << "\"now\":" << obs::json_number(engine_.virtual_now())
+     << ",\"active\":" << engine_.active_commits()
+     << ",\"retired\":" << engine_.retired_commits()
+     << ",\"accepted\":" << engine_.accepted_total()
+     << ",\"decided\":" << decided_total_.load(std::memory_order_relaxed)
+     << ",\"reopt_passes\":" << reoptimizer_.passes()
+     << ",\"reopt_installs\":" << reoptimizer_.installs();
+  return os.str();
+}
+
+int Daemon::listen_tcp(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return -1;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 4) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    listen_port_ = ntohs(addr.sin_port);
+  return listen_port_;
+}
+
+long Daemon::serve_tcp() {
+  long total = 0;
+  while (!stopped() && listen_fd_ >= 0) {
+    struct pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    total += serve(conn, conn);
+    ::close(conn);
+  }
+  return total;
+}
+
+}  // namespace tvnep::serve

@@ -1,0 +1,112 @@
+// The admission daemon: NDJSON in, decisions out, within a latency SLO.
+//
+// Threading model (DESIGN.md §13):
+//   * a reader thread polls the input fd (poll(2) with a short timeout so
+//     SIGINT/SIGTERM and drain requests are noticed promptly), parses each
+//     line, answers protocol errors immediately, and feeds a bounded
+//     queue;
+//   * the serve() caller is the single admission worker: it pops items in
+//     order and walks the degradation ladder — exact step MIP while the
+//     queued age leaves SLO headroom, the fastpath router once it does
+//     not, a structured "overload" reject once the SLO is already blown;
+//   * the re-optimizer thread (optional) runs exact max-earliness passes
+//     on an interval and swaps improved schedules in atomically between
+//     admissions.
+//
+// Overload therefore degrades decision *quality* before it degrades
+// availability, and never crashes: a full queue rejects at the door (the
+// reader answers "overload" without enqueueing), an aged item sheds to
+// the fastpath, and every request — including every queued one at
+// SIGTERM — gets exactly one decision before the final "bye".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/reoptimizer.hpp"
+#include "support/stopwatch.hpp"
+
+namespace tvnep::serve {
+
+struct DaemonOptions {
+  /// Admission latency SLO; also caps the step-MIP budget.
+  double slo_ms = 100.0;
+  /// Fraction of the SLO a request may age in the queue before the worker
+  /// skips the exact path and sheds to the fastpath router.
+  double shed_fraction = 0.5;
+  /// Bounded admission queue (requests only; control messages always fit).
+  std::size_t queue_capacity = 256;
+  /// Interval between background re-optimization passes; 0 disables the
+  /// thread (the protocol "reopt" message still works).
+  double reopt_interval_seconds = 0.0;
+  AdmissionOptions admission;
+  ReoptOptions reopt;
+  /// Externally owned stop flag (the SIGINT/SIGTERM handler sets it); the
+  /// reader and accept loops poll it. nullptr = never externally stopped.
+  const std::atomic<bool>* external_stop = nullptr;
+};
+
+class Daemon {
+ public:
+  Daemon(net::SubstrateNetwork substrate, DaemonOptions options);
+  ~Daemon();
+
+  /// Serves one NDJSON stream: reads from in_fd until EOF, "drain", or the
+  /// external stop; every request receives exactly one decision; ends with
+  /// a "bye" line. Returns the number of decisions made on this stream.
+  long serve(int in_fd, int out_fd);
+
+  /// Binds a loopback listener; `port` 0 picks an ephemeral port. Returns
+  /// the bound port, or -1 on error.
+  int listen_tcp(int port);
+  /// Accepts and serves connections sequentially until the external stop
+  /// flag is raised. Returns total decisions across connections.
+  long serve_tcp();
+  int listening_port() const { return listen_port_; }
+
+  AdmissionEngine& engine() { return engine_; }
+  Reoptimizer& reoptimizer() { return reoptimizer_; }
+  long decided_total() const {
+    return decided_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Pre-rendered JSON members for the protocol "stats" reply.
+  std::string stats_fields() const;
+
+ private:
+  struct Item {
+    InMessage message;
+    double arrival_seconds = 0.0;
+  };
+
+  bool stopped() const {
+    return options_.external_stop != nullptr &&
+           options_.external_stop->load(std::memory_order_relaxed);
+  }
+  bool write_line(int fd, const std::string& line);
+  void reader_loop(int in_fd, int out_fd);
+  Decision decide(const RequestMessage& request, double arrival_seconds);
+
+  DaemonOptions options_;
+  AdmissionEngine engine_;
+  Reoptimizer reoptimizer_;
+  Stopwatch clock_;
+
+  std::mutex write_mutex_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Item> queue_;
+  std::size_t queued_requests_ = 0;  // kRequest items currently in queue_
+
+  std::atomic<long> decided_total_{0};
+  int listen_fd_ = -1;
+  int listen_port_ = -1;
+};
+
+}  // namespace tvnep::serve

@@ -1,0 +1,146 @@
+// tvnep_serve — the online admission daemon (DESIGN.md §13).
+//
+// Daemon mode (default): reads NDJSON requests from stdin and writes
+// decisions to stdout; --port switches to a loopback TCP listener.
+// Generator mode (--emit N): prints N workload-generator requests as
+// protocol NDJSON and exits — `tvnep_serve --emit 200 | tvnep_serve` is
+// the whole quickstart pipeline.
+//
+//   tvnep_serve [--slo-ms 100] [--shed-fraction 0.5] [--queue 256]
+//               [--max-step 64] [--reopt-interval-ms 0] [--reopt-budget 2]
+//               [--port P]                 (0 = ephemeral; prints the port)
+//               [--rows 4 --cols 5 --node-cap 3.5 --link-cap 5]
+//               [--trace F] [--trace-jsonl F] [--metrics F] [--tree-log F]
+//   tvnep_serve --emit N [--seed 1] [--flex 1.5] [--interarrival 1]
+//               [--leaves 4] [--no-mappings] [--save-trace F]
+//               [--from-trace F] [--no-drain]
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <memory>
+
+#include "eval/args.hpp"
+#include "net/topology.hpp"
+#include "obs/session.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "support/check.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+void install_signal_handlers() {
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  // A client that hangs up mid-reply must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+int emit_requests(const tvnep::eval::Args& args) {
+  namespace workload = tvnep::workload;
+  workload::ArrivalTrace trace;
+  const std::string from = args.get_string("from-trace", "");
+  if (!from.empty()) {
+    trace = workload::load_trace(from);
+  } else {
+    workload::WorkloadParams params;
+    params.num_requests = args.get_int("emit", 20);
+    params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    params.flexibility = args.get_double("flex", 1.5);
+    params.interarrival_mean = args.get_double("interarrival", 1.0);
+    params.star_leaves = args.get_int("leaves", 4);
+    params.grid_rows = args.get_int("rows", 4);
+    params.grid_cols = args.get_int("cols", 5);
+    params.fix_node_mappings = !args.get_bool("no-mappings", false);
+    trace = workload::make_trace(params);
+  }
+  const std::string save = args.get_string("save-trace", "");
+  if (!save.empty()) workload::save_trace(trace, save);
+
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    tvnep::serve::RequestMessage message;
+    message.id = trace.requests[i].request.name().empty()
+                     ? "R" + std::to_string(i)
+                     : trace.requests[i].request.name();
+    message.request = trace.requests[i].request;
+    message.mapping = trace.requests[i].mapping;
+    std::cout << tvnep::serve::encode_request(message) << '\n';
+  }
+  if (!args.get_bool("no-drain", false))
+    std::cout << "{\"type\":\"drain\"}\n";
+  return 0;
+}
+
+int run_daemon(const tvnep::eval::Args& args) {
+  namespace serve = tvnep::serve;
+  serve::DaemonOptions options;
+  options.slo_ms = args.get_double("slo-ms", 100.0);
+  options.shed_fraction = args.get_double("shed-fraction", 0.5);
+  options.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  options.reopt_interval_seconds =
+      args.get_double("reopt-interval-ms", 0.0) / 1000.0;
+  options.reopt.time_limit_seconds = args.get_double("reopt-budget", 2.0);
+  options.admission.max_step_requests = args.get_int("max-step", 64);
+  // The step MIP may use at most the SLO headroom the shed ladder leaves.
+  options.admission.greedy.per_iteration_time_limit =
+      options.shed_fraction * options.slo_ms / 1000.0;
+  options.admission.greedy.mip.cancel = &g_stop;
+  options.external_stop = &g_stop;
+
+  tvnep::net::SubstrateNetwork substrate = tvnep::net::make_grid(
+      args.get_int("rows", 4), args.get_int("cols", 5),
+      args.get_double("node-cap", 3.5), args.get_double("link-cap", 5.0));
+
+  serve::Daemon daemon(std::move(substrate), options);
+  long decided = 0;
+  if (args.has("port")) {
+    const int port = daemon.listen_tcp(args.get_int("port", 0));
+    if (port < 0) {
+      std::cerr << "tvnep_serve: cannot bind TCP port\n";
+      return 1;
+    }
+    std::cout << "{\"type\":\"listening\",\"port\":" << port << "}"
+              << std::endl;
+    decided = daemon.serve_tcp();
+  } else {
+    decided = daemon.serve(STDIN_FILENO, STDOUT_FILENO);
+  }
+  std::cerr << "tvnep_serve: " << decided << " decisions, "
+            << daemon.engine().accepted_total() << " accepted, "
+            << daemon.engine().retired_commits() << " retired, "
+            << daemon.reoptimizer().installs() << " reopt installs\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tvnep::eval::Args args(argc, argv);
+  try {
+    tvnep::obs::ObsConfig obs_config;
+    obs_config.trace_path = args.get_string("trace", "");
+    obs_config.trace_jsonl_path = args.get_string("trace-jsonl", "");
+    obs_config.metrics_path = args.get_string("metrics", "");
+    obs_config.tree_log_path = args.get_string("tree-log", "");
+    std::unique_ptr<tvnep::obs::ObsSession> session;
+    if (obs_config.any())
+      session = std::make_unique<tvnep::obs::ObsSession>(std::move(obs_config));
+
+    if (args.has("emit") || args.has("from-trace")) return emit_requests(args);
+    install_signal_handlers();
+    return run_daemon(args);
+  } catch (const tvnep::CheckError& e) {
+    std::cerr << "tvnep_serve: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,139 @@
+#include "serve/reoptimizer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tvnep::serve {
+
+namespace {
+constexpr double kTimeTol = 1e-9;
+}
+
+Reoptimizer::Reoptimizer(AdmissionEngine* engine, ReoptOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  // Route the solver's cooperative soft-cancel through our flag unless the
+  // caller claimed the seam (e.g. a daemon-wide watchdog).
+  if (options_.mip.cancel == nullptr) options_.mip.cancel = &cancel_;
+}
+
+Reoptimizer::~Reoptimizer() { stop(); }
+
+ReoptReport Reoptimizer::reoptimize_once() {
+  obs::SpanScope span("serve.reopt", "serve");
+  ReoptReport report;
+  passes_.fetch_add(1, std::memory_order_relaxed);
+
+  const AdmissionEngine::Snapshot snap = engine_->snapshot();
+
+  // Partition the active set: commits that already (virtually) started are
+  // pinned; the rest get their original window back, clamped so nothing is
+  // scheduled into the past.
+  struct Entry {
+    const Commit* commit;
+    bool movable;
+  };
+  std::vector<Entry> entries;
+  for (const Commit& c : snap.commits) {
+    const bool started = c.start <= snap.now + kTimeTol;
+    bool movable = !started;
+    if (movable) {
+      const double window_start = std::max(c.original.earliest_start(),
+                                           snap.now);
+      movable = c.original.latest_end() - window_start -
+                    c.original.duration() > kTimeTol;
+    }
+    entries.push_back({&c, movable});
+    if (movable) ++report.movable;
+  }
+  if (report.movable == 0) return report;
+  report.attempted = true;
+
+  net::TvnepInstance instance(engine_->substrate(), 0.0);
+  for (const Entry& entry : entries) {
+    net::VnetRequest request = entry.commit->original;
+    if (entry.movable) {
+      request.set_temporal(std::max(request.earliest_start(), snap.now),
+                           request.latest_end(), request.duration());
+    } else {
+      request.set_temporal(entry.commit->start, entry.commit->end,
+                           request.duration());
+    }
+    instance.add_request(std::move(request), entry.commit->mapping);
+  }
+  instance.fit_horizon();
+
+  core::SolveParams params;
+  params.build.objective = core::ObjectiveKind::kMaxEarliness;
+  params.build.dependency_cuts = options_.dependency_cuts;
+  params.time_limit_seconds = options_.time_limit_seconds;
+  params.mip = options_.mip;
+  const core::TvnepSolveResult solved =
+      core::solve(instance, core::ModelKind::kCSigma, params);
+  if (!solved.has_solution) return report;
+  report.solved = true;
+  report.objective = solved.objective;
+
+  std::vector<AdmissionEngine::NewSchedule> reschedules, embeddings;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const core::RequestEmbedding& emb = solved.solution.requests[i];
+    AdmissionEngine::NewSchedule schedule;
+    schedule.seq = entries[i].commit->seq;
+    schedule.start = emb.start;
+    schedule.end = emb.end;
+    schedule.embedding = emb;
+    if (entries[i].movable &&
+        (std::abs(emb.start - entries[i].commit->start) > kTimeTol ||
+         std::abs(emb.end - entries[i].commit->end) > kTimeTol)) {
+      reschedules.push_back(std::move(schedule));
+    } else {
+      embeddings.push_back(std::move(schedule));
+    }
+  }
+  report.rescheduled = static_cast<int>(reschedules.size());
+  if (reschedules.empty()) return report;  // nothing moved; skip the bump
+
+  report.installed =
+      engine_->try_install(snap.version, reschedules, embeddings);
+  report.stale = !report.installed;
+  if (report.installed) installs_.fetch_add(1, std::memory_order_relaxed);
+  obs::histogram_observe("serve.reopt.rescheduled",
+                         static_cast<double>(report.rescheduled));
+  return report;
+}
+
+void Reoptimizer::start_background(double interval_seconds) {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  cancel_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this, interval_seconds] { run(interval_seconds); });
+}
+
+void Reoptimizer::run(double interval_seconds) {
+  const auto interval = std::chrono::duration<double>(interval_seconds);
+  std::unique_lock<std::mutex> lock(cv_mutex_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (cv_.wait_for(lock, interval,
+                     [this] { return stop_.load(std::memory_order_relaxed); }))
+      break;
+    lock.unlock();
+    reoptimize_once();
+    lock.lock();
+  }
+}
+
+void Reoptimizer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    stop_.store(true, std::memory_order_relaxed);
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace tvnep::serve

@@ -1,0 +1,81 @@
+// Background re-optimizer: re-solves the frozen tail with the exact cΣ
+// MIP and swaps improved schedules in atomically.
+//
+// A pass snapshots the engine's active commits, restores the *original*
+// temporal flexibility of every commit that has not yet (virtually)
+// started — clamping earliest starts to the snapshot's now, since nothing
+// can start in the past — pins the running ones, and solves the cΣ model
+// under the paper's max-earliness objective (Section IV-E.2; admissions
+// stay fixed, only schedules move). The improved joint schedule installs
+// through AdmissionEngine::try_install: all-or-nothing, and only if no
+// admission landed since the snapshot (the version check), so an install
+// can never invalidate a decision the greedy fast path made meanwhile.
+// Earlier ends free capacity the greedy path then sells to later
+// arrivals — that is the revenue win the load bench measures.
+//
+// Runs either synchronously (reoptimize_once — deterministic, what the
+// tests and the protocol's "reopt" message use) or on a background
+// interval thread wired through the MipOptions::cancel seam so stop()
+// aborts an in-flight solve promptly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "serve/admission.hpp"
+#include "tvnep/solver.hpp"
+
+namespace tvnep::serve {
+
+struct ReoptOptions {
+  /// Wall-clock budget per pass (anytime: the incumbent at the limit is
+  /// still installable).
+  double time_limit_seconds = 5.0;
+  bool dependency_cuts = true;
+  mip::MipOptions mip;
+};
+
+struct ReoptReport {
+  bool attempted = false;  // at least one commit had flexibility to move
+  bool solved = false;     // the MIP produced an incumbent
+  bool installed = false;  // the engine accepted the swap
+  bool stale = false;      // an admission landed mid-pass; swap discarded
+  int movable = 0;         // not-yet-started commits in the pass
+  int rescheduled = 0;     // commits whose (start, end) actually changed
+  double objective = 0.0;  // max-earliness objective of the incumbent
+};
+
+class Reoptimizer {
+ public:
+  Reoptimizer(AdmissionEngine* engine, ReoptOptions options);
+  ~Reoptimizer();
+
+  /// One synchronous pass over the current snapshot.
+  ReoptReport reoptimize_once();
+
+  /// Starts the interval thread (idempotent); `interval_seconds` between
+  /// pass completions.
+  void start_background(double interval_seconds);
+  /// Stops the thread and cancels any in-flight solve. Safe to call twice.
+  void stop();
+
+  long passes() const { return passes_.load(std::memory_order_relaxed); }
+  long installs() const { return installs_.load(std::memory_order_relaxed); }
+
+ private:
+  void run(double interval_seconds);
+
+  AdmissionEngine* engine_;
+  ReoptOptions options_;
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<long> passes_{0};
+  std::atomic<long> installs_{0};
+  std::mutex cv_mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace tvnep::serve

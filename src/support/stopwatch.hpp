@@ -6,6 +6,13 @@
 
 namespace tvnep {
 
+/// The single monotonic clock source for every wall-clock measurement in
+/// the repo (stopwatches, deadlines, tracer timestamps, watchdog and serve
+/// latencies). Centralized so latency percentiles are never skewed by
+/// mixing steady_clock and system_clock readings; code outside this header
+/// should not name a std::chrono clock directly.
+using MonotonicClock = std::chrono::steady_clock;
+
 /// Monotonic wall-clock stopwatch.
 class Stopwatch {
  public:
@@ -19,7 +26,7 @@ class Stopwatch {
   void reset() { start_ = Clock::now(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  using Clock = MonotonicClock;
   Clock::time_point start_;
 };
 

@@ -1,65 +1,15 @@
 #include "workload/generator.hpp"
 
-#include <string>
-#include <vector>
-
-#include "net/topology.hpp"
-#include "support/check.hpp"
-#include "support/rng.hpp"
+#include "workload/trace.hpp"
 
 namespace tvnep::workload {
 
 net::TvnepInstance generate_workload(const WorkloadParams& params) {
-  TVNEP_REQUIRE(params.num_requests >= 0, "negative request count");
-  TVNEP_REQUIRE(params.flexibility >= 0.0, "negative flexibility");
-  TVNEP_REQUIRE(params.demand_min <= params.demand_max,
-                "demand interval crossed");
-
-  net::SubstrateNetwork substrate =
-      net::make_grid(params.grid_rows, params.grid_cols, params.node_capacity,
-                     params.link_capacity);
-  const int substrate_nodes = substrate.num_nodes();
-  net::TvnepInstance instance(std::move(substrate), 1.0);
-
-  Rng rng(params.seed);
-  double arrival = 0.0;
-  for (int i = 0; i < params.num_requests; ++i) {
-    arrival += rng.exponential(params.interarrival_mean);
-    const double duration =
-        std::max(1e-3, rng.weibull(params.weibull_shape, params.weibull_scale));
-    const bool towards_center = rng.uniform01() < 0.5;
-
-    net::VnetRequest request =
-        net::make_star(params.star_leaves, towards_center,
-                       /*node_demand=*/0.0, /*link_demand=*/0.0,
-                       "R" + std::to_string(i));
-    // Section VI-A: demands chosen uniformly at random from [1, 2],
-    // independently per virtual node and link. Rebuild with sampled values.
-    net::VnetRequest sampled("R" + std::to_string(i));
-    for (int v = 0; v < request.num_nodes(); ++v)
-      sampled.add_node(rng.uniform(params.demand_min, params.demand_max));
-    for (int e = 0; e < request.num_links(); ++e) {
-      const auto& link = request.link(e);
-      sampled.add_link(link.from, link.to,
-                       rng.uniform(params.demand_min, params.demand_max));
-    }
-    sampled.set_temporal(arrival, arrival + duration + params.flexibility,
-                         duration);
-
-    std::optional<std::vector<net::NodeId>> mapping;
-    if (params.fix_node_mappings) {
-      std::vector<net::NodeId> map;
-      map.reserve(static_cast<std::size_t>(sampled.num_nodes()));
-      for (int v = 0; v < sampled.num_nodes(); ++v)
-        map.push_back(static_cast<net::NodeId>(
-            rng.uniform_int(0, substrate_nodes - 1)));
-      mapping = std::move(map);
-    }
-    instance.add_request(std::move(sampled), std::move(mapping));
-  }
-  instance.fit_horizon();
-  instance.validate();
-  return instance;
+  // The sampling itself lives in make_trace (workload/trace.hpp) so the
+  // same request stream can be exported, replayed and fed to the serve
+  // daemon; materializing the trace here keeps generate_workload's output
+  // bit-identical to what it produced before traces existed.
+  return instance_from_trace(params, make_trace(params));
 }
 
 net::TvnepInstance generate_workload_with_flexibility(

@@ -1,0 +1,189 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+
+#include "net/topology.hpp"
+#include "support/atomic_file.hpp"
+#include "support/check.hpp"
+#include "support/line_fields.hpp"
+#include "support/rng.hpp"
+
+namespace tvnep::workload {
+
+ArrivalTrace make_trace(const WorkloadParams& params) {
+  TVNEP_REQUIRE(params.num_requests >= 0, "negative request count");
+  TVNEP_REQUIRE(params.flexibility >= 0.0, "negative flexibility");
+  TVNEP_REQUIRE(params.demand_min <= params.demand_max,
+                "demand interval crossed");
+
+  // The draw order below must stay exactly the stream generate_workload
+  // has always consumed (arrival, duration, star orientation, node then
+  // link demands, mapping) — the figure benches' scenarios depend on it.
+  const int substrate_nodes = params.grid_rows * params.grid_cols;
+  ArrivalTrace trace;
+  trace.seed = params.seed;
+  trace.flexibility = params.flexibility;
+  trace.requests.reserve(static_cast<std::size_t>(params.num_requests));
+
+  Rng rng(params.seed);
+  double arrival = 0.0;
+  for (int i = 0; i < params.num_requests; ++i) {
+    arrival += rng.exponential(params.interarrival_mean);
+    const double duration =
+        std::max(1e-3, rng.weibull(params.weibull_shape, params.weibull_scale));
+    const bool towards_center = rng.uniform01() < 0.5;
+
+    net::VnetRequest structure =
+        net::make_star(params.star_leaves, towards_center,
+                       /*node_demand=*/0.0, /*link_demand=*/0.0,
+                       "R" + std::to_string(i));
+    // Section VI-A: demands chosen uniformly at random from [1, 2],
+    // independently per virtual node and link. Rebuild with sampled values.
+    net::VnetRequest sampled("R" + std::to_string(i));
+    for (int v = 0; v < structure.num_nodes(); ++v)
+      sampled.add_node(rng.uniform(params.demand_min, params.demand_max));
+    for (int e = 0; e < structure.num_links(); ++e) {
+      const auto& link = structure.link(e);
+      sampled.add_link(link.from, link.to,
+                       rng.uniform(params.demand_min, params.demand_max));
+    }
+    sampled.set_temporal(arrival, arrival + duration + params.flexibility,
+                         duration);
+
+    TraceRequest out{std::move(sampled), std::nullopt};
+    if (params.fix_node_mappings) {
+      std::vector<net::NodeId> map;
+      map.reserve(static_cast<std::size_t>(out.request.num_nodes()));
+      for (int v = 0; v < out.request.num_nodes(); ++v)
+        map.push_back(static_cast<net::NodeId>(
+            rng.uniform_int(0, substrate_nodes - 1)));
+      out.mapping = std::move(map);
+    }
+    trace.requests.push_back(std::move(out));
+  }
+  return trace;
+}
+
+net::TvnepInstance instance_from_trace(const WorkloadParams& params,
+                                       const ArrivalTrace& trace) {
+  return instance_from_trace(
+      net::make_grid(params.grid_rows, params.grid_cols, params.node_capacity,
+                     params.link_capacity),
+      trace);
+}
+
+net::TvnepInstance instance_from_trace(net::SubstrateNetwork substrate,
+                                       const ArrivalTrace& trace) {
+  net::TvnepInstance instance(std::move(substrate), 1.0);
+  for (const TraceRequest& tr : trace.requests)
+    instance.add_request(tr.request, tr.mapping);
+  instance.fit_horizon();
+  instance.validate();
+  return instance;
+}
+
+void write_trace(const ArrivalTrace& trace, std::ostream& os) {
+  os << "tvnep-trace 1\n";
+  os << std::setprecision(17);
+  os << "seed " << trace.seed << '\n';
+  os << "flexibility " << trace.flexibility << '\n';
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const TraceRequest& tr = trace.requests[i];
+    const auto& req = tr.request;
+    const std::string name =
+        req.name().empty() ? "R" + std::to_string(i) : req.name();
+    os << "request " << name << ' ' << req.earliest_start() << ' '
+       << req.latest_end() << ' ' << req.duration() << '\n';
+    for (int v = 0; v < req.num_nodes(); ++v)
+      os << "vnode " << req.node_demand(v) << '\n';
+    for (int e = 0; e < req.num_links(); ++e) {
+      const auto& link = req.link(e);
+      os << "vlink " << link.from << ' ' << link.to << ' ' << link.demand
+         << '\n';
+    }
+    if (tr.mapping) {
+      os << "mapping";
+      for (const net::NodeId host : *tr.mapping) os << ' ' << host;
+      os << '\n';
+    }
+  }
+}
+
+ArrivalTrace read_trace(std::istream& is, const std::string& source) {
+  std::string line;
+  long line_number = 0;
+  if (!std::getline(is, line) || line.rfind("tvnep-trace 1", 0) != 0)
+    throw ParseError(source, 1, 0,
+                     "trace file must start with 'tvnep-trace 1'");
+  ++line_number;
+
+  ArrivalTrace trace;
+  double last_arrival = -std::numeric_limits<double>::infinity();
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    LineFields fields(source, line_number, line);
+    const std::string keyword = fields.next_string("keyword");
+    if (keyword == "seed") {
+      trace.seed = fields.next_uint64("seed");
+      fields.expect_done();
+    } else if (keyword == "flexibility") {
+      trace.flexibility = fields.next_double("flexibility");
+      fields.expect_done();
+    } else if (keyword == "request") {
+      const std::string name = fields.next_string("name");
+      const double ts = fields.next_double("earliest-start");
+      const double te = fields.next_double("latest-end");
+      const double d = fields.next_double("duration");
+      fields.expect_done();
+      if (ts < last_arrival)
+        fields.fail("arrivals out of order: " + name + " arrives at " +
+                    std::to_string(ts) + " after " +
+                    std::to_string(last_arrival));
+      last_arrival = ts;
+      TraceRequest tr{net::VnetRequest(name), std::nullopt};
+      tr.request.set_temporal(ts, te, d);
+      trace.requests.push_back(std::move(tr));
+    } else if (keyword == "vnode") {
+      if (trace.requests.empty()) fields.fail("vnode before any request");
+      const double demand = fields.next_double("demand");
+      fields.expect_done();
+      trace.requests.back().request.add_node(demand);
+    } else if (keyword == "vlink") {
+      if (trace.requests.empty()) fields.fail("vlink before any request");
+      const int from = fields.next_int("from");
+      const int to = fields.next_int("to");
+      const double demand = fields.next_double("demand");
+      fields.expect_done();
+      trace.requests.back().request.add_link(from, to, demand);
+    } else if (keyword == "mapping") {
+      if (trace.requests.empty()) fields.fail("mapping before any request");
+      std::vector<net::NodeId> map;
+      while (fields.remaining() > 0) map.push_back(fields.next_int("host"));
+      trace.requests.back().mapping = std::move(map);
+    } else {
+      fields.fail("unknown trace keyword: " + keyword, 1);
+    }
+    if (is.bad())
+      throw ParseError(source, line_number, 0,
+                       "I/O error while reading trace");
+  }
+  return trace;
+}
+
+void save_trace(const ArrivalTrace& trace, const std::string& path) {
+  AtomicFile file(path);
+  write_trace(trace, file.stream());
+  TVNEP_REQUIRE(file.commit(), "cannot write trace file: " + path);
+}
+
+ArrivalTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  TVNEP_REQUIRE(in.good(), "cannot open trace file for read: " + path);
+  return read_trace(in, path);
+}
+
+}  // namespace tvnep::workload

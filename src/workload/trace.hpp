@@ -1,0 +1,71 @@
+// Replayable arrival traces: the workload generator's request stream as a
+// first-class, serializable artifact.
+//
+// A trace is the list of requests in arrival order with *absolute*
+// timestamps (t^s = arrival, t^e, duration) plus the sampled demands and
+// fixed node mappings. `make_trace` draws it from the exact RNG stream
+// `generate_workload` uses, so `instance_from_trace(params, make_trace(p))`
+// is bit-identical to `generate_workload(p)` — and a trace written with
+// `write_trace` re-reads and re-writes byte for byte (every double is
+// printed with 17 significant digits, round-trip exact), making a load
+// test reproducible across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "workload/generator.hpp"
+
+namespace tvnep::workload {
+
+/// One arriving request: the virtual network with its absolute temporal
+/// specification (earliest_start == arrival time) and, optionally, the
+/// a-priori fixed node mapping.
+struct TraceRequest {
+  net::VnetRequest request;
+  std::optional<std::vector<net::NodeId>> mapping;
+
+  double arrival() const { return request.earliest_start(); }
+};
+
+struct ArrivalTrace {
+  std::vector<TraceRequest> requests;  // in nondecreasing arrival order
+  // Provenance, persisted in the header so a replayed trace names its
+  // origin; purely informational for hand-written traces.
+  std::uint64_t seed = 0;
+  double flexibility = 0.0;
+};
+
+/// Samples the trace for `params` — the same draws, in the same order, as
+/// generate_workload(params); deterministic in params.seed.
+ArrivalTrace make_trace(const WorkloadParams& params);
+
+/// Materializes a trace into a TVNEP instance on the grid substrate
+/// described by `params` (rows/cols/capacities). The horizon is fitted to
+/// the latest request end and the instance validated.
+net::TvnepInstance instance_from_trace(const WorkloadParams& params,
+                                       const ArrivalTrace& trace);
+
+/// Same, on an explicit substrate.
+net::TvnepInstance instance_from_trace(net::SubstrateNetwork substrate,
+                                       const ArrivalTrace& trace);
+
+/// Serializes the trace; output round-trips through read_trace and is
+/// byte-for-byte stable under write → read → write.
+void write_trace(const ArrivalTrace& trace, std::ostream& os);
+
+/// Parses a trace written by write_trace. Malformed input throws
+/// ParseError with source/line/column, matching io/instance_io semantics.
+ArrivalTrace read_trace(std::istream& is,
+                        const std::string& source = "<trace>");
+
+/// File-based convenience wrappers (save goes through an atomic temp +
+/// rename publish).
+void save_trace(const ArrivalTrace& trace, const std::string& path);
+ArrivalTrace load_trace(const std::string& path);
+
+}  // namespace tvnep::workload

@@ -23,7 +23,13 @@ namespace {
 class CheckpointTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  const std::string path_ = "checkpoint_test.jsonl";
+  // Unique per test: ctest runs the cases of this binary as concurrent
+  // processes in one working directory, so a shared journal path would
+  // make parallel runs clobber each other's files.
+  const std::string path_ =
+      std::string("checkpoint_test_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".jsonl";
 };
 
 SweepConfig tiny_config() {

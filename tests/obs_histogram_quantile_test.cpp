@@ -1,0 +1,125 @@
+// Percentile queries on the log-bucket histogram (obs/metrics), checked
+// against exact quantiles of known samples. The bucket geometry (powers of
+// two) bounds the approximation error to a factor of 2; the interpolated
+// estimate is asserted inside [exact/2, exact*2] and exactly equal where
+// the histogram can be exact (extremes, single-valued data).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace tvnep::obs {
+namespace {
+
+HistogramSnapshot make_histogram(const std::vector<double>& samples) {
+  HistogramSnapshot h;
+  for (const double s : samples) h.observe(s);
+  return h;
+}
+
+double exact_nearest_rank(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const long rank = std::max<long>(
+      1, static_cast<long>(
+             std::ceil(q * static_cast<double>(samples.size()))));
+  return samples[static_cast<std::size_t>(rank - 1)];
+}
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  HistogramSnapshot h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramQuantile, SingleValueIsExactEverywhere) {
+  const HistogramSnapshot h = make_histogram({3.25});
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.25) << "q=" << q;
+}
+
+TEST(HistogramQuantile, ExtremesAreExact) {
+  const HistogramSnapshot h = make_histogram({0.125, 1.0, 7.5, 42.0, 900.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 900.0);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.125);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 900.0);
+}
+
+TEST(HistogramQuantile, WithinBucketFactorOfExactQuantiles) {
+  std::vector<double> samples;
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.uniform(0.5, 64.0));
+  const HistogramSnapshot h = make_histogram(samples);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = exact_nearest_rank(samples, q);
+    const double approx = h.quantile(q);
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+    EXPECT_GE(approx, h.min);
+    EXPECT_LE(approx, h.max);
+  }
+}
+
+TEST(HistogramQuantile, HeavyTailP99TracksTheTail) {
+  // Mostly-fast samples around 1ms with a 1.5% tail near 1s: p50 must
+  // stay in the fast band and p99 must land in the slow band (nearest
+  // rank 990 of 1000 falls past the 985 fast samples), the separation the
+  // serve bench relies on.
+  std::vector<double> samples;
+  for (int i = 0; i < 985; ++i) samples.push_back(0.001 * (1.0 + 0.0001 * i));
+  for (int i = 0; i < 15; ++i) samples.push_back(1.0 + 0.01 * i);
+  const HistogramSnapshot h = make_histogram(samples);
+  EXPECT_LT(h.p50(), 0.004);
+  EXPECT_GT(h.p99(), 0.5);
+  EXPECT_LE(h.p99(), h.max);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  std::vector<double> samples;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i)
+    samples.push_back(std::exp(rng.uniform(-5.0, 5.0)));
+  const HistogramSnapshot h = make_histogram(samples);
+  double prev = h.quantile(0.0);
+  for (double q = 0.05; q <= 1.0 + 1e-9; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramQuantile, MergePreservesQuantileBounds) {
+  std::vector<double> a_samples, b_samples, all;
+  Rng rng(99);
+  for (int i = 0; i < 400; ++i) a_samples.push_back(rng.uniform(1.0, 10.0));
+  for (int i = 0; i < 600; ++i) b_samples.push_back(rng.uniform(5.0, 200.0));
+  all = a_samples;
+  all.insert(all.end(), b_samples.begin(), b_samples.end());
+  HistogramSnapshot merged = make_histogram(a_samples);
+  merged.merge(make_histogram(b_samples));
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = exact_nearest_rank(all, q);
+    const double approx = merged.quantile(q);
+    EXPECT_GE(approx, exact / 2.0) << "q=" << q;
+    EXPECT_LE(approx, exact * 2.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, SubNormalBucketClampsToObservedRange) {
+  // Everything below 2^-20 (and non-positive samples) lands in bucket 0;
+  // quantiles must still stay inside [min, max].
+  const HistogramSnapshot h = make_histogram({0.0, 1e-9, 2e-9, 1e-8});
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_GE(h.quantile(q), h.min);
+    EXPECT_LE(h.quantile(q), h.max);
+  }
+}
+
+}  // namespace
+}  // namespace tvnep::obs
