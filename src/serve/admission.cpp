@@ -10,8 +10,25 @@
 namespace tvnep::serve {
 
 namespace {
+
 constexpr double kTimeTol = 1e-9;
+
+/// A client-supplied mapping comes straight off the wire: the parse layer
+/// only knows the request, not the substrate, so the engine is the first
+/// place the node ids can be bounds-checked. Rejecting here keeps both the
+/// step MIP (TvnepInstance::add_request would throw) and the fastpath
+/// router (which indexes residual arrays with these ids) safe.
+bool mapping_valid(const RequestMessage& message, int substrate_nodes) {
+  if (!message.mapping.has_value()) return true;
+  if (message.mapping->size() !=
+      static_cast<std::size_t>(message.request.num_nodes()))
+    return false;
+  for (net::NodeId node : *message.mapping)
+    if (node < 0 || node >= substrate_nodes) return false;
+  return true;
 }
+
+}  // namespace
 
 AdmissionEngine::AdmissionEngine(net::SubstrateNetwork substrate,
                                  AdmissionOptions options)
@@ -97,6 +114,10 @@ AdmitResult AdmissionEngine::admit(const RequestMessage& message) {
 
 AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
   AdmitResult result;
+  if (!mapping_valid(message, substrate_.num_nodes())) {
+    result.outcome = AdmitOutcome::kInvalidMapping;
+    return result;
+  }
   advance_now(message.request.earliest_start());
 
   // Clamp the window to the virtual now: a request cannot start in the
@@ -180,6 +201,10 @@ AdmitResult AdmissionEngine::admit_fastpath(const RequestMessage& message) {
 
 AdmitResult AdmissionEngine::fastpath_locked(const RequestMessage& message) {
   AdmitResult result;
+  if (!mapping_valid(message, substrate_.num_nodes())) {
+    result.outcome = AdmitOutcome::kInvalidMapping;
+    return result;
+  }
   advance_now(message.request.earliest_start());
 
   net::VnetRequest candidate = message.request;

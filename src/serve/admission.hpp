@@ -73,6 +73,7 @@ enum class AdmitOutcome {
   kWindowClosed,       // t^e - d below the virtual now: can no longer start
   kComponentTooLarge,  // over max_step_requests — shed to fastpath
   kSolverFailed,       // step MIP returned no incumbent (time limit/cancel)
+  kInvalidMapping,     // mapping node ids outside the substrate — terminal
 };
 
 struct AdmitResult {

@@ -79,6 +79,7 @@ void Daemon::reader_loop(int in_fd, int out_fd) {
         decision.reason = "overload";
         decision.mode = "shed";
         write_line(out_fd, encode_decision(decision));
+        stream_decided_.fetch_add(1, std::memory_order_relaxed);
         decided_total_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -92,7 +93,7 @@ void Daemon::reader_loop(int in_fd, int out_fd) {
   };
 
   while (!eof) {
-    if (stopped()) break;
+    if (stopped() || stream_stop_.load(std::memory_order_relaxed)) break;
     struct pollfd pfd{};
     pfd.fd = in_fd;
     pfd.events = POLLIN;
@@ -154,6 +155,9 @@ Decision Daemon::decide(const RequestMessage& request,
       case AdmitOutcome::kWindowClosed:
         decision.reason = "window";
         break;
+      case AdmitOutcome::kInvalidMapping:
+        decision.reason = "invalid";
+        break;
       default:
         decision.reason = "capacity";
         break;
@@ -194,9 +198,21 @@ long Daemon::serve(int in_fd, int out_fd) {
     queue_.clear();
     queued_requests_ = 0;
   }
+  stream_decided_.store(0, std::memory_order_relaxed);
+  stream_stop_.store(false, std::memory_order_relaxed);
   std::thread reader([this, in_fd, out_fd] { reader_loop(in_fd, out_fd); });
+  // Every exit path — including an unwinding exception — must stop the
+  // reader and join it, or the joinable std::thread destructor calls
+  // std::terminate and one bad request kills the whole daemon.
+  struct ReaderGuard {
+    Daemon* daemon;
+    std::thread& thread;
+    ~ReaderGuard() {
+      daemon->stream_stop_.store(true, std::memory_order_relaxed);
+      if (thread.joinable()) thread.join();
+    }
+  } guard{this, reader};
 
-  long decided = 0;
   while (true) {
     Item item;
     {
@@ -209,29 +225,47 @@ long Daemon::serve(int in_fd, int out_fd) {
     }
     switch (item.message.kind) {
       case MessageKind::kRequest: {
-        const Decision decision =
-            decide(item.message.request, item.arrival_seconds);
+        Decision decision;
+        decision.id = item.message.request.id;
+        try {
+          decision = decide(item.message.request, item.arrival_seconds);
+        } catch (const std::exception& e) {
+          // "Never crashes under load": a solver-side failure on one
+          // request answers a structured reject and the stream continues.
+          obs::counter_add("serve.decision.errors");
+          decision.accepted = false;
+          decision.reason = "internal";
+          decision.mode = "error";
+          write_line(out_fd, encode_error(e.what()));
+        }
         write_line(out_fd, encode_decision(decision));
-        ++decided;
+        stream_decided_.fetch_add(1, std::memory_order_relaxed);
         decided_total_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case MessageKind::kStats:
         write_line(out_fd, encode_stats(stats_fields()));
         break;
-      case MessageKind::kReopt: {
-        const ReoptReport report = reoptimizer_.reoptimize_once();
-        std::ostringstream fields;
-        fields << "\"reopt_attempted\":" << (report.attempted ? "true" : "false")
-               << ",\"reopt_installed\":" << (report.installed ? "true" : "false")
-               << ",\"reopt_rescheduled\":" << report.rescheduled;
-        write_line(out_fd, encode_stats(fields.str()));
+      case MessageKind::kReopt:
+        try {
+          const ReoptReport report = reoptimizer_.reoptimize_once();
+          std::ostringstream fields;
+          fields << "\"reopt_attempted\":"
+                 << (report.attempted ? "true" : "false")
+                 << ",\"reopt_installed\":"
+                 << (report.installed ? "true" : "false")
+                 << ",\"reopt_rescheduled\":" << report.rescheduled;
+          write_line(out_fd, encode_stats(fields.str()));
+        } catch (const std::exception& e) {
+          obs::counter_add("serve.reopt.errors");
+          write_line(out_fd, encode_error(e.what()));
+        }
         break;
-      }
-      case MessageKind::kDrain:
+      case MessageKind::kDrain: {
+        const long decided = stream_decided_.load(std::memory_order_relaxed);
         write_line(out_fd, encode_bye(decided));
-        reader.join();
         return decided;
+      }
     }
   }
 }

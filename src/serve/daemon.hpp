@@ -104,6 +104,14 @@ class Daemon {
   std::deque<Item> queue_;
   std::size_t queued_requests_ = 0;  // kRequest items currently in queue_
 
+  /// Raised by serve() on every exit path so the reader thread winds down
+  /// before the stack unwinds past it (a joinable std::thread destructor
+  /// is std::terminate).
+  std::atomic<bool> stream_stop_{false};
+  /// Decisions emitted on the current stream — shared with the reader
+  /// thread because queue-full door rejects are written there, and the
+  /// final "bye" must count them too.
+  std::atomic<long> stream_decided_{0};
   std::atomic<long> decided_total_{0};
   int listen_fd_ = -1;
   int listen_port_ = -1;

@@ -28,10 +28,11 @@ double require_number(const JsonValue& obj, const std::string& key,
 
 int require_index(double x, const std::string& what, int limit,
                   const std::string& source, long line) {
-  const int i = static_cast<int>(x);
-  if (static_cast<double>(i) != x || i < 0 || i >= limit)
+  // Range-check the double first: casting a value outside int's range
+  // (1e20, infinity, NaN) is undefined behavior before any check runs.
+  if (!(x >= 0.0) || x >= static_cast<double>(limit) || std::floor(x) != x)
     fail(source, line, what + " out of range");
-  return i;
+  return static_cast<int>(x);
 }
 
 RequestMessage parse_request(const JsonValue& obj, const std::string& source,
@@ -89,11 +90,13 @@ RequestMessage parse_request(const JsonValue& obj, const std::string& source,
                            "virtual node");
       std::vector<net::NodeId> nodes_out;
       for (const JsonValue& node : mapping->as_array()) {
-        if (!node.is_number() || node.as_number() < 0.0 ||
-            static_cast<double>(static_cast<int>(node.as_number())) !=
-                node.as_number())
+        // The substrate size is unknown at parse time (the engine bounds
+        // the ids on admission); here only reject what cannot be cast to
+        // int without undefined behavior.
+        const double x = node.is_number() ? node.as_number() : -1.0;
+        if (!(x >= 0.0) || x >= 2147483648.0 || std::floor(x) != x)
           fail(source, line, "mapping entries must be substrate node ids");
-        nodes_out.push_back(static_cast<net::NodeId>(node.as_number()));
+        nodes_out.push_back(static_cast<net::NodeId>(x));
       }
       out.mapping = std::move(nodes_out);
     }

@@ -58,9 +58,11 @@ struct Decision {
   bool accepted = false;
   double start = 0.0;
   double end = 0.0;
-  /// "exact" (step MIP) or "fastpath" (shed single-path router).
+  /// "exact" (step MIP), "fastpath" (shed single-path router), "shed"
+  /// (rejected without solver work), or "error" (internal failure).
   std::string mode = "exact";
-  /// Reject reason: "capacity", "overload", "invalid".
+  /// Reject reason: "capacity", "window", "overload", "invalid" (mapping
+  /// node ids outside the substrate), "internal".
   std::string reason;
   double latency_ms = 0.0;
 };

@@ -121,7 +121,13 @@ void Reoptimizer::run(double interval_seconds) {
                      [this] { return stop_.load(std::memory_order_relaxed); }))
       break;
     lock.unlock();
-    reoptimize_once();
+    try {
+      reoptimize_once();
+    } catch (const std::exception&) {
+      // An exception escaping a thread entry is std::terminate; a failed
+      // background pass just means no install this interval.
+      obs::counter_add("serve.reopt.errors");
+    }
     lock.lock();
   }
 }

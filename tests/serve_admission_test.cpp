@@ -203,6 +203,36 @@ TEST(ServeAdmission, ClosesWindowsBehindTheVirtualNow) {
             AdmitOutcome::kWindowClosed);
 }
 
+TEST(ServeAdmission, RejectsMappingsOutsideTheSubstrate) {
+  // A 2x2 grid has nodes 0..3; a client-supplied mapping naming node 7
+  // must answer kInvalidMapping on both paths — the untrusted id would
+  // otherwise index the fastpath residual arrays out of bounds (heap
+  // write) or throw from TvnepInstance::add_request on the exact path.
+  AdmissionEngine engine(net::make_grid(2, 2, 10.0, 10.0), {});
+  RequestMessage bad;
+  bad.id = "bad";
+  net::VnetRequest r("bad");
+  r.add_node(1.0);
+  r.set_temporal(0.0, 4.0, 1.0);
+  bad.request = r;
+  bad.mapping = std::vector<net::NodeId>{7};
+  EXPECT_EQ(engine.admit(bad).outcome, AdmitOutcome::kInvalidMapping);
+  EXPECT_EQ(engine.admit_fastpath(bad).outcome,
+            AdmitOutcome::kInvalidMapping);
+
+  bad.mapping = std::vector<net::NodeId>{-1};
+  EXPECT_EQ(engine.admit_fastpath(bad).outcome,
+            AdmitOutcome::kInvalidMapping);
+
+  // Wrong arity (one entry per virtual node) is invalid too.
+  bad.mapping = std::vector<net::NodeId>{0, 1};
+  EXPECT_EQ(engine.admit(bad).outcome, AdmitOutcome::kInvalidMapping);
+
+  // The invalid request consumed nothing and the engine still works.
+  bad.mapping = std::vector<net::NodeId>{0};
+  EXPECT_EQ(engine.admit(bad).outcome, AdmitOutcome::kAccepted);
+}
+
 // ----- reoptimizer: crafted strict-improvement scenario -----
 //
 // Substrate: A --L1(cap 1)--> B --L2(cap 1)--> C.

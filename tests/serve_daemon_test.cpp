@@ -172,6 +172,15 @@ TEST(ServeDaemon, MalformedLinesAnswerErrorsWithoutKillingTheStream) {
   payload += "{\"type\":\"mystery\"}\n";
   payload += "{\"type\":\"request\",\"id\":\"ok\",\"t_s\":0,\"t_e\":4,"
              "\"d\":1,\"nodes\":[1.0]}\n";
+  // Well-formed but hostile: mapping names substrate node 999 on a
+  // 20-node grid. Must answer a structured "invalid" reject — historically
+  // this was an out-of-bounds heap write on the fastpath and an escaping
+  // CheckError (std::terminate past the joinable reader) on the exact
+  // path.
+  payload += "{\"type\":\"request\",\"id\":\"oob\",\"t_s\":0,\"t_e\":4,"
+             "\"d\":1,\"nodes\":[1.0],\"mapping\":[999]}\n";
+  payload += "{\"type\":\"request\",\"id\":\"ok2\",\"t_s\":0,\"t_e\":4,"
+             "\"d\":1,\"nodes\":[1.0]}\n";
   payload += "{\"type\":\"drain\"}\n";
   write_all(pipes.in[1], payload);
   pipes.close_fd(pipes.in[1]);
@@ -179,8 +188,14 @@ TEST(ServeDaemon, MalformedLinesAnswerErrorsWithoutKillingTheStream) {
   const std::vector<JsonValue> replies = read_replies(pipes.out[0]);
   server.join();
   EXPECT_EQ(count_type(replies, "error"), 2);
-  EXPECT_EQ(count_type(replies, "decision"), 1);
+  EXPECT_EQ(count_type(replies, "decision"), 3);
   EXPECT_EQ(count_type(replies, "bye"), 1);
+  for (const JsonValue& reply : replies) {
+    const JsonValue* id = reply.find("id");
+    if (id == nullptr || id->as_string() != "oob") continue;
+    EXPECT_FALSE(reply.find("accepted")->as_bool());
+    EXPECT_EQ(reply.find("reason")->as_string(), "invalid");
+  }
 }
 
 TEST(ServeDaemon, OverloadShedsAndRejectsInsteadOfCrashing) {
@@ -208,6 +223,12 @@ TEST(ServeDaemon, OverloadShedsAndRejectsInsteadOfCrashing) {
   for (const JsonValue& reply : replies) {
     const JsonValue* reason = reply.find("reason");
     if (reason != nullptr && reason->as_string() == "overload") ++overload;
+    // The bye tally must count queue-full door rejects (written by the
+    // reader thread) along with worker decisions.
+    const JsonValue* type = reply.find("type");
+    if (type != nullptr && type->as_string() == "bye") {
+      EXPECT_DOUBLE_EQ(reply.find("decided")->as_number(), 12.0);
+    }
   }
   EXPECT_GT(overload, 0);
 }

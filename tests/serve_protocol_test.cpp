@@ -127,6 +127,38 @@ TEST(ServeProtocol, RejectsInvalidRequests) {
       ParseError);
 }
 
+TEST(ServeProtocol, RejectsOutOfIntRangeIndicesWithoutCasting) {
+  // Values far outside int's range must be rejected by comparing the
+  // double, never by casting it first (the cast itself is UB).
+  EXPECT_THROW(
+      parse_message(R"({"type":"request","id":"a","t_s":0,"t_e":2,"d":1,)"
+                    R"("nodes":[1,1],"links":[[0,1e20,1]]})",
+                    "t"),
+      ParseError);
+  EXPECT_THROW(
+      parse_message(R"({"type":"request","id":"a","t_s":0,"t_e":2,"d":1,)"
+                    R"("nodes":[1],"mapping":[1e20]})",
+                    "t"),
+      ParseError);
+  EXPECT_THROW(
+      parse_message(R"({"type":"request","id":"a","t_s":0,"t_e":2,"d":1,)"
+                    R"("nodes":[1],"mapping":[2147483648]})",
+                    "t"),
+      ParseError);
+  EXPECT_THROW(
+      parse_message(R"({"type":"request","id":"a","t_s":0,"t_e":2,"d":1,)"
+                    R"("nodes":[1],"mapping":[1.5]})",
+                    "t"),
+      ParseError);
+  // The largest representable id still parses.
+  const InMessage ok = parse_message(
+      R"({"type":"request","id":"a","t_s":0,"t_e":2,"d":1,)"
+      R"("nodes":[1],"mapping":[2147483647]})",
+      "t");
+  ASSERT_TRUE(ok.request.mapping.has_value());
+  EXPECT_EQ((*ok.request.mapping)[0], 2147483647);
+}
+
 TEST(ServeProtocol, EncodesDecisionsErrorsAndBye) {
   Decision accepted;
   accepted.id = "R1";
