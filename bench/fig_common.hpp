@@ -46,6 +46,10 @@ inline obs::ObsSession* init_observability(const eval::Args& args) {
   config.trace_jsonl_path = args.get_string("trace-jsonl", "");
   config.metrics_path = args.get_string("metrics", "");
   config.tree_log_path = args.get_string("tree-log", "");
+  config.live_flush_seconds = args.get_double("live-flush-ms", 0.0) / 1000.0;
+  // A bench exposing /metrics (serve_load --metrics-port) needs the live
+  // registry active even without a --metrics output file.
+  config.metrics_live = args.has("metrics-port");
   if (!config.any()) return nullptr;
   session = std::make_unique<obs::ObsSession>(std::move(config));
   return session.get();

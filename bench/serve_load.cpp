@@ -8,13 +8,30 @@
 //   serve_load [--scale K] [--mode greedy|reopt|both] [--csv out.csv]
 //              [--seed N] [--flex F] [--slo-ms MS] [--shed-fraction F]
 //              [--max-step N] [--reopt-every N] [--reopt-budget S]
+//              [--arrival-rate R] [--metrics-port P]
+//              [--slo-window S] [--slo-budget F]
 //              [--emit-trace PATH]
 //
 // `--scale K` runs K * 20 requests (the paper's evaluation uses 20).
 // Reoptimization runs synchronously every `--reopt-every` admissions so
 // the bench is deterministic; the daemon runs the same passes on a wall
 // clock interval thread instead.
+//
+// `--arrival-rate R` (virtual requests/second, 0 = as fast as possible)
+// replays the trace through a simulated single-server queue on a virtual
+// clock: request i arrives at i/R, waits for the server, and walks the
+// daemon's shed ladder on its *virtual* queue age — overload reject past
+// the SLO, fastpath past shed_fraction·SLO — with measured wall-clock
+// admit times as the service times. That makes queue depth, per-rung shed
+// counts and the SLO error budget measurable without wall-clock sleeps.
+//
+// `--metrics-port P` starts the same loopback /metrics listener the
+// daemon uses; the bench records admission latency, rung counters and the
+// SLO budget gauges into the live registry, so a 1 Hz scraper watches the
+// run as it happens.
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,8 +41,10 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "serve/admission.hpp"
+#include "serve/metrics_server.hpp"
 #include "serve/protocol.hpp"
 #include "serve/reoptimizer.hpp"
+#include "serve/slo.hpp"
 #include "support/atomic_file.hpp"
 #include "support/stopwatch.hpp"
 #include "workload/trace.hpp"
@@ -34,14 +53,27 @@ using namespace tvnep;
 
 namespace {
 
+struct LoadOptions {
+  double slo_ms = 100.0;
+  double shed_fraction = 0.5;
+  double arrival_rate = 0.0;  // virtual req/s; 0 = no queue simulation
+  serve::SloOptions slo;
+};
+
 struct ModeResult {
   std::string mode;
   long requests = 0;
   long accepted = 0;
-  long shed = 0;  // decided by the fastpath after the exact path bailed
+  long shed = 0;          // solver rung: exact path bailed, fastpath decided
+  long shed_aged = 0;     // age rung: queued past shed_fraction·SLO
+  long reject_overload = 0;  // queued past the whole SLO: reject, no work
   double revenue = 0.0;
   long reopt_passes = 0;
   long reopt_installs = 0;
+  long reopt_stale = 0;
+  long max_queue_depth = 0;
+  double mean_queue_depth = 0.0;
+  double slo_budget_remaining = 1.0;
   obs::HistogramSnapshot latency_ms;
   double total_seconds = 0.0;
 
@@ -55,7 +87,8 @@ struct ModeResult {
 ModeResult run_mode(const workload::ArrivalTrace& trace,
                     const workload::WorkloadParams& params,
                     const serve::AdmissionOptions& admission, bool with_reopt,
-                    int reopt_every, const serve::ReoptOptions& reopt_options) {
+                    int reopt_every, const serve::ReoptOptions& reopt_options,
+                    const LoadOptions& load) {
   ModeResult result;
   result.mode = with_reopt ? "reopt" : "greedy";
   serve::AdmissionEngine engine(
@@ -63,6 +96,12 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
                      params.link_capacity),
       admission);
   serve::Reoptimizer reoptimizer(&engine, reopt_options);
+  serve::SloBudget slo(load.slo);
+
+  const bool paced = load.arrival_rate > 0.0;
+  double server_free = 0.0;       // virtual clock: when the server frees up
+  std::deque<double> in_flight;   // virtual finish times of undecided work
+  long depth_sum = 0;
 
   Stopwatch total;
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
@@ -71,27 +110,79 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
     message.request = trace.requests[i].request;
     message.mapping = trace.requests[i].mapping;
 
+    // Virtual queue state at this arrival (zero when unpaced).
+    const double arrival =
+        paced ? static_cast<double>(i) / load.arrival_rate : 0.0;
+    while (!in_flight.empty() && in_flight.front() <= arrival)
+      in_flight.pop_front();
+    const long depth = static_cast<long>(in_flight.size());
+    result.max_queue_depth = std::max(result.max_queue_depth, depth);
+    depth_sum += depth;
+    obs::gauge_set("serve.queue.depth", static_cast<double>(depth));
+    const double start_service = paced ? std::max(arrival, server_free) : 0.0;
+    const double wait_ms = (start_service - arrival) * 1000.0;
+
     Stopwatch per_request;
-    serve::AdmitResult admit = engine.admit(message);
-    // The daemon's shed ladder: an oversized component or a failed solve
-    // falls back to the heuristic fastpath instead of dropping the request.
-    if (admit.outcome == serve::AdmitOutcome::kComponentTooLarge ||
-        admit.outcome == serve::AdmitOutcome::kSolverFailed) {
-      ++result.shed;
-      admit = engine.admit_fastpath(message);
+    bool accepted = false;
+    if (paced && wait_ms > load.slo_ms) {
+      // Overload rung: the SLO is already blown before any work starts.
+      ++result.reject_overload;
+      obs::counter_add("serve.shed.overload");
+    } else {
+      serve::AdmitResult admit;
+      if (paced && wait_ms > load.shed_fraction * load.slo_ms) {
+        // Age rung: not enough headroom left for the exact path.
+        ++result.shed_aged;
+        obs::counter_add("serve.shed.aged");
+        admit = engine.admit_fastpath(message);
+      } else {
+        admit = engine.admit(message);
+        // Solver rung: an oversized component or a failed solve falls back
+        // to the heuristic fastpath instead of dropping the request.
+        if (admit.outcome == serve::AdmitOutcome::kComponentTooLarge ||
+            admit.outcome == serve::AdmitOutcome::kSolverFailed) {
+          ++result.shed;
+          obs::counter_add("serve.shed.solver");
+          admit = engine.admit_fastpath(message);
+        }
+      }
+      accepted = admit.outcome == serve::AdmitOutcome::kAccepted;
     }
-    result.latency_ms.observe(per_request.seconds() * 1000.0);
+    const double service_s = per_request.seconds();
+    const double latency_ms = wait_ms + service_s * 1000.0;
+    if (paced) {
+      server_free = start_service + service_s;
+      in_flight.push_back(server_free);
+    }
+
+    result.latency_ms.observe(latency_ms);
+    obs::histogram_observe("serve.admit.latency_ms", latency_ms);
     ++result.requests;
-    if (admit.outcome == serve::AdmitOutcome::kAccepted) ++result.accepted;
+    if (accepted) {
+      ++result.accepted;
+      obs::counter_add("serve.admit.accept");
+    } else {
+      obs::counter_add("serve.admit.reject");
+    }
+    slo.record(paced ? arrival : total.seconds(), latency_ms > load.slo_ms);
+    const serve::SloBudget::Reading reading =
+        slo.read(paced ? arrival : total.seconds());
+    obs::gauge_set("serve.slo.budget_remaining", reading.budget_remaining);
+    obs::gauge_set("serve.slo.burn_rate", reading.burn_rate);
+    result.slo_budget_remaining = reading.budget_remaining;
 
     if (with_reopt && reopt_every > 0 &&
         (i + 1) % static_cast<std::size_t>(reopt_every) == 0) {
       const serve::ReoptReport report = reoptimizer.reoptimize_once();
       if (report.attempted) ++result.reopt_passes;
       if (report.installed) ++result.reopt_installs;
+      if (report.stale) ++result.reopt_stale;
     }
   }
   result.total_seconds = total.seconds();
+  if (result.requests > 0)
+    result.mean_queue_depth =
+        static_cast<double>(depth_sum) / static_cast<double>(result.requests);
 
   // Paper revenue (Section IV-E.1): every commit in the history is an
   // accepted request contributing d_R * sum of its node demands.
@@ -102,12 +193,15 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
 
 void print_result(const ModeResult& r) {
   std::printf(
-      "%-6s  requests=%-6ld accepted=%-6ld shed=%-5ld revenue=%-10.3f "
-      "reopt=%ld/%ld  p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms  "
-      "%.1f req/s (%.2fs total)\n",
-      r.mode.c_str(), r.requests, r.accepted, r.shed, r.revenue,
-      r.reopt_installs, r.reopt_passes, r.latency_ms.p50(),
-      r.latency_ms.p90(), r.latency_ms.p99(), r.latency_ms.max,
+      "%-6s  requests=%-6ld accepted=%-6ld shed=%-5ld aged=%-4ld "
+      "overload=%-4ld revenue=%-10.3f reopt=%ld/%ld stale=%ld  "
+      "p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms  qmax=%ld qmean=%.2f "
+      "budget=%.2f  %.1f req/s (%.2fs total)\n",
+      r.mode.c_str(), r.requests, r.accepted, r.shed, r.shed_aged,
+      r.reject_overload, r.revenue, r.reopt_installs, r.reopt_passes,
+      r.reopt_stale, r.latency_ms.p50(), r.latency_ms.p90(),
+      r.latency_ms.p99(), r.latency_ms.count > 0 ? r.latency_ms.max : 0.0,
+      r.max_queue_depth, r.mean_queue_depth, r.slo_budget_remaining,
       r.req_per_s(), r.total_seconds);
 }
 
@@ -144,20 +238,40 @@ int main(int argc, char** argv) {
   reopt_options.time_limit_seconds = args.get_double("reopt-budget", 2.0);
   const int reopt_every = args.get_int("reopt-every", 4);
 
+  LoadOptions load;
+  load.slo_ms = slo_ms;
+  load.shed_fraction = shed_fraction;
+  load.arrival_rate = args.get_double("arrival-rate", 0.0);
+  load.slo.window_seconds = args.get_double("slo-window", 60.0);
+  load.slo.budget_fraction = args.get_double("slo-budget", 0.05);
+
+  serve::MetricsServer metrics_server({{{"service", "serve_load"}}, {}});
+  if (args.has("metrics-port")) {
+    const int metrics_port =
+        metrics_server.start(args.get_int("metrics-port", 0));
+    if (metrics_port < 0) {
+      std::cerr << "serve_load: cannot bind metrics port\n";
+      return 1;
+    }
+    std::printf("serve_load: /metrics on 127.0.0.1:%d\n", metrics_port);
+  }
+
   std::printf("serve_load: scale=%dx (%d requests), seed=%llu, flex=%g, "
-              "slo=%gms, max-step=%d\n",
+              "slo=%gms, max-step=%d, arrival-rate=%g\n",
               scale, params.num_requests,
               static_cast<unsigned long long>(params.seed),
-              params.flexibility, slo_ms, admission.max_step_requests);
+              params.flexibility, slo_ms, admission.max_step_requests,
+              load.arrival_rate);
 
   std::vector<ModeResult> results;
   if (mode == "greedy" || mode == "both")
     results.push_back(run_mode(trace, params, admission, /*with_reopt=*/false,
-                               reopt_every, reopt_options));
+                               reopt_every, reopt_options, load));
   if (mode == "reopt" || mode == "both")
     results.push_back(run_mode(trace, params, admission, /*with_reopt=*/true,
-                               reopt_every, reopt_options));
+                               reopt_every, reopt_options, load));
   for (const ModeResult& r : results) print_result(r);
+  metrics_server.stop();
 
   if (results.size() == 2) {
     const double delta = results[1].revenue - results[0].revenue;
@@ -171,16 +285,22 @@ int main(int argc, char** argv) {
   const std::string csv = args.get_string("csv", "");
   if (!csv.empty()) {
     AtomicFile out(csv);
-    out.stream() << "scale,mode,requests,accepted,shed,revenue,reopt_passes,"
-                    "reopt_installs,p50_ms,p90_ms,p99_ms,max_ms,req_per_s,"
-                    "total_s\n";
+    out.stream() << "scale,mode,requests,accepted,shed,shed_aged,"
+                    "reject_overload,revenue,reopt_passes,reopt_installs,"
+                    "reopt_stale,p50_ms,p90_ms,p99_ms,max_ms,"
+                    "max_queue_depth,mean_queue_depth,slo_budget_remaining,"
+                    "req_per_s,total_s\n";
     for (const ModeResult& r : results)
       out.stream() << scale << ',' << r.mode << ',' << r.requests << ','
-                   << r.accepted << ',' << r.shed << ',' << r.revenue << ','
+                   << r.accepted << ',' << r.shed << ',' << r.shed_aged << ','
+                   << r.reject_overload << ',' << r.revenue << ','
                    << r.reopt_passes << ',' << r.reopt_installs << ','
+                   << r.reopt_stale << ','
                    << r.latency_ms.p50() << ',' << r.latency_ms.p90() << ','
                    << r.latency_ms.p99() << ','
                    << (r.latency_ms.count > 0 ? r.latency_ms.max : 0.0) << ','
+                   << r.max_queue_depth << ',' << r.mean_queue_depth << ','
+                   << r.slo_budget_remaining << ','
                    << r.req_per_s() << ',' << r.total_seconds << '\n';
     if (!out.commit()) {
       std::cerr << "serve_load: failed to write " << csv << "\n";

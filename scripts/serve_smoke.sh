@@ -4,9 +4,14 @@
 #   * the trace replays byte-for-byte (generator determinism),
 #   * zero protocol errors — one decision per request, in order, then bye,
 #   * p99 admit latency under the SLO (from the --metrics histogram),
-#   * a clean SIGTERM drain: bye line, exit status 0.
-# Artifacts (serve_trace.txt, serve_decisions.ndjson, serve_metrics.json)
-# are left in the working directory for upload.
+#   * a clean SIGTERM drain: bye line, exit status 0,
+#   * the telemetry plane: a live /metrics scrape under load passes
+#     validate_exposition.py (admission-latency p99 + SLO budget gauges
+#     present), the request-lifecycle trace passes validate_trace.py
+#     --serve-spans, and --log writes valid structured JSONL.
+# Artifacts (serve_trace.txt, serve_decisions.ndjson, serve_metrics.json,
+# serve_exposition.txt, serve_span_trace.json, serve_daemon.log) are left
+# in the working directory for upload.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -96,3 +101,77 @@ grep -q '"type":"bye"' serve_drain.ndjson
 decided=$(grep -c '"type":"decision"' serve_drain.ndjson)
 test "$decided" -eq "$requests"
 echo "serve_smoke: SIGTERM drained $decided decisions and said bye (exit 0)"
+
+# --- telemetry plane: live /metrics scrape + span linkage + structured log --
+{ cat serve_requests_nodrain.ndjson; sleep 30; } \
+  | "$serve" --slo-ms "$slo_ms" --metrics-port 0 \
+      --trace serve_span_trace.json \
+      --log serve_daemon.log --log-level debug > serve_live.ndjson &
+pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(python3 - <<'EOF' 2>/dev/null || true
+import json
+for line in open("serve_live.ndjson"):
+    try:
+        reply = json.loads(line)
+    except ValueError:
+        continue
+    if reply.get("type") == "metrics_listening":
+        print(reply["port"])
+        break
+EOF
+)
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+test -n "$port" || { echo "serve_smoke: no metrics_listening line"; \
+                     kill -TERM "$pid"; exit 1; }
+
+# Scrape while the daemon works the queue; retry until the histogram and
+# the SLO gauges have materialized.
+python3 - "$port" > serve_exposition.txt <<'EOF'
+import sys, time, urllib.request
+port = sys.argv[1]
+body = ""
+for _ in range(100):
+    body = urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/metrics", timeout=5).read().decode()
+    if ("serve_admit_latency_ms_p99" in body
+            and "serve_slo_budget_remaining" in body):
+        break
+    time.sleep(0.2)
+sys.stdout.write(body)
+EOF
+python3 scripts/validate_exposition.py serve_exposition.txt \
+  --require serve_admit_latency_ms_p99 \
+  --require serve_slo_budget_remaining \
+  --require serve_slo_burn_rate
+echo "serve_smoke: live /metrics scrape is valid exposition"
+
+for _ in $(seq 1 300); do
+  decided=$(grep -c '"type":"decision"' serve_live.ndjson 2>/dev/null || true)
+  [ "${decided:-0}" -ge "$requests" ] && break
+  sleep 0.1
+done
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+test "$status" -eq 0 || { echo "serve_smoke: telemetry daemon exit $status"; \
+                          exit 1; }
+
+python3 scripts/validate_trace.py serve_span_trace.json --serve-spans
+
+python3 - <<'EOF'
+import json
+lines = [l for l in open("serve_daemon.log") if l.strip()]
+assert lines, "structured log is empty"
+levels = {"debug", "info", "warn", "error"}
+for lineno, line in enumerate(lines, start=1):
+    record = json.loads(line)
+    for key in ("ts", "level", "comp", "msg"):
+        assert key in record, f"log line {lineno} missing {key!r}"
+    assert record["level"] in levels, f"log line {lineno} bad level"
+print(f"serve_smoke: {len(lines)} structured log lines are valid JSONL")
+EOF
+echo "serve_smoke: telemetry plane OK"

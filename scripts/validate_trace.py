@@ -3,11 +3,20 @@
 
 Usage:
   validate_trace.py TRACE.json [--tree-log TREE.jsonl] [--metrics METRICS.json]
+                    [--serve-spans]
 
 Validates:
   * TRACE.json is Chrome trace_event JSON: a {"traceEvents": [...]} object
     whose events carry name/ph/pid/tid/ts (and dur for complete events),
     with non-negative timestamps and well-nested spans per (pid, tid);
+    async events ('b'/'e') must carry an id and pair up begin/end per
+    (name, id) with begin <= end;
+  * with --serve-spans, the daemon's request-lifecycle linkage: every
+    serve.request* event carries args.req; per request id there is exactly
+    one root "serve.request" span whose args name the path (door/worker)
+    and outcome; worker-path requests have a queue b/e pair ending at or
+    before the root ends, and their stage spans (step_mip/fastpath/write)
+    lie inside the root;
   * TREE.jsonl (optional) holds one JSON object per line conforming to the
     obs::TreeLog schema, with unique node ids per context and a monotone
     global bound (non-decreasing for "min", non-increasing for "max");
@@ -30,7 +39,7 @@ def problem(msg):
     print(f"validate_trace: {msg}", file=sys.stderr)
 
 
-def validate_chrome_trace(path):
+def validate_chrome_trace(path, serve_spans=False):
     try:
         with open(path, encoding="utf-8") as f:
             root = json.load(f)
@@ -50,6 +59,7 @@ def validate_chrome_trace(path):
         return
 
     spans_by_track = {}
+    async_pairs = {}  # (name, id) -> {"b": [ts], "e": [ts]}
     for i, e in enumerate(events):
         where = f"{path}: event {i}"
         if not isinstance(e, dict):
@@ -59,7 +69,7 @@ def validate_chrome_trace(path):
             if key not in e:
                 problem(f"{where}: missing '{key}'")
         ph = e.get("ph")
-        if ph not in ("X", "i"):
+        if ph not in ("X", "i", "b", "e"):
             problem(f"{where}: unexpected phase {ph!r}")
             continue
         ts = e.get("ts")
@@ -74,9 +84,17 @@ def validate_chrome_trace(path):
             track = (e.get("pid"), e.get("tid"))
             spans_by_track.setdefault(track, []).append(
                 (float(ts), float(ts) + float(dur), e.get("name", "?")))
+        elif ph in ("b", "e"):
+            if not isinstance(e.get("id"), str) or not e["id"]:
+                problem(f"{where}: async event needs a non-empty string 'id'")
+                continue
+            pair = async_pairs.setdefault((e.get("name", "?"), e["id"]),
+                                          {"b": [], "e": []})
+            pair[ph].append(float(ts))
 
     # Per-track nesting: sorted by (start, -end), every span either starts
-    # after the enclosing span ended or finishes within it.
+    # after the enclosing span ended or finishes within it. Async b/e
+    # events are exempt by design — concurrent queue residencies overlap.
     for track, spans in sorted(spans_by_track.items()):
         spans.sort(key=lambda s: (s[0], -s[1]))
         stack = []  # (end, name) of currently-open spans
@@ -89,9 +107,103 @@ def validate_chrome_trace(path):
                     f"{track} overlaps enclosing '{stack[-1][1]}' "
                     f"(ends {stack[-1][0]})")
             stack.append((end, name))
+
+    # Async begin/end pairing per (name, id).
+    for (name, async_id), pair in sorted(async_pairs.items()):
+        if len(pair["b"]) != len(pair["e"]):
+            problem(f"{path}: async '{name}' id={async_id!r} has "
+                    f"{len(pair['b'])} begins but {len(pair['e'])} ends")
+            continue
+        for begin, end in zip(sorted(pair["b"]), sorted(pair["e"])):
+            if end < begin:
+                problem(f"{path}: async '{name}' id={async_id!r} ends at "
+                        f"{end} before it begins at {begin}")
+
     print(f"validate_trace: {path}: {len(events)} events, "
           f"{sum(len(s) for s in spans_by_track.values())} spans on "
-          f"{len(spans_by_track)} tracks")
+          f"{len(spans_by_track)} tracks, {len(async_pairs)} async pairs")
+    if serve_spans:
+        validate_serve_spans(path, events)
+
+
+def validate_serve_spans(path, events):
+    """Request-lifecycle linkage for the serve daemon's spans."""
+    EPS = 2.0  # microseconds of clock-capture slack between span stamps
+    roots = {}    # req -> list of (start, end, args)
+    stages = {}   # req -> list of (name, start, end)
+    queues = {}   # req -> {"b": [ts], "e": [ts]}
+    tagged = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            continue
+        name = e.get("name", "")
+        if not name.startswith("serve.request"):
+            continue
+        args = e.get("args")
+        req = args.get("req") if isinstance(args, dict) else None
+        if not req:
+            problem(f"{path}: event {i} '{name}' lacks args.req")
+            continue
+        tagged += 1
+        ts = float(e.get("ts", 0))
+        ph = e.get("ph")
+        if ph in ("b", "e"):
+            queues.setdefault(req, {"b": [], "e": []})[ph].append(ts)
+        elif ph == "X":
+            end = ts + float(e.get("dur", 0))
+            if name == "serve.request":
+                roots.setdefault(req, []).append((ts, end, args))
+            else:
+                stages.setdefault(req, []).append((name, ts, end))
+        # instants (reopt_install) only need the req tag checked above
+
+    if not roots:
+        problem(f"{path}: --serve-spans found no serve.request root spans")
+        return
+    for req, root_list in sorted(roots.items()):
+        if len(root_list) != 1:
+            problem(f"{path}: request {req!r} has {len(root_list)} "
+                    f"'serve.request' roots, expected exactly 1")
+            continue
+        start, end, args = root_list[0]
+        request_path = args.get("path")
+        if request_path not in ("door", "worker"):
+            problem(f"{path}: request {req!r} root has path="
+                    f"{request_path!r}, expected door or worker")
+            continue
+        if args.get("outcome") not in ("accept", "reject"):
+            problem(f"{path}: request {req!r} root has outcome="
+                    f"{args.get('outcome')!r}")
+        queue = queues.get(req)
+        if request_path == "worker":
+            if queue is None or len(queue["b"]) != 1 or len(queue["e"]) != 1:
+                problem(f"{path}: worker request {req!r} lacks a queue "
+                        f"begin/end pair")
+            elif not (queue["b"][0] <= queue["e"][0] <= start + EPS):
+                problem(f"{path}: request {req!r} queue span "
+                        f"[{queue['b'][0]}, {queue['e'][0]}] does not end at "
+                        f"its root's start {start}")
+            # Stage spans decompose the root's latency from inside it.
+            for stage_name, stage_start, stage_end in stages.get(req, []):
+                if stage_name == "serve.request/parse":
+                    if stage_end > start + EPS:
+                        problem(f"{path}: request {req!r} parse ends at "
+                                f"{stage_end}, after its root starts "
+                                f"({start})")
+                elif not (start - EPS <= stage_start
+                          and stage_end <= end + EPS):
+                    problem(f"{path}: request {req!r} stage '{stage_name}' "
+                            f"[{stage_start}, {stage_end}] outside root "
+                            f"[{start}, {end}]")
+        else:  # door: rejected by the reader before any enqueue
+            if queue is not None:
+                problem(f"{path}: door-rejected request {req!r} has queue "
+                        f"events")
+        stage_names = {s[0] for s in stages.get(req, [])}
+        if "serve.request/parse" not in stage_names:
+            problem(f"{path}: request {req!r} has no parse span")
+    print(f"validate_trace: {path}: serve-span linkage OK for "
+          f"{len(roots)} requests ({tagged} tagged events)")
 
 
 TREE_REQUIRED = (
@@ -187,9 +299,11 @@ def main():
     parser.add_argument("trace", help="Chrome trace_event JSON file")
     parser.add_argument("--tree-log", help="tree log JSONL file")
     parser.add_argument("--metrics", help="metrics JSON file")
+    parser.add_argument("--serve-spans", action="store_true",
+                        help="validate serve.request lifecycle linkage")
     args = parser.parse_args()
 
-    validate_chrome_trace(args.trace)
+    validate_chrome_trace(args.trace, serve_spans=args.serve_spans)
     if args.tree_log:
         validate_tree_log(args.tree_log)
     if args.metrics:

@@ -1,0 +1,138 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tvnep::obs {
+
+std::string prom_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool valid = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  if (std::isdigit(static_cast<unsigned char>(out.front())) != 0)
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prom_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string prom_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.10g", value);
+  }
+  return buffer;
+}
+
+namespace {
+
+// Renders `{a="x",b="y"}` from const labels plus one optional extra label
+// (the histogram `le`); empty when there are no labels at all.
+std::string label_set(const PromLabels& const_labels, const char* extra_key,
+                      const std::string& extra_value) {
+  if (const_labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : const_labels) {
+    if (!first) out += ',';
+    out += key;
+    out += "=\"";
+    out += prom_escape_label(value);
+    out += '"';
+    first = false;
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += prom_escape_label(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void sample(std::string& out, const std::string& name,
+            const std::string& labels, double value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += prom_value(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const PromLabels& const_labels) {
+  std::string out;
+  const std::string labels = label_set(const_labels, nullptr, {});
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = prom_metric_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    sample(out, metric, labels, value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = prom_metric_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    sample(out, metric, labels, value);
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string metric = prom_metric_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    long cumulative = 0;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const long in_bucket = h.buckets[static_cast<std::size_t>(b)];
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      // The last log2 bucket is open-ended; its upper edge IS +Inf, so it
+      // doubles as the mandatory +Inf bucket when populated.
+      sample(out, metric + "_bucket",
+             label_set(const_labels, "le",
+                       prom_value(histogram_bucket_upper(b))),
+             static_cast<double>(cumulative));
+    }
+    if (cumulative != h.count ||
+        h.buckets[kHistogramBuckets - 1] == 0 || h.count == 0) {
+      sample(out, metric + "_bucket",
+             label_set(const_labels, "le", "+Inf"),
+             static_cast<double>(h.count));
+    }
+    sample(out, metric + "_sum", labels, h.sum);
+    sample(out, metric + "_count", labels, static_cast<double>(h.count));
+    // Precomputed quantiles as companion gauges (a scraper would otherwise
+    // have to re-derive them from 64 log2 buckets every evaluation).
+    out += "# TYPE " + metric + "_p50 gauge\n";
+    sample(out, metric + "_p50", labels, h.p50());
+    out += "# TYPE " + metric + "_p90 gauge\n";
+    sample(out, metric + "_p90", labels, h.p90());
+    out += "# TYPE " + metric + "_p99 gauge\n";
+    sample(out, metric + "_p99", labels, h.p99());
+  }
+  return out;
+}
+
+}  // namespace tvnep::obs

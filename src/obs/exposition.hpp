@@ -1,0 +1,46 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a live
+// MetricsSnapshot — what the serve daemon's `GET /metrics` listener
+// returns to a scraper.
+//
+// Mapping from the registry's dotted names:
+//  * counters  -> `# TYPE <name> counter` + one sample;
+//  * gauges    -> `# TYPE <name> gauge` + one sample;
+//  * histograms -> `# TYPE <name> histogram` with cumulative
+//    `<name>_bucket{le="..."}` samples over the nonzero log2 buckets plus
+//    the mandatory `le="+Inf"`, then `<name>_sum` / `<name>_count`, and —
+//    because log-bucket quantiles are cheap and scrape-side quantile math
+//    over 64 buckets is not — precomputed `<name>_p50/_p90/_p99` gauges;
+//  * metric names are sanitized to [a-zA-Z0-9_:] ('.' and anything else
+//    become '_'; a leading digit gains a '_' prefix);
+//  * every sample can carry constant labels (e.g. instance="tvnep_serve"),
+//    with label values escaped per the exposition spec (\\, \", \n).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tvnep::obs {
+
+/// Sanitizes a registry name into a valid Prometheus metric name.
+std::string prom_metric_name(const std::string& name);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline get backslash escapes; everything else is verbatim.
+std::string prom_escape_label(const std::string& value);
+
+/// Formats a sample value: fixed decimal for integers, %.10g otherwise,
+/// "+Inf"/"-Inf"/"NaN" for non-finite values.
+std::string prom_value(double value);
+
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Renders the whole snapshot as exposition text ending in a newline.
+/// `const_labels` are attached to every sample (names are used verbatim,
+/// values escaped).
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const PromLabels& const_labels = {});
+
+}  // namespace tvnep::obs

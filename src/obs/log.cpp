@@ -1,0 +1,217 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+
+#include "obs/trace.hpp"  // json_escape
+
+namespace tvnep::obs {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(const std::string& text, LogLevel* out) {
+  if (text == "debug") *out = LogLevel::kDebug;
+  else if (text == "info") *out = LogLevel::kInfo;
+  else if (text == "warn") *out = LogLevel::kWarn;
+  else if (text == "error") *out = LogLevel::kError;
+  else if (text == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+// All sink state lives behind one mutex: log lines are rare compared to
+// metric updates, and a single writer lock keeps rotation + rate limiting
+// trivially correct.
+struct Logger::Impl {
+  std::mutex mutex;
+  LogConfig config;
+  std::ofstream file;          // open iff config.path is non-empty
+  std::size_t bytes_written = 0;
+  std::int64_t window_second = -1;  // wall-clock second of the rate window
+  long window_lines = 0;
+  long window_dropped = 0;
+};
+
+Logger& Logger::instance() {
+  // Leaked for the same reason as Tracer/Metrics: lines logged during
+  // static destruction (e.g. from a winding-down reoptimizer) must not
+  // touch a destroyed sink.
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+Logger::Impl& Logger::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+bool Logger::configure(LogConfig config) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.config = std::move(config);
+  state.bytes_written = 0;
+  state.window_second = -1;
+  state.window_lines = 0;
+  state.window_dropped = 0;
+  if (state.file.is_open()) state.file.close();
+  level_.store(static_cast<int>(state.config.level),
+               std::memory_order_relaxed);
+  if (state.config.path.empty()) return true;
+  state.file.open(state.config.path, std::ios::out | std::ios::app);
+  if (!state.file) {
+    state.config.path.clear();  // fall back to stderr
+    return false;
+  }
+  state.bytes_written = static_cast<std::size_t>(state.file.tellp());
+  return true;
+}
+
+void Logger::close() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.file.is_open()) {
+    state.file.flush();
+    state.file.close();
+  }
+  state.config.path.clear();
+}
+
+namespace {
+
+thread_local std::string t_request_id;
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string render_line(double ts, LogLevel level, const char* component,
+                        const std::string& message,
+                        const std::string& fields) {
+  char stamp[40];
+  std::snprintf(stamp, sizeof stamp, "%.6f", ts);
+  std::string line = "{\"ts\":";
+  line += stamp;
+  line += ",\"level\":\"";
+  line += to_string(level);
+  line += "\",\"comp\":\"";
+  line += json_escape(component);
+  line += "\",\"msg\":\"";
+  line += json_escape(message);
+  line += '"';
+  if (!t_request_id.empty()) {
+    line += ",\"req\":\"";
+    line += json_escape(t_request_id);
+    line += '"';
+  }
+  if (!fields.empty()) {
+    line += ',';
+    line += fields;
+  }
+  line += "}\n";
+  return line;
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, const char* component,
+                   const std::string& message, const std::string& fields) {
+  if (!enabled(level) || level == LogLevel::kOff) return;
+  Impl& state = impl();
+  const double now = wall_seconds();
+  std::string line = render_line(now, level, component, message, fields);
+
+  std::lock_guard<std::mutex> lock(state.mutex);
+
+  // Rate limiting: a fixed per-second window. When a window with drops
+  // rolls over, emit one accounting line so the suppression is visible in
+  // the log itself (the summary bypasses the limit — it is one line).
+  if (state.config.rate_limit_per_sec > 0) {
+    const std::int64_t second = static_cast<std::int64_t>(now);
+    if (second != state.window_second) {
+      if (state.window_dropped > 0) {
+        const std::string summary = render_line(
+            now, LogLevel::kWarn, "obs.log", "rate limit: dropped lines",
+            "\"dropped\":" + std::to_string(state.window_dropped));
+        if (state.file.is_open()) {
+          state.file << summary;
+          state.bytes_written += summary.size();
+        } else {
+          std::cerr << summary;
+        }
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      state.window_second = second;
+      state.window_lines = 0;
+      state.window_dropped = 0;
+    }
+    if (state.window_lines >= state.config.rate_limit_per_sec) {
+      ++state.window_dropped;
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++state.window_lines;
+  }
+
+  if (state.file.is_open()) {
+    // Rotate before the write that would cross the boundary, so the
+    // current file never exceeds rotate_bytes.
+    if (state.config.rotate_bytes > 0 &&
+        state.bytes_written + line.size() > state.config.rotate_bytes &&
+        state.bytes_written > 0) {
+      state.file.flush();
+      state.file.close();
+      const std::string rotated = state.config.path + ".1";
+      std::remove(rotated.c_str());
+      std::rename(state.config.path.c_str(), rotated.c_str());
+      state.file.open(state.config.path,
+                      std::ios::out | std::ios::trunc);
+      state.bytes_written = 0;
+      rotations_.fetch_add(1, std::memory_order_relaxed);
+      if (!state.file) {
+        state.config.path.clear();  // disk trouble: fall back to stderr
+        std::cerr << line;
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    state.file << line;
+    state.file.flush();
+    state.bytes_written += line.size();
+  } else {
+    std::cerr << line;
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+LogContext::LogContext(std::string request_id) {
+  had_previous_ = !t_request_id.empty();
+  if (had_previous_) previous_ = t_request_id;
+  t_request_id = std::move(request_id);
+}
+
+LogContext::~LogContext() {
+  if (had_previous_)
+    t_request_id = std::move(previous_);
+  else
+    t_request_id.clear();
+}
+
+const std::string* LogContext::current() {
+  return t_request_id.empty() ? nullptr : &t_request_id;
+}
+
+}  // namespace tvnep::obs

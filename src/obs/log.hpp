@@ -1,0 +1,140 @@
+// Structured leveled logging: one JSON object per line, to stderr or a
+// rotating file, replacing the ad-hoc `std::cerr <<` writes scattered
+// across the serve daemon, the reoptimizer and the sweep watchdog.
+//
+// Contract, mirroring the tracer/metrics cost model:
+//  * a disabled level costs one relaxed atomic load plus a branch — the
+//    helpers below never build the message string unless the line will be
+//    emitted;
+//  * an emitted line takes the logger mutex, stamps a wall-clock
+//    timestamp, appends the calling thread's request context (set by the
+//    RAII LogContext the daemon wraps around each request), and writes one
+//    `\n`-terminated JSON object;
+//  * sinks are rate-limited: at most `rate_limit_per_sec` lines per
+//    wall-clock second; excess lines are dropped and accounted, and one
+//    summary line reports the drop count when the window rolls over — a
+//    log storm can never starve the serve loop of disk or stderr
+//    bandwidth;
+//  * file sinks rotate: when the current file would exceed
+//    `rotate_bytes`, it is renamed to `<path>.1` (replacing any previous
+//    rotation) and a fresh file is started, so a long-running daemon's log
+//    occupies at most ~2x `rotate_bytes`.
+//
+// Line schema (fields in this order, `req`/extras optional):
+//   {"ts":1717171717.123456,"level":"info","comp":"serve.daemon",
+//    "msg":"...","req":"R17",<pre-rendered extra members>}
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace tvnep::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                            kOff = 4 };
+
+const char* to_string(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns false (and leaves
+/// `out` untouched) on anything else.
+bool parse_log_level(const std::string& text, LogLevel* out);
+
+struct LogConfig {
+  std::string path;               // "" = stderr (never rotated)
+  LogLevel level = LogLevel::kInfo;
+  std::size_t rotate_bytes = 64ull << 20;  // file sinks only; 0 = never
+  long rate_limit_per_sec = 0;    // 0 = unlimited
+};
+
+class Logger {
+ public:
+  /// The process-wide logger. Like the tracer/metrics singletons it is
+  /// intentionally leaked so exit-time log lines from winding-down threads
+  /// stay safe.
+  static Logger& instance();
+
+  /// (Re)configures the sink. An unopenable path falls back to stderr and
+  /// returns false. Thread-safe; in-flight lines land in whichever sink
+  /// they raced.
+  bool configure(LogConfig config);
+  /// Flushes and closes a file sink (stderr needs no close). Idempotent.
+  void close();
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one line. `component` must outlive the call (string literal);
+  /// `fields` are pre-rendered JSON members appended verbatim after the
+  /// standard fields (same convention as trace span args).
+  void write(LogLevel level, const char* component, const std::string& message,
+             const std::string& fields = {});
+
+  // ----- introspection (tests, stats records) -----
+  long emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  long suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  long rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Logger() = default;
+  struct Impl;
+  Impl& impl();
+
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<long> emitted_{0};
+  std::atomic<long> suppressed_{0};
+  std::atomic<long> rotations_{0};
+};
+
+/// RAII request-id context: every log line emitted by this thread while
+/// the guard lives carries `"req":"<id>"`. Nests (inner guard wins).
+class LogContext {
+ public:
+  explicit LogContext(std::string request_id);
+  ~LogContext();
+  LogContext(const LogContext&) = delete;
+  LogContext& operator=(const LogContext&) = delete;
+
+  /// The calling thread's innermost request id, or nullptr.
+  static const std::string* current();
+
+ private:
+  std::string previous_;
+  bool had_previous_ = false;
+};
+
+/// One-branch-when-disabled helpers. Call sites that need to build an
+/// expensive message should guard on Logger::instance().enabled(...) first.
+inline void log_debug(const char* component, const std::string& message,
+                      const std::string& fields = {}) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(LogLevel::kDebug))
+    logger.write(LogLevel::kDebug, component, message, fields);
+}
+inline void log_info(const char* component, const std::string& message,
+                     const std::string& fields = {}) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(LogLevel::kInfo))
+    logger.write(LogLevel::kInfo, component, message, fields);
+}
+inline void log_warn(const char* component, const std::string& message,
+                     const std::string& fields = {}) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(LogLevel::kWarn))
+    logger.write(LogLevel::kWarn, component, message, fields);
+}
+inline void log_error(const char* component, const std::string& message,
+                      const std::string& fields = {}) {
+  Logger& logger = Logger::instance();
+  if (logger.enabled(LogLevel::kError))
+    logger.write(LogLevel::kError, component, message, fields);
+}
+
+}  // namespace tvnep::obs

@@ -1,7 +1,9 @@
 #include "obs/session.hpp"
 
-#include <iostream>
+#include <chrono>
+#include <cstdio>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -12,7 +14,7 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
     Tracer::instance().reset();
     Tracer::instance().start();
   }
-  if (!config_.metrics_path.empty()) {
+  if (!config_.metrics_path.empty() || config_.metrics_live) {
     Metrics::instance().reset();
     Metrics::instance().start();
   }
@@ -21,42 +23,128 @@ ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
     if (tree_log_->ok()) {
       TreeLog::set_global(tree_log_.get());
     } else {
-      std::cerr << "obs: cannot open tree log " << config_.tree_log_path
-                << '\n';
+      log_error("obs", "cannot open tree log",
+                "\"path\":\"" + json_escape(config_.tree_log_path) + "\"");
       tree_log_.reset();
     }
+  }
+  if (config_.live_flush_seconds > 0.0) {
+    if (!config_.trace_jsonl_path.empty()) {
+      live_jsonl_.open(config_.trace_jsonl_path,
+                       std::ios::out | std::ios::trunc);
+      if (!live_jsonl_) {
+        log_error("obs", "cannot open live trace jsonl",
+                  "\"path\":\"" + json_escape(config_.trace_jsonl_path) +
+                      "\"");
+        config_.trace_jsonl_path.clear();
+      }
+    }
+    if (!config_.trace_path.empty())
+      log_warn("obs",
+               "live mode drains the tracer; the Chrome trace will only "
+               "hold the final tail — use the JSONL stream");
+    pump_ = std::thread([this] { pump_loop(); });
   }
 }
 
 ObsSession::~ObsSession() { finish(); }
 
+void ObsSession::pump_loop() {
+  const auto interval =
+      std::chrono::duration<double>(config_.live_flush_seconds);
+  std::unique_lock<std::mutex> lock(pump_mutex_);
+  while (!pump_stop_.load(std::memory_order_relaxed)) {
+    if (pump_cv_.wait_for(lock, interval, [this] {
+          return pump_stop_.load(std::memory_order_relaxed);
+        }))
+      break;
+    lock.unlock();
+    flush_live();
+    lock.lock();
+  }
+}
+
+void ObsSession::flush_live() {
+  if (config_.live_flush_seconds <= 0.0) return;
+  std::lock_guard<std::mutex> lock(flush_mutex_);
+  if (live_jsonl_.is_open()) {
+    const std::vector<TraceEvent> events = Tracer::instance().drain();
+    for (const TraceEvent& event : events) {
+      const std::string line = render_trace_event(event) + "\n";
+      if (config_.live_rotate_bytes > 0 && live_jsonl_bytes_ > 0 &&
+          live_jsonl_bytes_ + line.size() > config_.live_rotate_bytes) {
+        live_jsonl_.flush();
+        live_jsonl_.close();
+        const std::string rotated = config_.trace_jsonl_path + ".1";
+        std::remove(rotated.c_str());
+        std::rename(config_.trace_jsonl_path.c_str(), rotated.c_str());
+        live_jsonl_.open(config_.trace_jsonl_path,
+                         std::ios::out | std::ios::trunc);
+        live_jsonl_bytes_ = 0;
+        if (!live_jsonl_) break;  // disk trouble: stop streaming, keep serving
+      }
+      live_jsonl_ << line;
+      live_jsonl_bytes_ += line.size();
+    }
+    live_jsonl_.flush();
+  }
+  if (!config_.metrics_path.empty())
+    Metrics::instance().write_json(config_.metrics_path);
+  live_flushes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ObsSession::finish() {
   if (finished_) return true;
   finished_ = true;
+
+  if (pump_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(pump_mutex_);
+      pump_stop_.store(true, std::memory_order_relaxed);
+    }
+    pump_cv_.notify_all();
+    pump_.join();
+  }
+
   bool ok = true;
-  auto save = [&ok](bool wrote, const std::string& what,
-                    const std::string& path) {
+  auto save = [&ok](bool wrote, const char* what, const std::string& path) {
     if (path.empty()) return;
-    if (wrote)
-      std::cerr << "obs: wrote " << what << " to " << path << '\n';
-    else {
-      std::cerr << "obs: failed to write " << what << " to " << path << '\n';
+    if (wrote) {
+      log_info("obs", std::string("wrote ") + what,
+               "\"path\":\"" + json_escape(path) + "\"");
+    } else {
+      log_error("obs", std::string("failed to write ") + what,
+                "\"path\":\"" + json_escape(path) + "\"");
       ok = false;
     }
   };
+
+  const bool live = config_.live_flush_seconds > 0.0;
   if (!config_.trace_path.empty() || !config_.trace_jsonl_path.empty()) {
     Tracer::instance().stop();
-    save(config_.trace_path.empty() ||
-             Tracer::instance().write_chrome_trace(config_.trace_path),
-         "chrome trace", config_.trace_path);
-    save(config_.trace_jsonl_path.empty() ||
-             Tracer::instance().write_jsonl(config_.trace_jsonl_path),
-         "trace jsonl", config_.trace_jsonl_path);
+    if (live) {
+      // Final drain into the stream; the Chrome export (if any) only holds
+      // this tail — the JSONL is the durable record in live mode.
+      flush_live();
+      if (live_jsonl_.is_open()) live_jsonl_.close();
+      save(true, "live trace jsonl", config_.trace_jsonl_path);
+      save(config_.trace_path.empty() ||
+               Tracer::instance().write_chrome_trace(config_.trace_path),
+           "chrome trace (live tail)", config_.trace_path);
+    } else {
+      save(config_.trace_path.empty() ||
+               Tracer::instance().write_chrome_trace(config_.trace_path),
+           "chrome trace", config_.trace_path);
+      save(config_.trace_jsonl_path.empty() ||
+               Tracer::instance().write_jsonl(config_.trace_jsonl_path),
+           "trace jsonl", config_.trace_jsonl_path);
+    }
   }
-  if (!config_.metrics_path.empty()) {
+  if (!config_.metrics_path.empty() || config_.metrics_live) {
     Metrics::instance().stop();
-    save(Metrics::instance().write_json(config_.metrics_path), "metrics",
-         config_.metrics_path);
+    if (!config_.metrics_path.empty())
+      save(Metrics::instance().write_json(config_.metrics_path), "metrics",
+           config_.metrics_path);
   }
   if (tree_log_) {
     save(tree_log_->close(), "tree log", config_.tree_log_path);

@@ -4,10 +4,23 @@
 // destruction deactivates them and writes the output files — the bench
 // binaries hold one as a function-local static so the files appear at
 // normal process exit.
+//
+// Live mode (`live_flush_seconds > 0`, the serve daemon's model): a pump
+// thread periodically *drains* the tracer into the JSONL stream (append,
+// size-rotated to `<path>.1`) and atomically rewrites the metrics JSON, so
+// a long-running process is observable while it runs and tracer memory
+// stays bounded by the flush interval. In live mode the Chrome trace
+// export only contains events recorded after the last drain — point
+// chrome://tracing at the JSONL-derived data instead.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "obs/tree_log.hpp"
 
@@ -19,9 +32,17 @@ struct ObsConfig {
   std::string metrics_path;      // metrics registry JSON ("" = off)
   std::string tree_log_path;     // branch-and-bound node JSONL ("" = off)
 
+  /// > 0 enables the live pump: drain/rewrite every this many seconds.
+  double live_flush_seconds = 0.0;
+  /// Live JSONL rotation boundary (`<path>` -> `<path>.1`); 0 = never.
+  std::size_t live_rotate_bytes = 256ull << 20;
+  /// Activates the metrics registry even without a metrics_path — the
+  /// daemon's `/metrics` listener snapshots the live registry directly.
+  bool metrics_live = false;
+
   bool any() const {
     return !trace_path.empty() || !trace_jsonl_path.empty() ||
-           !metrics_path.empty() || !tree_log_path.empty();
+           !metrics_path.empty() || !tree_log_path.empty() || metrics_live;
   }
 };
 
@@ -37,10 +58,32 @@ class ObsSession {
   /// the destructor calls it). Returns false when any write failed.
   bool finish();
 
+  /// One live drain/rewrite cycle (the pump thread calls this on its
+  /// interval; tests call it directly). No-op outside live mode.
+  void flush_live();
+
+  long live_flushes() const {
+    return live_flushes_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void pump_loop();
+
   ObsConfig config_;
   std::unique_ptr<TreeLog> tree_log_;
   bool finished_ = false;
+
+  // Live-mode state: the pump thread and the append-mode JSONL sink it
+  // (exclusively, until join) writes. flush_mutex_ serializes direct
+  // flush_live() calls from tests with the pump.
+  std::thread pump_;
+  std::atomic<bool> pump_stop_{false};
+  std::mutex pump_mutex_;
+  std::condition_variable pump_cv_;
+  std::mutex flush_mutex_;
+  std::ofstream live_jsonl_;
+  std::size_t live_jsonl_bytes_ = 0;
+  std::atomic<long> live_flushes_{0};
 };
 
 }  // namespace tvnep::obs

@@ -90,7 +90,7 @@ void Tracer::record_complete(const char* name, const char* cat,
   Shard& shard = local_shard();
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.events.push_back(
-      {name, cat, 'X', shard.tid, ts_us, dur_us, std::move(args)});
+      {name, cat, 'X', shard.tid, ts_us, dur_us, std::move(args), {}});
 }
 
 void Tracer::record_instant(const char* name, const char* cat,
@@ -98,8 +98,40 @@ void Tracer::record_instant(const char* name, const char* cat,
   Shard& shard = local_shard();
   const std::int64_t ts = now_us();
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.events.push_back({name, cat, 'i', shard.tid, ts, 0, std::move(args)});
+  shard.events.push_back(
+      {name, cat, 'i', shard.tid, ts, 0, std::move(args), {}});
 }
+
+void Tracer::record_async_begin(const char* name, const char* cat,
+                                std::string id, std::string args) {
+  Shard& shard = local_shard();
+  const std::int64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(
+      {name, cat, 'b', shard.tid, ts, 0, std::move(args), std::move(id)});
+}
+
+void Tracer::record_async_end(const char* name, const char* cat,
+                              std::string id, std::string args) {
+  Shard& shard = local_shard();
+  const std::int64_t ts = now_us();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(
+      {name, cat, 'e', shard.tid, ts, 0, std::move(args), std::move(id)});
+}
+
+namespace {
+
+void sort_events(std::vector<TraceEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;  // enclosing span first
+            });
+}
+
+}  // namespace
 
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> out;
@@ -110,25 +142,45 @@ std::vector<TraceEvent> Tracer::snapshot() const {
       out.insert(out.end(), shard->events.begin(), shard->events.end());
     }
   }
-  std::sort(out.begin(), out.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              if (a.tid != b.tid) return a.tid < b.tid;
-              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-              return a.dur_us > b.dur_us;  // enclosing span first
-            });
+  sort_events(out);
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      out.insert(out.end(),
+                 std::make_move_iterator(shard->events.begin()),
+                 std::make_move_iterator(shard->events.end()));
+      shard->events.clear();
+    }
+  }
+  sort_events(out);
+  return out;
+}
+
+std::string render_trace_event(const TraceEvent& e) {
+  std::string out = "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+                    json_escape(e.cat) + "\",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+         ",\"ts\":" + std::to_string(e.ts_us);
+  if (e.phase == 'X') out += ",\"dur\":" + std::to_string(e.dur_us);
+  if (e.phase == 'i') out += ",\"s\":\"t\"";
+  if (e.phase == 'b' || e.phase == 'e')
+    out += ",\"id\":\"" + json_escape(e.id) + "\"";
+  if (!e.args.empty()) out += ",\"args\":{" + e.args + '}';
+  out += '}';
   return out;
 }
 
 namespace {
 
 void write_event_body(std::ostream& os, const TraceEvent& e) {
-  os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
-     << json_escape(e.cat) << "\",\"ph\":\"" << e.phase
-     << "\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":" << e.ts_us;
-  if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
-  if (e.phase == 'i') os << ",\"s\":\"t\"";
-  if (!e.args.empty()) os << ",\"args\":{" << e.args << '}';
-  os << '}';
+  os << render_trace_event(e);
 }
 
 }  // namespace

@@ -31,12 +31,17 @@ namespace tvnep::obs {
 struct TraceEvent {
   const char* name = "";
   const char* cat = "";
-  char phase = 'X';         // 'X' complete span, 'i' instant event
+  char phase = 'X';         // 'X' complete, 'i' instant, 'b'/'e' async
   std::uint32_t tid = 0;    // shard id (one per recording thread)
   std::int64_t ts_us = 0;   // microseconds since the tracer epoch
   std::int64_t dur_us = 0;  // 'X' only
   std::string args;         // pre-rendered JSON members, may be empty
+  std::string id;           // async ('b'/'e') correlation id, else empty
 };
+
+/// Renders one event as a trace_event JSON object (no newline) — shared by
+/// the batch exporters and the live JSONL rotation sink.
+std::string render_trace_event(const TraceEvent& event);
 
 /// Formats a double as a JSON number ("null" for NaN/Inf) — the helper
 /// call sites use to build span args and that the JSON writers reuse.
@@ -67,10 +72,24 @@ class Tracer {
                        std::int64_t dur_us, std::string args = {});
   void record_instant(const char* name, const char* cat,
                       std::string args = {});
+  /// Async span pair: 'b' at begin, 'e' at end, correlated by `id` (and
+  /// name/cat). Unlike complete spans these may overlap freely on one
+  /// track — the daemon uses them for per-request queue residency, where
+  /// many requests wait concurrently.
+  void record_async_begin(const char* name, const char* cat, std::string id,
+                          std::string args = {});
+  void record_async_end(const char* name, const char* cat, std::string id,
+                        std::string args = {});
 
   /// All events merged across shards, sorted by (tid, ts, -dur) so spans
   /// precede the spans they enclose.
   std::vector<TraceEvent> snapshot() const;
+
+  /// Moves all recorded events out of the shards (same order as
+  /// snapshot()) and clears them — the live exporter's rotation primitive:
+  /// a long-running daemon drains periodically so tracer memory stays
+  /// bounded by the drain interval, not the process lifetime.
+  std::vector<TraceEvent> drain();
 
   /// Writes {"traceEvents":[...]} Chrome trace JSON. Returns false when
   /// the file cannot be written.

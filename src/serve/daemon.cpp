@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/parse_error.hpp"
@@ -18,12 +19,20 @@ namespace tvnep::serve {
 
 namespace {
 constexpr int kPollMs = 50;  // stop-flag latency bound for the I/O loops
+
+// Pre-rendered `"req":"<id>"` member tagging every span of one request's
+// lifecycle — what lets a scraper (or validate_trace.py) reassemble the
+// end-to-end latency decomposition of a single request across threads.
+std::string req_tag(const std::string& id) {
+  return "\"req\":\"" + obs::json_escape(id) + "\"";
 }
+}  // namespace
 
 Daemon::Daemon(net::SubstrateNetwork substrate, DaemonOptions options)
     : options_(std::move(options)),
       engine_(std::move(substrate), options_.admission),
-      reoptimizer_(&engine_, options_.reopt) {
+      reoptimizer_(&engine_, options_.reopt),
+      slo_(options_.slo) {
   if (options_.reopt_interval_seconds > 0.0)
     reoptimizer_.start_background(options_.reopt_interval_seconds);
 }
@@ -58,13 +67,25 @@ void Daemon::reader_loop(int in_fd, int out_fd) {
   auto handle_line = [&](const std::string& line) -> bool {
     ++line_number;
     if (line.empty()) return true;
+    const bool tracing = obs::Tracer::active();
+    const std::int64_t line_start_us =
+        tracing ? obs::Tracer::instance().now_us() : -1;
     InMessage message;
     try {
       message = parse_message(line, "<stdin>", line_number);
     } catch (const ParseError& e) {
       obs::counter_add("serve.protocol.errors");
+      obs::log_warn("serve.daemon", "protocol error",
+                    "\"line\":" + std::to_string(line_number) +
+                        ",\"error\":\"" + obs::json_escape(e.what()) + "\"");
       write_line(out_fd, encode_error(e.what()));
       return true;
+    }
+    if (tracing && message.kind == MessageKind::kRequest) {
+      obs::Tracer::instance().record_complete(
+          "serve.request/parse", "serve", line_start_us,
+          obs::Tracer::instance().now_us() - line_start_us,
+          req_tag(message.request.id));
     }
     std::unique_lock<std::mutex> lock(queue_mutex_);
     if (message.kind == MessageKind::kRequest) {
@@ -73,12 +94,30 @@ void Daemon::reader_loop(int in_fd, int out_fd) {
         // Reject at the door: bounded queue, bounded memory, and the
         // client learns immediately instead of waiting out the backlog.
         obs::counter_add("serve.reject.queue_full");
+        rung_door_.fetch_add(1, std::memory_order_relaxed);
+        slo_.record(clock_.seconds(), /*breached=*/true);
+        obs::LogContext log_ctx(message.request.id);
+        obs::log_debug("serve.daemon", "door reject: queue full");
         Decision decision;
         decision.id = message.request.id;
         decision.accepted = false;
         decision.reason = "overload";
         decision.mode = "shed";
+        std::int64_t write_us = -1;
+        if (tracing) write_us = obs::Tracer::instance().now_us();
         write_line(out_fd, encode_decision(decision));
+        if (tracing) {
+          obs::Tracer& tracer = obs::Tracer::instance();
+          const std::int64_t end_us = tracer.now_us();
+          const std::string tag = req_tag(decision.id);
+          tracer.record_complete("serve.request/write", "serve", write_us,
+                                 end_us - write_us, tag);
+          tracer.record_complete(
+              "serve.request", "serve", line_start_us,
+              end_us - line_start_us,
+              tag + ",\"path\":\"door\",\"outcome\":\"reject\"");
+        }
+        refresh_slo_gauges();
         stream_decided_.fetch_add(1, std::memory_order_relaxed);
         decided_total_.fetch_add(1, std::memory_order_relaxed);
         return true;
@@ -86,7 +125,15 @@ void Daemon::reader_loop(int in_fd, int out_fd) {
       ++queued_requests_;
     }
     const bool drain = message.kind == MessageKind::kDrain;
-    queue_.push_back(Item{std::move(message), clock_.seconds()});
+    Item item{std::move(message), clock_.seconds(), line_start_us, -1};
+    if (tracing && item.message.kind == MessageKind::kRequest) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      item.enqueue_us = tracer.now_us();
+      tracer.record_async_begin("serve.request/queue", "serve",
+                                item.message.request.id,
+                                req_tag(item.message.request.id));
+    }
+    queue_.push_back(std::move(item));
     lock.unlock();
     queue_cv_.notify_one();
     return !drain;  // nothing after a drain is read
@@ -164,20 +211,40 @@ Decision Daemon::decide(const RequestMessage& request,
     }
   };
 
+  const bool tracing = obs::Tracer::active();
+  const std::string tag = tracing ? req_tag(request.id) : std::string();
+
   if (age >= slo_s) {
     // SLO already blown while queued: structured reject, no work.
     obs::counter_add("serve.reject.overload");
+    rung_overload_.fetch_add(1, std::memory_order_relaxed);
     decision.reason = "overload";
     decision.mode = "shed";
   } else if (age >= options_.shed_fraction * slo_s) {
     obs::counter_add("serve.shed.fastpath");
+    rung_aged_.fetch_add(1, std::memory_order_relaxed);
+    obs::SpanScope span(tracing, "serve.request/fastpath", "serve", tag);
+    fill(engine_.admit_fastpath(request), "fastpath");
+  } else if (slo_.exhausted(clock_.seconds())) {
+    // The windowed error budget is spent: shed decision quality across
+    // the board before individual requests start blowing the SLO.
+    obs::counter_add("serve.shed.budget");
+    rung_budget_.fetch_add(1, std::memory_order_relaxed);
+    obs::log_debug("serve.daemon", "budget shed: SLO error budget spent");
+    obs::SpanScope span(tracing, "serve.request/fastpath", "serve", tag);
     fill(engine_.admit_fastpath(request), "fastpath");
   } else {
-    const AdmitResult exact = engine_.admit(request);
+    AdmitResult exact;
+    {
+      obs::SpanScope span(tracing, "serve.request/step_mip", "serve", tag);
+      exact = engine_.admit(request);
+    }
     if (exact.outcome == AdmitOutcome::kComponentTooLarge ||
         exact.outcome == AdmitOutcome::kSolverFailed) {
       // The exact path could not decide in budget — degrade, don't fail.
       obs::counter_add("serve.shed.fastpath");
+      rung_solver_.fetch_add(1, std::memory_order_relaxed);
+      obs::SpanScope span(tracing, "serve.request/fastpath", "serve", tag);
       fill(engine_.admit_fastpath(request), "fastpath");
     } else {
       fill(exact, "exact");
@@ -188,7 +255,29 @@ Decision Daemon::decide(const RequestMessage& request,
   obs::histogram_observe("serve.admit.latency_ms", decision.latency_ms);
   obs::counter_add(decision.accepted ? "serve.decision.accepted"
                                      : "serve.decision.rejected");
+  slo_.record(clock_.seconds(), decision.latency_ms > options_.slo_ms ||
+                                    decision.reason == "overload");
+  refresh_slo_gauges();
   return decision;
+}
+
+void Daemon::refresh_slo_gauges() {
+  if (!obs::Metrics::active()) return;
+  const SloBudget::Reading reading = slo_.read(clock_.seconds());
+  obs::gauge_set("serve.slo.budget_remaining", reading.budget_remaining);
+  obs::gauge_set("serve.slo.burn_rate", reading.burn_rate);
+  obs::gauge_set("serve.slo.window_total",
+                 static_cast<double>(reading.total));
+}
+
+Daemon::LadderCounts Daemon::ladder_counts() const {
+  LadderCounts out;
+  out.door = rung_door_.load(std::memory_order_relaxed);
+  out.overload = rung_overload_.load(std::memory_order_relaxed);
+  out.aged = rung_aged_.load(std::memory_order_relaxed);
+  out.budget = rung_budget_.load(std::memory_order_relaxed);
+  out.solver = rung_solver_.load(std::memory_order_relaxed);
+  return out;
 }
 
 long Daemon::serve(int in_fd, int out_fd) {
@@ -225,20 +314,48 @@ long Daemon::serve(int in_fd, int out_fd) {
     }
     switch (item.message.kind) {
       case MessageKind::kRequest: {
+        const std::string& rid = item.message.request.id;
+        const bool tracing = obs::Tracer::active() && item.enqueue_us >= 0;
+        std::int64_t dequeue_us = -1;
+        std::string tag;
+        if (tracing) {
+          obs::Tracer& tracer = obs::Tracer::instance();
+          tag = req_tag(rid);
+          // End the queue residency before stamping the root span's start
+          // so the queue span always ends at or before the root begins.
+          tracer.record_async_end("serve.request/queue", "serve", rid, tag);
+          dequeue_us = tracer.now_us();
+        }
+        obs::LogContext log_ctx(rid);
         Decision decision;
-        decision.id = item.message.request.id;
+        decision.id = rid;
         try {
           decision = decide(item.message.request, item.arrival_seconds);
         } catch (const std::exception& e) {
           // "Never crashes under load": a solver-side failure on one
           // request answers a structured reject and the stream continues.
           obs::counter_add("serve.decision.errors");
+          obs::log_error("serve.daemon", "decision error",
+                         "\"error\":\"" + obs::json_escape(e.what()) + "\"");
           decision.accepted = false;
           decision.reason = "internal";
           decision.mode = "error";
           write_line(out_fd, encode_error(e.what()));
         }
-        write_line(out_fd, encode_decision(decision));
+        {
+          obs::SpanScope span(tracing, "serve.request/write", "serve",
+                              std::string(tag));
+          write_line(out_fd, encode_decision(decision));
+        }
+        if (tracing) {
+          obs::Tracer& tracer = obs::Tracer::instance();
+          tracer.record_complete(
+              "serve.request", "serve", dequeue_us,
+              tracer.now_us() - dequeue_us,
+              tag + ",\"path\":\"worker\",\"mode\":\"" +
+                  obs::json_escape(decision.mode) + "\",\"outcome\":\"" +
+                  (decision.accepted ? "accept" : "reject") + "\"");
+        }
         stream_decided_.fetch_add(1, std::memory_order_relaxed);
         decided_total_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -264,6 +381,8 @@ long Daemon::serve(int in_fd, int out_fd) {
       case MessageKind::kDrain: {
         const long decided = stream_decided_.load(std::memory_order_relaxed);
         write_line(out_fd, encode_bye(decided));
+        obs::log_info("serve.daemon", "stream drained",
+                      "\"decided\":" + std::to_string(decided));
         return decided;
       }
     }
@@ -271,14 +390,31 @@ long Daemon::serve(int in_fd, int out_fd) {
 }
 
 std::string Daemon::stats_fields() const {
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_depth = queue_.size();
+  }
+  const LadderCounts ladder = ladder_counts();
+  const SloBudget::Reading slo = slo_.read(clock_.seconds());
   std::ostringstream os;
   os << "\"now\":" << obs::json_number(engine_.virtual_now())
      << ",\"active\":" << engine_.active_commits()
      << ",\"retired\":" << engine_.retired_commits()
      << ",\"accepted\":" << engine_.accepted_total()
      << ",\"decided\":" << decided_total_.load(std::memory_order_relaxed)
+     << ",\"queue_depth\":" << queue_depth
+     << ",\"shed_door\":" << ladder.door
+     << ",\"shed_overload\":" << ladder.overload
+     << ",\"shed_aged\":" << ladder.aged
+     << ",\"shed_budget\":" << ladder.budget
+     << ",\"shed_solver\":" << ladder.solver
+     << ",\"slo_budget_remaining\":" << obs::json_number(slo.budget_remaining)
+     << ",\"slo_burn_rate\":" << obs::json_number(slo.burn_rate)
      << ",\"reopt_passes\":" << reoptimizer_.passes()
-     << ",\"reopt_installs\":" << reoptimizer_.installs();
+     << ",\"reopt_installs\":" << reoptimizer_.installs()
+     << ",\"reopt_stale\":" << reoptimizer_.stale_discards()
+     << ",\"reopt_cancelled\":" << reoptimizer_.cancelled();
   return os.str();
 }
 

@@ -30,6 +30,7 @@
 #include "serve/admission.hpp"
 #include "serve/protocol.hpp"
 #include "serve/reoptimizer.hpp"
+#include "serve/slo.hpp"
 #include "support/stopwatch.hpp"
 
 namespace tvnep::serve {
@@ -47,6 +48,10 @@ struct DaemonOptions {
   double reopt_interval_seconds = 0.0;
   AdmissionOptions admission;
   ReoptOptions reopt;
+  /// Rolling SLO error budget the overload ladder consults: when the
+  /// windowed breach rate exceeds `slo.budget_fraction`, fresh requests
+  /// shed to the fastpath before their individual age forces it.
+  SloOptions slo;
   /// Externally owned stop flag (the SIGINT/SIGTERM handler sets it); the
   /// reader and accept loops poll it. nullptr = never externally stopped.
   const std::atomic<bool>* external_stop = nullptr;
@@ -72,6 +77,7 @@ class Daemon {
 
   AdmissionEngine& engine() { return engine_; }
   Reoptimizer& reoptimizer() { return reoptimizer_; }
+  SloBudget& slo_budget() { return slo_; }
   long decided_total() const {
     return decided_total_.load(std::memory_order_relaxed);
   }
@@ -79,10 +85,29 @@ class Daemon {
   /// Pre-rendered JSON members for the protocol "stats" reply.
   std::string stats_fields() const;
 
+  /// Refreshes the SLO gauges from the current window (the /metrics
+  /// listener calls this before each render so idle scrapes stay current).
+  void refresh_slo_gauges();
+
+  /// Shed-ladder rung totals, exported in stats_fields(). Readable from
+  /// any thread.
+  struct LadderCounts {
+    long door = 0;      // queue full: rejected by the reader
+    long overload = 0;  // queued past the whole SLO: reject, no work
+    long aged = 0;      // queued past shed_fraction·SLO: fastpath
+    long budget = 0;    // SLO error budget exhausted: fastpath
+    long solver = 0;    // exact path bailed (too large / no incumbent)
+  };
+  LadderCounts ladder_counts() const;
+
  private:
   struct Item {
     InMessage message;
     double arrival_seconds = 0.0;
+    /// Tracer timestamps (tracer timebase) for the request-lifecycle
+    /// spans; -1 when the tracer was inactive at read time.
+    std::int64_t line_start_us = -1;
+    std::int64_t enqueue_us = -1;
   };
 
   bool stopped() const {
@@ -96,10 +121,18 @@ class Daemon {
   DaemonOptions options_;
   AdmissionEngine engine_;
   Reoptimizer reoptimizer_;
+  SloBudget slo_;
   Stopwatch clock_;
 
+  std::atomic<long> rung_door_{0};
+  std::atomic<long> rung_overload_{0};
+  std::atomic<long> rung_aged_{0};
+  std::atomic<long> rung_budget_{0};
+  std::atomic<long> rung_solver_{0};
+
   std::mutex write_mutex_;
-  std::mutex queue_mutex_;
+  // mutable: stats_fields() (const) reports the live queue depth.
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Item> queue_;
   std::size_t queued_requests_ = 0;  // kRequest items currently in queue_

@@ -9,6 +9,9 @@
 //   tvnep_serve [--slo-ms 100] [--shed-fraction 0.5] [--queue 256]
 //               [--max-step 64] [--reopt-interval-ms 0] [--reopt-budget 2]
 //               [--port P]                 (0 = ephemeral; prints the port)
+//               [--slo-window 60] [--slo-budget 0.05]
+//               [--metrics-port P]         (loopback /metrics listener)
+//               [--log F] [--log-level info] [--live-flush-ms 0]
 //               [--rows 4 --cols 5 --node-cap 3.5 --link-cap 5]
 //               [--trace F] [--trace-jsonl F] [--metrics F] [--tree-log F]
 //   tvnep_serve --emit N [--seed 1] [--flex 1.5] [--interarrival 1]
@@ -21,8 +24,10 @@
 
 #include "eval/args.hpp"
 #include "net/topology.hpp"
+#include "obs/log.hpp"
 #include "obs/session.hpp"
 #include "serve/daemon.hpp"
+#include "serve/metrics_server.hpp"
 #include "serve/protocol.hpp"
 #include "support/check.hpp"
 #include "workload/trace.hpp"
@@ -96,17 +101,37 @@ int run_daemon(const tvnep::eval::Args& args) {
       options.shed_fraction * options.slo_ms / 1000.0;
   options.admission.greedy.mip.cancel = &g_stop;
   options.external_stop = &g_stop;
+  options.slo.window_seconds = args.get_double("slo-window", 60.0);
+  options.slo.budget_fraction = args.get_double("slo-budget", 0.05);
 
   tvnep::net::SubstrateNetwork substrate = tvnep::net::make_grid(
       args.get_int("rows", 4), args.get_int("cols", 5),
       args.get_double("node-cap", 3.5), args.get_double("link-cap", 5.0));
 
   serve::Daemon daemon(std::move(substrate), options);
+
+  serve::MetricsServer metrics_server([&daemon] {
+    serve::MetricsServerOptions server_options;
+    server_options.const_labels = {{"service", "tvnep_serve"}};
+    server_options.before_scrape = [&daemon] { daemon.refresh_slo_gauges(); };
+    return server_options;
+  }());
+  if (args.has("metrics-port")) {
+    const int metrics_port =
+        metrics_server.start(args.get_int("metrics-port", 0));
+    if (metrics_port < 0) {
+      tvnep::obs::log_error("serve.main", "cannot bind metrics port");
+      return 1;
+    }
+    std::cout << "{\"type\":\"metrics_listening\",\"port\":" << metrics_port
+              << "}" << std::endl;
+  }
+
   long decided = 0;
   if (args.has("port")) {
     const int port = daemon.listen_tcp(args.get_int("port", 0));
     if (port < 0) {
-      std::cerr << "tvnep_serve: cannot bind TCP port\n";
+      tvnep::obs::log_error("serve.main", "cannot bind TCP port");
       return 1;
     }
     std::cout << "{\"type\":\"listening\",\"port\":" << port << "}"
@@ -115,10 +140,14 @@ int run_daemon(const tvnep::eval::Args& args) {
   } else {
     decided = daemon.serve(STDIN_FILENO, STDOUT_FILENO);
   }
-  std::cerr << "tvnep_serve: " << decided << " decisions, "
-            << daemon.engine().accepted_total() << " accepted, "
-            << daemon.engine().retired_commits() << " retired, "
-            << daemon.reoptimizer().installs() << " reopt installs\n";
+  metrics_server.stop();
+  tvnep::obs::log_info(
+      "serve.main", "daemon exit",
+      "\"decisions\":" + std::to_string(decided) +
+          ",\"accepted\":" + std::to_string(daemon.engine().accepted_total()) +
+          ",\"retired\":" + std::to_string(daemon.engine().retired_commits()) +
+          ",\"reopt_installs\":" +
+          std::to_string(daemon.reoptimizer().installs()));
   return 0;
 }
 
@@ -127,11 +156,28 @@ int run_daemon(const tvnep::eval::Args& args) {
 int main(int argc, char** argv) {
   const tvnep::eval::Args args(argc, argv);
   try {
+    tvnep::obs::LogConfig log_config;
+    log_config.path = args.get_string("log", "");
+    tvnep::obs::LogLevel level = tvnep::obs::LogLevel::kInfo;
+    const std::string level_text = args.get_string("log-level", "info");
+    if (!tvnep::obs::parse_log_level(level_text, &level)) {
+      std::cerr << "tvnep_serve: unknown --log-level \"" << level_text
+                << "\" (debug|info|warn|error|off)\n";
+      return 1;
+    }
+    log_config.level = level;
+    tvnep::obs::Logger::instance().configure(log_config);
+
     tvnep::obs::ObsConfig obs_config;
     obs_config.trace_path = args.get_string("trace", "");
     obs_config.trace_jsonl_path = args.get_string("trace-jsonl", "");
     obs_config.metrics_path = args.get_string("metrics", "");
     obs_config.tree_log_path = args.get_string("tree-log", "");
+    obs_config.live_flush_seconds =
+        args.get_double("live-flush-ms", 0.0) / 1000.0;
+    // --metrics-port serves snapshots straight from the live registry; it
+    // must be active even without a --metrics output file.
+    obs_config.metrics_live = args.has("metrics-port");
     std::unique_ptr<tvnep::obs::ObsSession> session;
     if (obs_config.any())
       session = std::make_unique<tvnep::obs::ObsSession>(std::move(obs_config));

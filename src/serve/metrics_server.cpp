@@ -1,0 +1,170 @@
+#include "serve/metrics_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace tvnep::serve {
+
+namespace {
+constexpr int kPollMs = 50;          // stop-flag latency bound
+constexpr int kRequestBudgetMs = 2000;  // max wait for a full request head
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // scraper went away mid-reply; nothing to salvage
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(MetricsServerOptions options)
+    : options_(std::move(options)) {}
+
+MetricsServer::~MetricsServer() { stop(); }
+
+int MetricsServer::start(int port) {
+  if (thread_.joinable()) return port_;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return -1;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 4) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return -1;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0)
+    port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+  obs::log_info("serve.metrics", "metrics listener up",
+                "\"port\":" + std::to_string(port_));
+  return port_;
+}
+
+void MetricsServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void MetricsServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsServer::handle_connection(int fd) {
+  // Read until the end of the request head, a size cap, or the time
+  // budget — a scraper that dribbles bytes cannot pin the thread.
+  std::string request;
+  char buffer[2048];
+  int waited_ms = 0;
+  while (request.find('\n') == std::string::npos &&
+         request.size() < kMaxRequestBytes &&
+         waited_ms < kRequestBudgetMs &&
+         !stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    waited_ms += kPollMs;
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) break;  // peer closed after (possibly) a bare request line
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  std::size_t sp1 = line.find(' ');
+  std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                             : line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  const std::string target =
+      sp1 == std::string::npos
+          ? ""
+          : line.substr(sp1 + 1, sp2 == std::string::npos
+                                     ? std::string::npos
+                                     : sp2 - sp1 - 1);
+
+  if (method != "GET" || target.empty()) {
+    send_all(fd, http_response("400 Bad Request", "text/plain",
+                               "bad request\n"));
+    return;
+  }
+  if (target == "/healthz") {
+    send_all(fd, http_response("200 OK", "text/plain", "ok\n"));
+    return;
+  }
+  if (target != "/metrics") {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "not found\n"));
+    return;
+  }
+
+  if (options_.before_scrape) options_.before_scrape();
+  const std::string body = obs::render_prometheus(
+      obs::Metrics::instance().snapshot(), options_.const_labels);
+  send_all(fd, http_response(
+                   "200 OK",
+                   "text/plain; version=0.0.4; charset=utf-8", body));
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace tvnep::serve

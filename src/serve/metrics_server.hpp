@@ -1,0 +1,63 @@
+// Loopback /metrics listener: a minimal HTTP/1.1 server on its own thread
+// that answers Prometheus scrapes from a *live* registry snapshot — the
+// serve loop is never stopped or locked out; the scraper only contends on
+// the per-shard metric mutexes for the microseconds the snapshot copy
+// takes.
+//
+// Deliberately tiny: one accept loop, one connection at a time (a 1 Hz
+// scraper is the design load), request line parsed just enough to route
+//   GET /metrics  -> 200 text/plain; version=0.0.4 exposition
+//   GET /healthz  -> 200 "ok"
+//   anything else -> 404 (or 400 on a malformed request line)
+// and `Connection: close` on every reply. Binds 127.0.0.1 only — the
+// telemetry plane is an operator surface, not a public one.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/exposition.hpp"
+
+namespace tvnep::serve {
+
+struct MetricsServerOptions {
+  /// Constant labels stamped on every exported sample.
+  obs::PromLabels const_labels;
+  /// Optional hook run just before each render (the daemon refreshes its
+  /// SLO gauges here so scrapes see current values even when traffic is
+  /// idle). May be empty.
+  std::function<void()> before_scrape;
+};
+
+class MetricsServer {
+ public:
+  explicit MetricsServer(MetricsServerOptions options = {});
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  /// Returns the bound port, or -1 on error.
+  int start(int port);
+  /// Stops the accept thread and closes the listener. Idempotent.
+  void stop();
+
+  int port() const { return port_; }
+  long scrapes() const { return scrapes_.load(std::memory_order_relaxed); }
+
+ private:
+  void run();
+  void handle_connection(int fd);
+
+  MetricsServerOptions options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<long> scrapes_{0};
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+};
+
+}  // namespace tvnep::serve

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -74,11 +75,20 @@ ReoptReport Reoptimizer::reoptimize_once() {
   params.mip = options_.mip;
   const core::TvnepSolveResult solved =
       core::solve(instance, core::ModelKind::kCSigma, params);
-  if (!solved.has_solution) return report;
+  if (!solved.has_solution) {
+    if (options_.mip.cancel != nullptr &&
+        options_.mip.cancel->load(std::memory_order_relaxed)) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs::counter_add("serve.reopt.cancelled");
+      obs::log_debug("serve.reopt", "pass cancelled before an incumbent");
+    }
+    return report;
+  }
   report.solved = true;
   report.objective = solved.objective;
 
   std::vector<AdmissionEngine::NewSchedule> reschedules, embeddings;
+  std::vector<const std::string*> rescheduled_ids;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const core::RequestEmbedding& emb = solved.solution.requests[i];
     AdmissionEngine::NewSchedule schedule;
@@ -90,6 +100,7 @@ ReoptReport Reoptimizer::reoptimize_once() {
         (std::abs(emb.start - entries[i].commit->start) > kTimeTol ||
          std::abs(emb.end - entries[i].commit->end) > kTimeTol)) {
       reschedules.push_back(std::move(schedule));
+      rescheduled_ids.push_back(&entries[i].commit->id);
     } else {
       embeddings.push_back(std::move(schedule));
     }
@@ -100,7 +111,25 @@ ReoptReport Reoptimizer::reoptimize_once() {
   report.installed =
       engine_->try_install(snap.version, reschedules, embeddings);
   report.stale = !report.installed;
-  if (report.installed) installs_.fetch_add(1, std::memory_order_relaxed);
+  if (report.installed) {
+    installs_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("serve.reopt.installs");
+    obs::log_info("serve.reopt", "installed reoptimized schedule",
+                  "\"rescheduled\":" + std::to_string(report.rescheduled) +
+                      ",\"objective\":" + obs::json_number(report.objective));
+    // One instant per moved request, req-tagged like the admission spans,
+    // so a request's lifecycle trace shows its schedule being rewritten.
+    if (obs::Tracer::active()) {
+      for (const std::string* id : rescheduled_ids)
+        obs::instant("serve.request/reopt_install", "serve",
+                     "\"req\":\"" + obs::json_escape(*id) + "\"");
+    }
+  } else {
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter_add("serve.reopt.stale_discards");
+    obs::log_debug("serve.reopt", "discarded stale pass",
+                   "\"rescheduled\":" + std::to_string(report.rescheduled));
+  }
   obs::histogram_observe("serve.reopt.rescheduled",
                          static_cast<double>(report.rescheduled));
   return report;

@@ -63,6 +63,14 @@ class Reoptimizer {
 
   long passes() const { return passes_.load(std::memory_order_relaxed); }
   long installs() const { return installs_.load(std::memory_order_relaxed); }
+  /// Improved schedules discarded because an admission landed mid-pass
+  /// (the version check failed).
+  long stale_discards() const {
+    return stale_.load(std::memory_order_relaxed);
+  }
+  /// Passes aborted by the cancel seam (stop() or a caller-owned flag)
+  /// before producing an incumbent.
+  long cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
  private:
   void run(double interval_seconds);
@@ -73,6 +81,8 @@ class Reoptimizer {
   std::atomic<bool> stop_{false};
   std::atomic<long> passes_{0};
   std::atomic<long> installs_{0};
+  std::atomic<long> stale_{0};
+  std::atomic<long> cancelled_{0};
   std::mutex cv_mutex_;
   std::condition_variable cv_;
   std::thread thread_;

@@ -1,0 +1,68 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tvnep::serve {
+
+SloBudget::SloBudget(SloOptions options) : options_(options) {
+  const std::size_t slots = static_cast<std::size_t>(
+      std::max(2.0, std::ceil(options_.window_seconds) + 1.0));
+  ring_.assign(slots, Slot{});
+}
+
+SloBudget::Slot& SloBudget::slot_for(std::int64_t second) {
+  Slot& slot = ring_[static_cast<std::size_t>(second) % ring_.size()];
+  if (slot.second != second) {
+    slot.second = second;
+    slot.total = 0;
+    slot.breached = 0;
+  }
+  return slot;
+}
+
+void SloBudget::record(double now_seconds, bool breached) {
+  if (options_.budget_fraction <= 0.0) return;
+  const std::int64_t second =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, now_seconds)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = slot_for(second);
+  ++slot.total;
+  if (breached) ++slot.breached;
+}
+
+SloBudget::Reading SloBudget::read_locked(double now_seconds) const {
+  Reading out;
+  if (options_.budget_fraction <= 0.0) return out;
+  const std::int64_t now_second =
+      static_cast<std::int64_t>(std::floor(std::max(0.0, now_seconds)));
+  const std::int64_t oldest =
+      now_second - static_cast<std::int64_t>(options_.window_seconds);
+  for (const Slot& slot : ring_) {
+    if (slot.second < 0 || slot.second < oldest || slot.second > now_second)
+      continue;  // stale ring entries never count (slot_for lazily reuses)
+    out.total += slot.total;
+    out.breached += slot.breached;
+  }
+  if (out.total > 0)
+    out.breach_fraction =
+        static_cast<double>(out.breached) / static_cast<double>(out.total);
+  out.burn_rate = out.breach_fraction / options_.budget_fraction;
+  out.budget_remaining = std::max(0.0, 1.0 - out.burn_rate);
+  return out;
+}
+
+SloBudget::Reading SloBudget::read(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return read_locked(now_seconds);
+}
+
+bool SloBudget::exhausted(double now_seconds) const {
+  if (options_.budget_fraction <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Reading reading = read_locked(now_seconds);
+  return reading.total >= options_.min_samples &&
+         reading.budget_remaining <= 0.0;
+}
+
+}  // namespace tvnep::serve

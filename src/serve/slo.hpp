@@ -1,0 +1,82 @@
+// Rolling-window SLO error-budget accounting for the admission daemon.
+//
+// The SLO: a request is "good" when it receives a real decision within the
+// latency target; door rejects, overload rejects and latency breaches are
+// "bad". Over a trailing window of W seconds the tracker maintains
+//
+//   breach_fraction = bad / total            (0 when the window is empty)
+//   burn_rate       = breach_fraction / budget_fraction
+//   budget_remaining = max(0, 1 - burn_rate)
+//
+// — the standard SRE error-budget arithmetic: burn_rate 1.0 means the
+// daemon is consuming exactly its allowance (e.g. 5% of requests may
+// breach); above 1.0 the budget drains, and budget_remaining hits 0 when
+// the windowed breach rate is at or past the allowance.
+//
+// The overload ladder consults `exhausted()`: once the budget is gone (and
+// the window holds enough samples to mean anything), fresh requests shed
+// to the fastpath *before* their individual age forces it — trading
+// decision quality for latency across the board instead of blowing the SLO
+// request by request. Both quantities export as gauges
+// (`serve_slo_budget_remaining`, `serve_slo_burn_rate` after exposition
+// renaming), which is what makes shedding explainable from /metrics.
+//
+// Implementation: a ring of per-second slots over the engine's monotonic
+// clock; record() and the read side share one mutex (the reader thread
+// records door rejects, the worker everything else, a scraper reads).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tvnep::serve {
+
+struct SloOptions {
+  double window_seconds = 60.0;
+  /// Fraction of requests allowed to breach the SLO before the budget is
+  /// spent. <= 0 disables the tracker (gauges read full budget, the
+  /// ladder never consults it).
+  double budget_fraction = 0.05;
+  /// The ladder ignores the tracker until the window holds at least this
+  /// many samples — a single early breach must not shed everything.
+  long min_samples = 32;
+};
+
+class SloBudget {
+ public:
+  explicit SloBudget(SloOptions options);
+
+  /// Accounts one decision at monotonic time `now_seconds`.
+  void record(double now_seconds, bool breached);
+
+  struct Reading {
+    long total = 0;
+    long breached = 0;
+    double breach_fraction = 0.0;
+    double burn_rate = 0.0;
+    double budget_remaining = 1.0;
+  };
+  Reading read(double now_seconds) const;
+
+  /// True when the ladder should shed: budget gone and enough samples.
+  bool exhausted(double now_seconds) const;
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::int64_t second = -1;
+    long total = 0;
+    long breached = 0;
+  };
+  // Assumes mutex_ held: zeroes slots that have aged past the window.
+  Slot& slot_for(std::int64_t second);
+  Reading read_locked(double now_seconds) const;
+
+  SloOptions options_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Slot> ring_;
+};
+
+}  // namespace tvnep::serve

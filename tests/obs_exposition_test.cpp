@@ -1,0 +1,152 @@
+// Tests for the Prometheus text exposition renderer: metric-name
+// sanitization, label escaping, value formatting, and histogram rendering
+// (cumulative buckets, the mandatory +Inf sample, companion quantile
+// gauges) on empty, single-sample and populated histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+
+namespace tvnep {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::MetricsSnapshot;
+using obs::PromLabels;
+
+// Number of times `needle` occurs in `haystack`.
+int count_of(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1))
+    ++count;
+  return count;
+}
+
+TEST(ObsExposition, MetricNameSanitization) {
+  EXPECT_EQ(obs::prom_metric_name("serve.admit.latency_ms"),
+            "serve_admit_latency_ms");
+  EXPECT_EQ(obs::prom_metric_name("lp/pivots-total"), "lp_pivots_total");
+  EXPECT_EQ(obs::prom_metric_name("a:b_c9"), "a:b_c9");
+  // A leading digit is not a valid first character; prefix, don't drop.
+  EXPECT_EQ(obs::prom_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::prom_metric_name(""), "_");
+}
+
+TEST(ObsExposition, LabelEscaping) {
+  EXPECT_EQ(obs::prom_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prom_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prom_escape_label("two\nlines"), "two\\nlines");
+  // All three at once, in order.
+  EXPECT_EQ(obs::prom_escape_label("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(ObsExposition, ValueFormatting) {
+  EXPECT_EQ(obs::prom_value(0.0), "0");
+  EXPECT_EQ(obs::prom_value(42.0), "42");
+  EXPECT_EQ(obs::prom_value(-3.0), "-3");
+  EXPECT_EQ(obs::prom_value(0.5), "0.5");
+  EXPECT_EQ(obs::prom_value(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(obs::prom_value(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(obs::prom_value(std::nan("")), "NaN");
+}
+
+TEST(ObsExposition, CountersAndGaugesWithConstLabels) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["serve.admit.accept"] = 7.0;
+  snapshot.gauges["serve.slo.budget_remaining"] = 0.25;
+  const PromLabels labels = {{"service", "tvnep_serve"}};
+  const std::string out = obs::render_prometheus(snapshot, labels);
+
+  EXPECT_NE(out.find("# TYPE serve_admit_accept counter\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("serve_admit_accept{service=\"tvnep_serve\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE serve_slo_budget_remaining gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("serve_slo_budget_remaining{service=\"tvnep_serve\"} 0.25\n"),
+      std::string::npos);
+}
+
+TEST(ObsExposition, LabelValuesAreEscapedInOutput) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["c"] = 1.0;
+  const PromLabels labels = {{"path", "a\"b\\c\nd"}};
+  const std::string out = obs::render_prometheus(snapshot, labels);
+  EXPECT_NE(out.find("c{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+  // The raw newline must not survive into the sample line.
+  EXPECT_EQ(out.find("c{path=\"a\"b"), std::string::npos);
+}
+
+TEST(ObsExposition, HistogramBucketsAreCumulativeWithInf) {
+  HistogramSnapshot h;
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(3.0);
+  MetricsSnapshot snapshot;
+  snapshot.histograms["lat"] = h;
+  const std::string out = obs::render_prometheus(snapshot, {});
+
+  EXPECT_NE(out.find("# TYPE lat histogram\n"), std::string::npos);
+  // Exactly one +Inf bucket, carrying the full count.
+  EXPECT_EQ(count_of(out, "lat_bucket{le=\"+Inf\"} 3\n"), 1);
+  EXPECT_NE(out.find("lat_count 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_sum 4\n"), std::string::npos);
+
+  // Cumulative: the bucket holding the two 0.5 samples reads 2, and no
+  // bucket sample exceeds the total.
+  EXPECT_NE(out.find("} 2\n"), std::string::npos);
+  EXPECT_EQ(out.find("lat_bucket{le=\"+Inf\"} 4"), std::string::npos);
+
+  // Companion quantile gauges are present and typed.
+  EXPECT_NE(out.find("# TYPE lat_p50 gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lat_p90 gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lat_p99 gauge\n"), std::string::npos);
+}
+
+TEST(ObsExposition, EmptyHistogramStillExportsInfBucket) {
+  MetricsSnapshot snapshot;
+  snapshot.histograms["empty"] = HistogramSnapshot{};
+  const std::string out = obs::render_prometheus(snapshot, {});
+  EXPECT_NE(out.find("empty_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(out.find("empty_count 0\n"), std::string::npos);
+  EXPECT_NE(out.find("empty_sum 0\n"), std::string::npos);
+  // Quantiles of nothing are 0, not NaN — scrapers chart them safely.
+  EXPECT_NE(out.find("empty_p50 0\n"), std::string::npos);
+  EXPECT_NE(out.find("empty_p99 0\n"), std::string::npos);
+}
+
+TEST(ObsExposition, SingleSampleHistogramQuantilesAreExact) {
+  HistogramSnapshot h;
+  h.observe(7.25);
+  MetricsSnapshot snapshot;
+  snapshot.histograms["one"] = h;
+  const std::string out = obs::render_prometheus(snapshot, {});
+  // With one sample every quantile clamps to that sample exactly.
+  EXPECT_NE(out.find("one_p50 7.25\n"), std::string::npos);
+  EXPECT_NE(out.find("one_p90 7.25\n"), std::string::npos);
+  EXPECT_NE(out.find("one_p99 7.25\n"), std::string::npos);
+  EXPECT_NE(out.find("one_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+}
+
+TEST(ObsExposition, TailBucketDoublesAsInf) {
+  // A sample in the open-ended last log2 bucket: its edge IS +Inf, so the
+  // renderer must not emit a second +Inf sample.
+  HistogramSnapshot h;
+  h.observe(1e300);
+  MetricsSnapshot snapshot;
+  snapshot.histograms["tail"] = h;
+  const std::string out = obs::render_prometheus(snapshot, {});
+  EXPECT_EQ(count_of(out, "tail_bucket{le=\"+Inf\"}"), 1);
+  EXPECT_NE(out.find("tail_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tvnep

@@ -1,0 +1,208 @@
+// Tests for the structured leveled logger: level filtering, the rotation
+// boundary, rate limiting, and the RAII request-id context. The logger is
+// a process-wide singleton, so every test measures counter deltas and a
+// fixture restores the stderr sink afterwards.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace tvnep {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "tvnep_obs_log_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+class ObsLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Back to the quiet stderr default so later tests (and gtest output)
+    // are unaffected.
+    obs::Logger::instance().configure({});
+    for (const std::string& path : cleanup_) {
+      std::remove(path.c_str());
+      std::remove((path + ".1").c_str());
+    }
+  }
+
+  std::string use_file(const std::string& name) {
+    const std::string path = temp_path(name);
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(ObsLogTest, ParseLogLevel) {
+  obs::LogLevel level = obs::LogLevel::kOff;
+  EXPECT_TRUE(obs::parse_log_level("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::parse_log_level("warn", &level));
+  EXPECT_EQ(level, obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::parse_log_level("off", &level));
+  EXPECT_EQ(level, obs::LogLevel::kOff);
+  // Unknown text leaves the output untouched.
+  EXPECT_FALSE(obs::parse_log_level("loud", &level));
+  EXPECT_EQ(level, obs::LogLevel::kOff);
+}
+
+TEST_F(ObsLogTest, LevelFilteringDropsBelowThreshold) {
+  const std::string path = use_file("level");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kWarn;
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+
+  obs::log_debug("test", "too quiet");
+  obs::log_info("test", "still too quiet");
+  obs::log_warn("test", "warned");
+  obs::log_error("test", "errored", "\"code\":7");
+  obs::Logger::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"msg\":\"warned\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"code\":7"), std::string::npos);
+  EXPECT_EQ(lines[0].find("too quiet"), std::string::npos);
+}
+
+TEST_F(ObsLogTest, OffLevelEmitsNothing) {
+  const std::string path = use_file("off");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kOff;
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+  EXPECT_FALSE(obs::Logger::instance().enabled(obs::LogLevel::kError));
+  obs::log_error("test", "swallowed");
+  obs::Logger::instance().close();
+  EXPECT_TRUE(read_lines(path).empty());
+}
+
+TEST_F(ObsLogTest, RotationAtBoundaryKeepsOneGeneration) {
+  const std::string path = use_file("rotate");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kInfo;
+  config.rotate_bytes = 512;  // a handful of lines per generation
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+  const long rotations_before = obs::Logger::instance().rotations();
+
+  const std::string payload(64, 'x');
+  for (int i = 0; i < 64; ++i) obs::log_info("test", payload);
+  obs::Logger::instance().close();
+
+  EXPECT_GE(obs::Logger::instance().rotations() - rotations_before, 2);
+  // The current file respects the boundary; exactly one rotated
+  // generation exists (older ones are replaced, bounding disk use).
+  std::ifstream current(path, std::ios::ate | std::ios::binary);
+  ASSERT_TRUE(current.good());
+  EXPECT_LE(current.tellg(), static_cast<std::streamoff>(512));
+  std::ifstream rotated(path + ".1", std::ios::ate | std::ios::binary);
+  ASSERT_TRUE(rotated.good());
+  EXPECT_LE(rotated.tellg(), static_cast<std::streamoff>(512));
+  EXPECT_TRUE(read_lines(path + ".1").size() >= 1);
+}
+
+TEST_F(ObsLogTest, RateLimitSuppressesStorm) {
+  const std::string path = use_file("rate");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kInfo;
+  config.rate_limit_per_sec = 3;
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+  const long suppressed_before = obs::Logger::instance().suppressed();
+
+  for (int i = 0; i < 50; ++i) obs::log_info("test", "storm");
+  obs::Logger::instance().close();
+
+  // All 50 land in one wall-clock window, give or take one rollover: at
+  // least the bulk of the storm must have been dropped and accounted.
+  EXPECT_GE(obs::Logger::instance().suppressed() - suppressed_before, 40);
+  const std::vector<std::string> lines = read_lines(path);
+  EXPECT_LE(lines.size(), 8u);
+}
+
+TEST_F(ObsLogTest, LogContextTagsAndNests) {
+  const std::string path = use_file("context");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kInfo;
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+
+  EXPECT_EQ(obs::LogContext::current(), nullptr);
+  {
+    obs::LogContext outer("R7");
+    ASSERT_NE(obs::LogContext::current(), nullptr);
+    EXPECT_EQ(*obs::LogContext::current(), "R7");
+    obs::log_info("test", "outer");
+    {
+      obs::LogContext inner("R8");
+      EXPECT_EQ(*obs::LogContext::current(), "R8");
+      obs::log_info("test", "inner");
+    }
+    EXPECT_EQ(*obs::LogContext::current(), "R7");
+  }
+  EXPECT_EQ(obs::LogContext::current(), nullptr);
+  obs::log_info("test", "bare");
+  obs::Logger::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"req\":\"R7\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"req\":\"R8\""), std::string::npos);
+  EXPECT_EQ(lines[2].find("\"req\""), std::string::npos);
+}
+
+TEST_F(ObsLogTest, LinesAreWellFormedJsonObjects) {
+  const std::string path = use_file("schema");
+  obs::LogConfig config;
+  config.path = path;
+  config.level = obs::LogLevel::kDebug;
+  ASSERT_TRUE(obs::Logger::instance().configure(config));
+  obs::log_debug("serve.daemon", "escaped \"quotes\" and\nnewline");
+  obs::Logger::instance().close();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"debug\""), std::string::npos);
+  EXPECT_NE(line.find("\"comp\":\"serve.daemon\""), std::string::npos);
+  // The raw newline inside the message must be escaped, keeping the
+  // one-object-per-line contract.
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+}
+
+TEST_F(ObsLogTest, UnopenablePathFallsBackToStderr) {
+  obs::LogConfig config;
+  config.path = "/nonexistent-dir-tvnep/never.log";
+  EXPECT_FALSE(obs::Logger::instance().configure(config));
+  // Still usable (writes go to stderr) — just assert no crash.
+  obs::log_info("test", "fallback");
+}
+
+}  // namespace
+}  // namespace tvnep

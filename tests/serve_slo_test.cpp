@@ -1,0 +1,118 @@
+// Tests for the rolling-window SLO error-budget tracker: the SRE budget
+// arithmetic, window expiry over the per-second ring, the min-samples
+// gate on exhaustion, and the disabled-tracker behavior.
+#include <gtest/gtest.h>
+
+#include "serve/slo.hpp"
+
+namespace tvnep {
+namespace {
+
+using serve::SloBudget;
+using serve::SloOptions;
+
+SloOptions make_options(double window, double budget, long min_samples) {
+  SloOptions options;
+  options.window_seconds = window;
+  options.budget_fraction = budget;
+  options.min_samples = min_samples;
+  return options;
+}
+
+TEST(ServeSlo, EmptyWindowReadsFullBudget) {
+  SloBudget slo(make_options(60.0, 0.05, 32));
+  const SloBudget::Reading reading = slo.read(10.0);
+  EXPECT_EQ(reading.total, 0);
+  EXPECT_EQ(reading.breached, 0);
+  EXPECT_DOUBLE_EQ(reading.breach_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(reading.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(reading.budget_remaining, 1.0);
+  EXPECT_FALSE(slo.exhausted(10.0));
+}
+
+TEST(ServeSlo, BurnRateIsBreachFractionOverBudget) {
+  // 10% budget, 5% breaching: burning at half the allowance.
+  SloBudget slo(make_options(60.0, 0.10, 1));
+  for (int i = 0; i < 100; ++i) slo.record(5.0, i < 5);
+  const SloBudget::Reading reading = slo.read(5.0);
+  EXPECT_EQ(reading.total, 100);
+  EXPECT_EQ(reading.breached, 5);
+  EXPECT_DOUBLE_EQ(reading.breach_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(reading.burn_rate, 0.5);
+  EXPECT_DOUBLE_EQ(reading.budget_remaining, 0.5);
+  EXPECT_FALSE(slo.exhausted(5.0));
+}
+
+TEST(ServeSlo, BudgetExhaustsAtTheAllowance) {
+  // Breaching at exactly the allowance: burn rate 1.0, nothing left.
+  SloBudget slo(make_options(60.0, 0.10, 1));
+  for (int i = 0; i < 100; ++i) slo.record(3.0, i < 10);
+  const SloBudget::Reading reading = slo.read(3.0);
+  EXPECT_DOUBLE_EQ(reading.burn_rate, 1.0);
+  EXPECT_DOUBLE_EQ(reading.budget_remaining, 0.0);
+  EXPECT_TRUE(slo.exhausted(3.0));
+}
+
+TEST(ServeSlo, BudgetRemainingClampsAtZero) {
+  SloBudget slo(make_options(60.0, 0.05, 1));
+  for (int i = 0; i < 10; ++i) slo.record(1.0, true);  // 100% breaching
+  const SloBudget::Reading reading = slo.read(1.0);
+  EXPECT_DOUBLE_EQ(reading.burn_rate, 20.0);
+  EXPECT_DOUBLE_EQ(reading.budget_remaining, 0.0);
+}
+
+TEST(ServeSlo, BreachesAgeOutOfTheWindow) {
+  SloBudget slo(make_options(10.0, 0.05, 1));
+  for (int i = 0; i < 50; ++i) slo.record(2.0, true);
+  EXPECT_TRUE(slo.exhausted(2.0));
+  // Within the window the damage is still visible...
+  EXPECT_GT(slo.read(8.0).breached, 0);
+  // ...past it the slots expire and the budget refills.
+  const SloBudget::Reading later = slo.read(2.0 + 11.0);
+  EXPECT_EQ(later.total, 0);
+  EXPECT_DOUBLE_EQ(later.budget_remaining, 1.0);
+  EXPECT_FALSE(slo.exhausted(2.0 + 11.0));
+}
+
+TEST(ServeSlo, SpreadAcrossSecondsAccumulates) {
+  SloBudget slo(make_options(30.0, 0.5, 1));
+  for (int second = 0; second < 10; ++second)
+    for (int i = 0; i < 4; ++i)
+      slo.record(static_cast<double>(second), i == 0);
+  const SloBudget::Reading reading = slo.read(9.5);
+  EXPECT_EQ(reading.total, 40);
+  EXPECT_EQ(reading.breached, 10);
+  EXPECT_DOUBLE_EQ(reading.breach_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(reading.burn_rate, 0.5);
+}
+
+TEST(ServeSlo, MinSamplesGatesExhaustion) {
+  // A single early breach must not shed everything: with fewer samples
+  // than the gate the ladder never consults the (empty) budget.
+  SloBudget slo(make_options(60.0, 0.05, 32));
+  for (int i = 0; i < 10; ++i) slo.record(1.0, true);
+  EXPECT_DOUBLE_EQ(slo.read(1.0).budget_remaining, 0.0);
+  EXPECT_FALSE(slo.exhausted(1.0));  // only 10 of the 32 required samples
+  for (int i = 0; i < 30; ++i) slo.record(1.0, true);
+  EXPECT_TRUE(slo.exhausted(1.0));
+}
+
+TEST(ServeSlo, DisabledTrackerNeverExhausts) {
+  SloBudget slo(make_options(60.0, 0.0, 1));
+  for (int i = 0; i < 100; ++i) slo.record(1.0, true);
+  const SloBudget::Reading reading = slo.read(1.0);
+  EXPECT_EQ(reading.total, 0);  // records are dropped entirely
+  EXPECT_DOUBLE_EQ(reading.budget_remaining, 1.0);
+  EXPECT_FALSE(slo.exhausted(1.0));
+}
+
+TEST(ServeSlo, NegativeTimesClampToZero) {
+  SloBudget slo(make_options(60.0, 0.05, 1));
+  slo.record(-5.0, true);  // clock skew must not crash or corrupt the ring
+  const SloBudget::Reading reading = slo.read(0.0);
+  EXPECT_EQ(reading.total, 1);
+  EXPECT_EQ(reading.breached, 1);
+}
+
+}  // namespace
+}  // namespace tvnep
