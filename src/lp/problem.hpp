@@ -58,10 +58,17 @@ class Problem {
   /// Changes the objective coefficient of column j (allowed any time).
   void set_cost(int j, double cost);
 
-  /// Builds the immutable matrix; must be called exactly once before
-  /// matrix() and after the last add_row().
+  /// Builds the immutable matrix; must be called before matrix() and after
+  /// the last add_row(). Calling it twice without an intervening reopen()
+  /// is an error.
   void finalize();
   bool finalized() const { return finalized_; }
+
+  /// Reopens a finalized problem so more rows can be appended (the root
+  /// cut loop grows the LP by cut rows between rounds). Existing rows and
+  /// entries are preserved; finalize() must be called again before
+  /// matrix().
+  void reopen();
 
   const linalg::SparseMatrix& matrix() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "obs/metrics.hpp"
@@ -49,8 +50,12 @@ namespace {
 
 // Row/bound/integrality check against an already-lowered problem (avoids
 // re-running Model::to_lp on every incumbent candidate).
+// `row_limit` restricts the row scan (the tree passes the base-row count
+// so appended cut rows — implied by the base rows for every integer point
+// — cannot reject an incumbent through floating-point noise); -1 → all.
 bool check_feasible(const Model& model, const lp::Problem& problem,
-                    const std::vector<double>& values, double tol) {
+                    const std::vector<double>& values, double tol,
+                    int row_limit = -1) {
   if (values.size() != static_cast<std::size_t>(model.num_vars())) return false;
   for (int j = 0; j < model.num_vars(); ++j) {
     const Var v{j};
@@ -62,7 +67,8 @@ bool check_feasible(const Model& model, const lp::Problem& problem,
       return false;
   }
   const auto& matrix = problem.matrix();
-  for (int i = 0; i < problem.num_rows(); ++i) {
+  const int rows = row_limit >= 0 ? row_limit : problem.num_rows();
+  for (int i = 0; i < rows; ++i) {
     double activity = 0.0;
     double scale = 1.0;
     for (const auto& entry : matrix.row(i)) {
@@ -199,12 +205,17 @@ MipResult MipSolver::solve_tree(
 
   std::vector<bool> is_int;
   lp::Problem problem = model.to_lp(&is_int);
+  // Rows 0..base_rows-1 are the model's own; the root cut loop appends cut
+  // rows after them. Incumbent validation and partition detection only
+  // ever look at the base rows (a cut is implied by them, and checking it
+  // with floating-point noise could reject a genuinely feasible point).
+  const int base_rows = problem.num_rows();
   // The MIP-level soft-cancel seam reaches into every node LP so a cancel
   // fired mid-LP takes effect within one polling interval, not one node.
   lp::SimplexOptions lp_options = options_.lp;
   if (options_.cancel != nullptr && lp_options.cancel == nullptr)
     lp_options.cancel = options_.cancel;
-  lp::Simplex simplex(problem, lp_options);
+  auto simplex = std::make_unique<lp::Simplex>(problem, lp_options);
 
   obs::SpanScope tree_span(
       obs::Tracer::active(), "mip.solve_tree", "mip",
@@ -223,6 +234,105 @@ MipResult MipSolver::solve_tree(
   for (int j = 0; j < model.num_vars(); ++j)
     if (is_int[static_cast<std::size_t>(j)]) int_vars.push_back(j);
 
+  // LP effort of the cut-round simplexes destroyed before the tree runs
+  // (total_pivots() is per-object, so it is banked at each rebuild).
+  long retired_pivots = 0;
+  // Accumulates the current simplex's per-solve stats into the result;
+  // shared by the cut loop and the node loop.
+  auto accumulate_lp_stats = [&](long* pivots_out) {
+    const lp::SolveStats& st = simplex->stats();
+    const long pivots =
+        st.phase1_iterations + st.phase2_iterations + st.dual_iterations;
+    if (pivots_out != nullptr) *pivots_out += pivots;
+    result.phase1_iterations += st.phase1_iterations;
+    result.phase2_iterations += st.phase2_iterations;
+    result.dual_iterations += st.dual_iterations;
+    result.refactorizations += st.refactorizations;
+    result.basis_updates += st.basis_updates;
+    result.lp_basis_fill_max =
+        std::max(result.lp_basis_fill_max, st.basis_fill_max);
+    result.lp_recoveries += st.recoveries();
+    if (st.dual_fallback) ++result.dual_fallbacks;
+  };
+
+  // --- Root cutting-plane loop -----------------------------------------
+  // Solve the relaxation, separate GMI + cover cuts against it, rebuild
+  // the LP with the admitted cuts, repeat. The loop quits on the round
+  // limit, an empty round, or two rounds of bound tail-off. When the last
+  // round admits nothing the final simplex already holds the optimal basis
+  // of the final LP, so the tree's root solve below warm-starts for free.
+  if (options_.cut_rounds > 0 && !int_vars.empty()) {
+    obs::SpanScope cut_span(obs::Tracer::active(), "mip.cut_loop", "mip");
+    cuts::CutOptions cut_options = options_.cut_options;
+    cut_options.integrality_tol = options_.integrality_tol;
+    cuts::CutPool pool(cut_options);
+    double prev_bound = -kInf;
+    int stalled_rounds = 0;
+    for (int round = 0; round < options_.cut_rounds; ++round) {
+      if (deadline.expired() ||
+          (options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed)))
+        break;
+      simplex->set_time_limit(
+          deadline.unlimited() ? 0.0 : std::max(deadline.remaining(), 1e-3));
+      if (simplex->solve() != lp::SolveStatus::kOptimal) {
+        // Leave the failure (infeasible root, time limit, numerical) to
+        // the tree loop, which already has handling for each case.
+        accumulate_lp_stats(nullptr);
+        break;
+      }
+      accumulate_lp_stats(nullptr);
+      const double bound = simplex->objective();
+      const std::vector<double> x = simplex->primal_solution();
+      if (prev_bound > -kInf &&
+          bound - prev_bound < 1e-7 * std::max(1.0, std::fabs(bound))) {
+        if (++stalled_rounds >= 2) break;  // bound tail-off
+      } else {
+        stalled_rounds = 0;
+      }
+      prev_bound = bound;
+
+      ++result.cut_rounds;
+      const int evicted = pool.age_and_evict(x);
+      cuts::SeparationInput input;
+      input.problem = &problem;
+      input.simplex = simplex.get();
+      input.is_integer = &is_int;
+      input.base_rows = base_rows;
+      std::vector<cuts::Cut> candidates =
+          cuts::separate_gomory(input, cut_options);
+      std::vector<cuts::Cut> covers =
+          cuts::separate_covers(input, x, cut_options);
+      candidates.insert(candidates.end(),
+                        std::make_move_iterator(covers.begin()),
+                        std::make_move_iterator(covers.end()));
+      const int added =
+          pool.admit(std::move(candidates), options_.max_cuts_per_round);
+      result.cuts_added += added;
+      if (options_.cut_observer)
+        for (int k = pool.size() - added; k < pool.size(); ++k)
+          options_.cut_observer(pool.cuts()[static_cast<std::size_t>(k)]);
+      obs::counter_add("mip.cuts.added", static_cast<double>(added));
+      obs::counter_add("mip.cuts.evicted", static_cast<double>(evicted));
+      if (added == 0 && evicted == 0) break;
+
+      // Rebuild the LP as base rows + active pool, destroying the round's
+      // simplex first (it borrows the problem it was constructed on).
+      retired_pivots += simplex->total_pivots();
+      simplex.reset();
+      problem = model.to_lp(nullptr);
+      problem.reopen();
+      for (const cuts::Cut& cut : pool.cuts())
+        problem.add_row(cut.rhs, lp::kInfinity, cut.terms);
+      problem.finalize();
+      simplex = std::make_unique<lp::Simplex>(problem, lp_options);
+    }
+    if (obs::Tracer::active() && result.cuts_added > 0)
+      obs::instant("mip.cuts", "mip",
+                   "\"added\":" + std::to_string(result.cuts_added) +
+                       ",\"rounds\":" + std::to_string(result.cut_rounds));
+  }
+
   // Incumbent in minimize (LP) space.
   double incumbent_lp_obj = kInf;
   std::vector<double> incumbent;
@@ -232,7 +342,8 @@ MipResult MipSolver::solve_tree(
     for (int j : int_vars)
       snapped[static_cast<std::size_t>(j)] =
           std::round(snapped[static_cast<std::size_t>(j)]);
-    if (!check_feasible(model, problem, snapped, 1e-5)) return false;
+    if (!check_feasible(model, problem, snapped, 1e-5, base_rows))
+      return false;
     const double model_obj = model.eval_objective(snapped);
     const double lp_obj = (model_obj - constant) * scale;  // scale^2 == 1
     if (lp_obj < incumbent_lp_obj - 1e-12) {
@@ -250,11 +361,27 @@ MipResult MipSolver::solve_tree(
 
   if (initial_solution) try_incumbent(*initial_solution);
 
+  // Incumbent/bound convergence under the same normalized formula
+  // MipResult::gap() reports, evaluated in model space (the objective
+  // constant changes the denominator, so LP-space differences would
+  // disagree with what the caller sees). A raw LP-space difference check
+  // terminates late on large objectives (relative gap long converged) and
+  // the reporting would then disagree with the decision to keep running.
+  auto normalized_gap = [&](double inc_lp, double bound_lp) {
+    const double inc = to_model_obj(inc_lp);
+    const double bnd = to_model_obj(bound_lp);
+    const double diff = std::fabs(inc - bnd);
+    if (diff <= 1e-9) return 0.0;
+    return diff / std::max({std::fabs(inc), std::fabs(bnd), 1e-9});
+  };
+  bool gap_converged = false;
+  double gap_bound_lp = kInf;  // frontier bound proven at convergence
+
   // Set-partitioning rows (Σ x_j = 1 over binaries with unit coefficients)
   // drive cheap node propagation: a variable fixed to 1 zeroes its row
   // mates, a row with all-but-one mate at 0 forces the survivor to 1.
   std::vector<std::vector<int>> partition_rows;
-  for (int i = 0; i < problem.num_rows(); ++i) {
+  for (int i = 0; i < base_rows; ++i) {
     const auto& row = problem.row(i);
     if (row.lower != 1.0 || row.upper != 1.0) continue;
     bool eligible = true;
@@ -276,8 +403,8 @@ MipResult MipSolver::solve_tree(
   // Applies a node's bound deltas plus fixpoint propagation over the
   // partition rows; returns false when propagation proves infeasibility.
   auto apply_node_bounds = [&](const Node& node) {
-    simplex.reset_bounds();
-    for (const auto& [j, lo, hi] : node.bounds) simplex.set_bounds(j, lo, hi);
+    simplex->reset_bounds();
+    for (const auto& [j, lo, hi] : node.bounds) simplex->set_bounds(j, lo, hi);
     bool changed = true;
     while (changed) {
       changed = false;
@@ -286,8 +413,8 @@ MipResult MipSolver::solve_tree(
         int open_count = 0;
         int last_open = -1;
         for (const int j : members) {
-          const double lo = simplex.working_lower(j);
-          const double hi = simplex.working_upper(j);
+          const double lo = simplex->working_lower(j);
+          const double hi = simplex->working_upper(j);
           if (lo > 0.5) {
             if (fixed_one >= 0) return false;  // two ones in one row
             fixed_one = j;
@@ -299,15 +426,15 @@ MipResult MipSolver::solve_tree(
         if (fixed_one >= 0) {
           for (const int j : members) {
             if (j == fixed_one) continue;
-            if (simplex.working_upper(j) > 0.5) {
-              simplex.set_bounds(j, 0.0, 0.0);
+            if (simplex->working_upper(j) > 0.5) {
+              simplex->set_bounds(j, 0.0, 0.0);
               changed = true;
             }
           }
         } else if (open_count == 0) {
           return false;  // nobody can take the 1
         } else if (open_count == 1) {
-          simplex.set_bounds(last_open, 1.0, 1.0);
+          simplex->set_bounds(last_open, 1.0, 1.0);
           changed = true;
         }
       }
@@ -321,6 +448,32 @@ MipResult MipSolver::solve_tree(
   std::optional<Node> dive;  // depth-first child processed before the queue
 
   std::vector<Pseudocost> pseudo(static_cast<std::size_t>(model.num_vars()));
+
+  // Pseudocost credit for a child whose subproblem is infeasible (LP or
+  // propagation). Infeasibility is the strongest possible branching
+  // outcome, but it yields no LP bound to measure — without an observation
+  // the variable would stay "unobserved" forever and keep falling back to
+  // the most-fractional bootstrap. Standard solvers credit a degradation
+  // that dominates the realized ones: the full distance from the parent
+  // bound to the cutoff when both exist, otherwise a multiple of the
+  // largest degradation seen so far.
+  double max_degradation_seen = 1.0;
+  auto credit_infeasible_child = [&](const Node& node) {
+    if (node.branch_var < 0) return;
+    const double room =
+        incumbent_lp_obj < kInf && node.parent_bound > -kInf
+            ? std::max(incumbent_lp_obj - node.parent_bound,
+                       max_degradation_seen)
+            : 10.0 * max_degradation_seen;
+    auto& pc = pseudo[static_cast<std::size_t>(node.branch_var)];
+    if (node.branch_up) {
+      pc.up_sum += room / std::max(1e-6, 1.0 - node.branch_frac);
+      ++pc.up_count;
+    } else {
+      pc.down_sum += room / std::max(1e-6, node.branch_frac);
+      ++pc.down_count;
+    }
+  };
 
   // Tree log: one record per processed node, emitted at the node's exit
   // site (after children are pushed, so the frontier reflects the node's
@@ -392,14 +545,14 @@ MipResult MipSolver::solve_tree(
     std::vector<double> rounded = relaxation;
     for (int j : int_vars) {
       double v = std::round(rounded[static_cast<std::size_t>(j)]);
-      v = std::clamp(v, simplex.working_lower(j), simplex.working_upper(j));
+      v = std::clamp(v, simplex->working_lower(j), simplex->working_upper(j));
       rounded[static_cast<std::size_t>(j)] = v;
-      simplex.set_bounds(j, v, v);
+      simplex->set_bounds(j, v, v);
     }
-    const lp::SolveStatus st = simplex.solve();
-    if (st == lp::SolveStatus::kOptimal) try_incumbent(simplex.primal_solution());
-    simplex.reset_bounds();
-    for (const auto& [j, lo, hi] : node.bounds) simplex.set_bounds(j, lo, hi);
+    const lp::SolveStatus st = simplex->solve();
+    if (st == lp::SolveStatus::kOptimal) try_incumbent(simplex->primal_solution());
+    simplex->reset_bounds();
+    for (const auto& [j, lo, hi] : node.bounds) simplex->set_bounds(j, lo, hi);
   };
 
   long nodes_since_heuristic = 0;
@@ -414,6 +567,24 @@ MipResult MipSolver::solve_tree(
     if (options_.max_nodes > 0 && result.nodes >= options_.max_nodes) {
       aborted_nodes = true;
       break;
+    }
+
+    // Gap-converged termination: when the weakest remaining bound — open
+    // frontier, pending dive child and dropped subtrees alike — is within
+    // gap_tolerance of the incumbent under the reporting formula, every
+    // further node proves digits the caller never sees. Stop as optimal
+    // with the honest frontier bound.
+    if (incumbent_lp_obj < kInf) {
+      double frontier = dropped_bound_lp;
+      if (!open.empty()) frontier = std::min(frontier, open.top().parent_bound);
+      if (dive) frontier = std::min(frontier, dive->parent_bound);
+      if (std::isfinite(frontier) &&
+          normalized_gap(incumbent_lp_obj, frontier) <=
+              options_.gap_tolerance) {
+        gap_converged = true;
+        gap_bound_lp = std::min(frontier, incumbent_lp_obj);
+        break;
+      }
     }
 
     Node node;
@@ -431,13 +602,14 @@ MipResult MipSolver::solve_tree(
 
     if (!apply_node_bounds(node)) {
       ++result.nodes;
+      credit_infeasible_child(node);
       emit_node(node, "propagation-infeasible", 0, -1, 0.0, false);
       continue;  // propagation proved the node infeasible
     }
     // Clamp to a positive epsilon: between the loop-top expiry check and
     // this call the deadline may slip to zero, and a non-positive limit
     // would make the node LP run unlimited, overrunning the MIP budget.
-    simplex.set_time_limit(
+    simplex->set_time_limit(
         deadline.unlimited() ? 0.0 : std::max(deadline.remaining(), 1e-3));
 
     // Sample node-LP spans: every Nth processed node gets a span (with the
@@ -446,27 +618,11 @@ MipResult MipSolver::solve_tree(
     const bool traced_node =
         obs::Tracer::active() && options_.trace_node_sample > 0 &&
         result.nodes % options_.trace_node_sample == 0;
-    simplex.set_trace_spans(traced_node);
-    long node_pivots = 0;
+    simplex->set_trace_spans(traced_node);
     // Accumulated after every solve() call on this node (retries included)
     // so recovery and refactorization effort is never dropped from the
-    // telemetry. Only genuine fallbacks count towards dual_fallbacks: a
-    // warm basis existed but the dual simplex handed the solve over to the
-    // primal phases; cold (re)solves perform primal iterations too.
-    auto accumulate_lp_stats = [&]() {
-      const lp::SolveStats& st = simplex.stats();
-      node_pivots +=
-          st.phase1_iterations + st.phase2_iterations + st.dual_iterations;
-      result.phase1_iterations += st.phase1_iterations;
-      result.phase2_iterations += st.phase2_iterations;
-      result.dual_iterations += st.dual_iterations;
-      result.refactorizations += st.refactorizations;
-      result.basis_updates += st.basis_updates;
-      result.lp_basis_fill_max =
-          std::max(result.lp_basis_fill_max, st.basis_fill_max);
-      result.lp_recoveries += st.recoveries();
-      if (st.dual_fallback) ++result.dual_fallbacks;
-    };
+    // telemetry (see accumulate_lp_stats above).
+    long node_pivots = 0;
     lp::SolveStatus lp_status;
     {
       obs::SpanScope node_span(
@@ -474,14 +630,14 @@ MipResult MipSolver::solve_tree(
           traced_node ? "\"node\":" + std::to_string(node.id) +
                             ",\"depth\":" + std::to_string(node.depth)
                       : std::string());
-      lp_status = simplex.solve();
-      accumulate_lp_stats();
+      lp_status = simplex->solve();
+      accumulate_lp_stats(&node_pivots);
       if (lp_status == lp::SolveStatus::kIterationLimit) {
         // Usually a degenerate warm start; one cold retry before the node
         // is treated as numerically failed.
-        simplex.invalidate_basis();
-        lp_status = simplex.solve();
-        accumulate_lp_stats();
+        simplex->invalidate_basis();
+        lp_status = simplex->solve();
+        accumulate_lp_stats(&node_pivots);
       }
       if (lp_status == lp::SolveStatus::kUnbounded &&
           !(node.depth == 0 && !initial_solution)) {
@@ -492,9 +648,9 @@ MipResult MipSolver::solve_tree(
         obs::counter_add("mip.unbounded_anomalies");
         obs::instant("mip.unbounded_anomaly", "mip",
                      "\"node\":" + std::to_string(node.id));
-        simplex.invalidate_basis();
-        lp_status = simplex.solve();
-        accumulate_lp_stats();
+        simplex->invalidate_basis();
+        lp_status = simplex->solve();
+        accumulate_lp_stats(&node_pivots);
         if (lp_status == lp::SolveStatus::kUnbounded)
           lp_status = lp::SolveStatus::kNumericalFailure;
       }
@@ -508,6 +664,7 @@ MipResult MipSolver::solve_tree(
       break;
     }
     if (lp_status == lp::SolveStatus::kInfeasible) {
+      credit_infeasible_child(node);
       emit_node(node, "infeasible", node_pivots, -1, 0.0, false);
       continue;
     }
@@ -516,7 +673,7 @@ MipResult MipSolver::solve_tree(
       // caller incumbent is unbounded.
       emit_node(node, "unbounded", node_pivots, -1, 0.0, false);
       result.status = MipStatus::kUnbounded;
-      result.lp_pivots = simplex.total_pivots();
+      result.lp_pivots = retired_pivots + simplex->total_pivots();
       result.seconds = watch.seconds();
       record_metrics();
       return result;
@@ -547,11 +704,12 @@ MipResult MipSolver::solve_tree(
       continue;
     }
 
-    const double node_bound = simplex.objective();
+    const double node_bound = simplex->objective();
 
     // Pseudocost update from the realized bound degradation.
     if (node.branch_var >= 0 && node.parent_bound > -kInf) {
       const double degradation = std::max(0.0, node_bound - node.parent_bound);
+      max_degradation_seen = std::max(max_degradation_seen, degradation);
       auto& pc = pseudo[static_cast<std::size_t>(node.branch_var)];
       if (node.branch_up) {
         pc.up_sum += degradation / std::max(1e-6, 1.0 - node.branch_frac);
@@ -567,7 +725,46 @@ MipResult MipSolver::solve_tree(
       continue;
     }
 
-    const std::vector<double> x = simplex.primal_solution();
+    // Reduced-cost fixing: a nonbasic integer variable with reduced cost d
+    // degrades the objective by at least d per unit it moves off its
+    // resting bound, so in any solution of this subtree improving on the
+    // cutoff it can move at most room/d units. Tightening the opposite
+    // bound accordingly (often to a fixing) leaves the current LP optimum
+    // optimal — no re-solve needed — and the tightenings append to
+    // node.bounds so both children inherit them.
+    if (options_.rc_fixing && incumbent_lp_obj < kInf) {
+      const double room = incumbent_lp_obj - 1e-9 - node_bound;
+      for (int j : int_vars) {
+        const lp::VarStatus st = simplex->variable_status(j);
+        if (st != lp::VarStatus::kAtLower && st != lp::VarStatus::kAtUpper)
+          continue;
+        const double lo = simplex->working_lower(j);
+        const double hi = simplex->working_upper(j);
+        if (hi - lo < 0.5) continue;  // already fixed
+        const double d = simplex->reduced_cost(j);
+        if (st == lp::VarStatus::kAtLower) {
+          if (d <= 1e-9) continue;
+          const double new_hi =
+              lo + std::floor(room / d + options_.integrality_tol);
+          if (new_hi < hi - 0.5) {
+            simplex->set_bounds(j, lo, new_hi);
+            node.bounds.emplace_back(j, lo, new_hi);
+            if (new_hi - lo < 0.5) ++result.rc_fixed;
+          }
+        } else {
+          if (d >= -1e-9) continue;
+          const double new_lo =
+              hi - std::floor(room / (-d) + options_.integrality_tol);
+          if (new_lo > lo + 0.5) {
+            simplex->set_bounds(j, new_lo, hi);
+            node.bounds.emplace_back(j, new_lo, hi);
+            if (hi - new_lo < 0.5) ++result.rc_fixed;
+          }
+        }
+      }
+    }
+
+    const std::vector<double> x = simplex->primal_solution();
 
     // Branching variable selection: highest user priority first, then a
     // pseudocost product rule with a most-fractional bootstrap component.
@@ -618,7 +815,7 @@ MipResult MipSolver::solve_tree(
     const double ceil_v = std::ceil(v);
 
     Node down = node;
-    down.bounds.emplace_back(branch, simplex.working_lower(branch), floor_v);
+    down.bounds.emplace_back(branch, simplex->working_lower(branch), floor_v);
     down.parent_bound = node_bound;
     down.depth = node.depth + 1;
     down.id = next_id++;
@@ -627,7 +824,7 @@ MipResult MipSolver::solve_tree(
     down.branch_frac = branch_frac;
 
     Node up = node;
-    up.bounds.emplace_back(branch, ceil_v, simplex.working_upper(branch));
+    up.bounds.emplace_back(branch, ceil_v, simplex->working_upper(branch));
     up.parent_bound = node_bound;
     up.depth = node.depth + 1;
     up.id = next_id++;
@@ -649,12 +846,55 @@ MipResult MipSolver::solve_tree(
     emit_node(node, "branched", node_pivots, branch, branch_frac, false);
   }
 
-  result.lp_pivots = simplex.total_pivots();
+  // Cut rows participate in the final basis LU, so an incumbent found on
+  // the cut-augmented LP can carry O(1e-12) noise on its continuous
+  // values — a start time that should sit exactly on a bound comes back
+  // as 6 - 2e-14. Downstream consumers compare those values against exact
+  // constants (interval overlap tests in the admission engine), so the
+  // noise is load-bearing. Re-solving the cut-free LP with the integer
+  // assignment fixed recovers a clean vertex of the original polytope;
+  // cuts only tightened the relaxation, so the polished point can only
+  // match or improve the incumbent objective.
+  if (!incumbent.empty() && result.cuts_added > 0 && !deadline.expired()) {
+    lp::Problem clean = model.to_lp(nullptr);
+    lp::Simplex polish(clean, lp_options);
+    polish.set_time_limit(
+        deadline.unlimited() ? 0.0 : std::max(deadline.remaining(), 1e-3));
+    for (int j : int_vars)
+      polish.set_bounds(j, incumbent[static_cast<std::size_t>(j)],
+                        incumbent[static_cast<std::size_t>(j)]);
+    if (polish.solve() == lp::SolveStatus::kOptimal) {
+      std::vector<double> x = polish.primal_solution();
+      for (int j : int_vars)
+        x[static_cast<std::size_t>(j)] =
+            incumbent[static_cast<std::size_t>(j)];
+      const double model_obj = model.eval_objective(x);
+      const double lp_obj = (model_obj - constant) * scale;
+      if (lp_obj <= incumbent_lp_obj + 1e-6 &&
+          check_feasible(model, clean, x, 1e-5)) {
+        incumbent = std::move(x);
+        incumbent_lp_obj = std::min(incumbent_lp_obj, lp_obj);
+      }
+    }
+    retired_pivots += polish.total_pivots();
+  }
+
+  result.lp_pivots = retired_pivots + simplex->total_pivots();
   result.seconds = watch.seconds();
   result.has_solution = !incumbent.empty();
   if (result.has_solution) {
     result.solution = incumbent;
     result.objective = to_model_obj(incumbent_lp_obj);
+  }
+
+  if (gap_converged) {
+    // Converged under the reporting gap formula: optimal within
+    // gap_tolerance, with the honest frontier bound (not the incumbent
+    // echoed back) so the reported gap states what was actually proven.
+    result.status = MipStatus::kOptimal;
+    result.best_bound = to_model_obj(gap_bound_lp);
+    record_metrics();
+    return result;
   }
 
   const bool exhausted = !dive && open.empty();

@@ -16,6 +16,9 @@
 #include <optional>
 #include <vector>
 
+#include <functional>
+
+#include "mip/cuts.hpp"
 #include "mip/model.hpp"
 #include "lp/simplex.hpp"
 #include "presolve/presolve.hpp"
@@ -60,6 +63,23 @@ struct MipOptions {
   // original variable space.
   bool presolve = true;
   presolve::PresolveOptions presolve_options;
+  // Root cutting-plane loop (src/mip/cuts.hpp): up to `cut_rounds`
+  // separation rounds at the root, each admitting at most
+  // `max_cuts_per_round` Gomory mixed-integer + cover cuts into the LP;
+  // 0 rounds disables separation entirely. Fine-grained filter and pool
+  // knobs live in `cut_options`.
+  int cut_rounds = 8;
+  int max_cuts_per_round = 50;
+  cuts::CutOptions cut_options;
+  // Test/debug seam: observes every cut admitted into the root LP, in the
+  // (possibly presolved) space the tree solves. The cut-validity harness
+  // checks each observed cut against a known optimal integer solution.
+  std::function<void(const cuts::Cut&)> cut_observer;
+  // Reduced-cost variable fixing: after every optimal node LP with an
+  // incumbent available, nonbasic integer variables whose reduced cost
+  // proves them out of any improving solution are fixed (or their domain
+  // tightened) for the whole subtree.
+  bool rc_fixing = true;
   // Observability. `tree_log` receives one record per processed node (see
   // obs/tree_log.hpp for the schema); when null the solver falls back to
   // obs::TreeLog::global() — the log the `--tree-log` flag installs — so
@@ -114,6 +134,12 @@ struct MipResult {
   long presolve_bounds_tightened = 0;
   bool presolve_infeasible = false;  // presolve alone proved infeasibility
   double presolve_seconds = 0.0;
+  // Root cutting-plane telemetry (zero when MipOptions::cut_rounds is 0).
+  long cuts_added = 0;   // cuts admitted into the root LP
+  long cut_rounds = 0;   // separation rounds executed
+  // Integer variables fixed (domain collapsed to a point) by reduced-cost
+  // fixing across all nodes; zero when MipOptions::rc_fixing is off.
+  long rc_fixed = 0;
 
   /// Relative gap as the paper reports it: |incumbent - bound| over
   /// max(|incumbent|, |bound|, 1e-9) — the max keeps gaps finite and

@@ -1,0 +1,364 @@
+#include "mip/cuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace tvnep::mip::cuts {
+namespace {
+
+// Tableau entries below this are treated as factorization noise.
+constexpr double kNoiseTol = 1e-11;
+// Substituted structural coefficients below this are dropped (with a
+// bound-based right-hand-side relaxation that keeps the cut valid).
+constexpr double kCoefDrop = 1e-12;
+
+double frac(double v) { return v - std::floor(v); }
+
+bool is_integral(double v, double tol) {
+  return std::fabs(v - std::round(v)) <= tol;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ull;  // FNV-1a prime
+}
+
+}  // namespace
+
+std::uint64_t cut_signature(const std::vector<std::pair<int, double>>& terms,
+                            double rhs, double norm) {
+  std::uint64_t h = 1469598103934665603ull;
+  const double s = norm > 0.0 ? 1.0 / norm : 1.0;
+  for (const auto& [col, coef] : terms) {
+    h = mix(h, static_cast<std::uint64_t>(col));
+    h = mix(h, static_cast<std::uint64_t>(
+                   std::llround(coef * s * 1e9)));
+  }
+  h = mix(h, static_cast<std::uint64_t>(std::llround(rhs * s * 1e9)));
+  return h;
+}
+
+namespace {
+
+// Turns dense working coefficients into a filtered Cut. Near-zero
+// coefficients are dropped with the right-hand side relaxed by the
+// coefficient's worst case over the column's bounds, so the sparsified cut
+// stays globally valid; a coefficient that cannot be relaxed (unbounded in
+// the needed direction) is kept. Returns false when the candidate fails
+// the efficacy / density / dynamism gates.
+bool finalize_candidate(const std::vector<double>& dense, double rhs,
+                        Cut::Kind kind, const SeparationInput& in,
+                        const std::vector<double>& x,
+                        const CutOptions& options, Cut* out) {
+  const lp::Problem& problem = *in.problem;
+  const int n = problem.num_columns();
+  std::vector<std::pair<int, double>> terms;
+  double norm_sq = 0.0;
+  double max_abs = 0.0;
+  double min_abs = lp::kInfinity;
+  for (int j = 0; j < n; ++j) {
+    const double coef = dense[static_cast<std::size_t>(j)];
+    if (coef == 0.0) continue;
+    if (std::fabs(coef) < kCoefDrop) {
+      const lp::Column& col = problem.column(j);
+      const double worst = coef > 0.0 ? col.upper : col.lower;
+      if (!std::isfinite(worst)) {
+        terms.emplace_back(j, coef);  // cannot relax; keep the dust term
+        continue;
+      }
+      rhs -= coef * worst;
+      continue;
+    }
+    terms.emplace_back(j, coef);
+    norm_sq += coef * coef;
+    max_abs = std::max(max_abs, std::fabs(coef));
+    min_abs = std::min(min_abs, std::fabs(coef));
+  }
+  if (terms.empty()) return false;
+  const int max_nnz = std::max(
+      options.min_density_nnz,
+      static_cast<int>(options.max_density * static_cast<double>(n)));
+  if (static_cast<int>(terms.size()) > max_nnz) return false;
+  if (min_abs > 0.0 && max_abs / min_abs > options.max_dynamism) return false;
+  const double norm = std::sqrt(norm_sq);
+  if (norm <= 0.0) return false;
+  double activity = 0.0;
+  for (const auto& [col, coef] : terms)
+    activity += coef * x[static_cast<std::size_t>(col)];
+  const double violation = rhs - activity;
+  if (violation <= 0.0 || violation / norm < options.min_efficacy)
+    return false;
+  out->terms = std::move(terms);
+  out->rhs = rhs;
+  out->kind = kind;
+  out->efficacy = violation / norm;
+  out->age = 0;
+  out->signature = cut_signature(out->terms, rhs, norm);
+  return true;
+}
+
+}  // namespace
+
+double Cut::activity(const std::vector<double>& x) const {
+  double sum = 0.0;
+  for (const auto& [col, coef] : terms)
+    sum += coef * x[static_cast<std::size_t>(col)];
+  return sum;
+}
+
+std::vector<Cut> separate_gomory(const SeparationInput& in,
+                                 const CutOptions& options) {
+  TVNEP_REQUIRE(in.problem != nullptr && in.simplex != nullptr &&
+                    in.is_integer != nullptr,
+                "separate_gomory: incomplete input");
+  const lp::Problem& problem = *in.problem;
+  const lp::Simplex& simplex = *in.simplex;
+  const std::vector<bool>& is_integer = *in.is_integer;
+  const int n = problem.num_columns();
+  const int m = problem.num_rows();
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = simplex.value(j);
+
+  std::vector<Cut> out;
+  std::vector<double> row;
+  std::vector<double> dense(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int basic = simplex.basic_variable(i);
+    if (basic >= n || !is_integer[static_cast<std::size_t>(basic)]) continue;
+    const double xb = simplex.variable_value(basic);
+    const double f0 = frac(xb);
+    if (f0 < options.away || f0 > 1.0 - options.away) continue;
+    if (!simplex.tableau_row(i, &row)) break;  // basis unusable; give up
+
+    // The tableau row reads  x_B + sum_{v nonbasic} a_v x_v = x_B*. Shift
+    // every nonbasic variable to its resting bound (t_v >= 0) so the row
+    // becomes  x_B + sum abar_v t_v = x_B*, then apply the GMI formula to
+    // get  sum gamma_v t_v >= f0  and substitute t_v back out. Slacks are
+    // treated as continuous (always valid) and expanded through their
+    // defining row so the cut is structural-only.
+    std::fill(dense.begin(), dense.end(), 0.0);
+    double rhs = f0;
+    bool usable = true;
+    for (int v = 0; v < n + m && usable; ++v) {
+      if (v == basic) continue;
+      const double a = row[static_cast<std::size_t>(v)];
+      if (std::fabs(a) < kNoiseTol) continue;
+      const lp::VarStatus st = simplex.variable_status(v);
+      if (st == lp::VarStatus::kBasic) {
+        // Another basic variable with a visibly nonzero entry means the
+        // factorized tableau is too stale to trust for this row.
+        if (std::fabs(a) < 1e-7) continue;
+        usable = false;
+        break;
+      }
+      if (st == lp::VarStatus::kFree) {
+        usable = false;  // no nonnegative shift exists for a free variable
+        break;
+      }
+      const bool at_lower = st == lp::VarStatus::kAtLower;
+      double bound_lo;
+      double bound_hi;
+      if (v < n) {
+        bound_lo = simplex.working_lower(v);
+        bound_hi = simplex.working_upper(v);
+      } else {
+        const lp::Row& r = problem.row(v - n);
+        bound_lo = r.lower;
+        bound_hi = r.upper;
+      }
+      const double bound = at_lower ? bound_lo : bound_hi;
+      if (!std::isfinite(bound)) {
+        usable = false;
+        break;
+      }
+      const double abar = at_lower ? a : -a;
+      double gamma;
+      if (v < n && is_integer[static_cast<std::size_t>(v)] &&
+          is_integral(bound, 1e-9)) {
+        const double f = frac(abar);
+        gamma = f <= f0 ? f : f0 * (1.0 - f) / (1.0 - f0);
+      } else {
+        gamma = abar >= 0.0 ? abar : f0 * (-abar) / (1.0 - f0);
+      }
+      if (gamma < kCoefDrop) {
+        // Dropping gamma * t_v weakens the left-hand side by at most
+        // gamma * range(t_v); relax the right-hand side to compensate.
+        const double range = bound_hi - bound_lo;
+        if (std::isfinite(range)) {
+          rhs -= gamma * range;
+          continue;
+        }
+        // Unbounded shift: keep the dust term rather than lose validity.
+      }
+      // Substitute t_v back: t = x - lo (at lower) or t = up - x (at
+      // upper); for a slack, s = row_k . x expands through the row.
+      const double sign = at_lower ? 1.0 : -1.0;
+      if (v < n) {
+        dense[static_cast<std::size_t>(v)] += sign * gamma;
+        rhs += sign * gamma * bound;
+      } else {
+        for (const auto& entry : problem.matrix().row(v - n))
+          dense[static_cast<std::size_t>(entry.index)] +=
+              sign * gamma * entry.value;
+        rhs += sign * gamma * bound;
+      }
+    }
+    if (!usable) continue;
+    Cut cut;
+    if (finalize_candidate(dense, rhs, Cut::Kind::kGomory, in, x, options,
+                           &cut))
+      out.push_back(std::move(cut));
+  }
+  return out;
+}
+
+std::vector<Cut> separate_covers(const SeparationInput& in,
+                                 const std::vector<double>& x,
+                                 const CutOptions& options) {
+  TVNEP_REQUIRE(in.problem != nullptr && in.is_integer != nullptr,
+                "separate_covers: incomplete input");
+  const lp::Problem& problem = *in.problem;
+  const std::vector<bool>& is_integer = *in.is_integer;
+  const int n = problem.num_columns();
+
+  struct Item {
+    int col;
+    double weight;  // complemented knapsack weight, > 0
+    double value;   // LP value of the (possibly complemented) literal
+    bool complemented;
+  };
+
+  std::vector<Cut> out;
+  std::vector<Item> items;
+  std::vector<double> dense(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < in.base_rows; ++r) {
+    const auto row = problem.matrix().row(r);
+    if (row.size() < 2) continue;
+    // A ranged row yields up to two knapsacks: a.x <= up and -a.x <= -lo.
+    for (const double side : {1.0, -1.0}) {
+      const lp::Row& bounds = problem.row(r);
+      const double cap0 = side > 0.0 ? bounds.upper : -bounds.lower;
+      if (!std::isfinite(cap0)) continue;
+      items.clear();
+      double capacity = cap0;
+      double total_weight = 0.0;
+      bool usable = true;
+      for (const auto& entry : row) {
+        const int j = entry.index;
+        const lp::Column& col = problem.column(j);
+        // Plain covers need an all-binary support.
+        if (!is_integer[static_cast<std::size_t>(j)] || col.lower < -1e-9 ||
+            col.upper > 1.0 + 1e-9) {
+          usable = false;
+          break;
+        }
+        const double a = side * entry.value;
+        if (std::fabs(a) < kCoefDrop) continue;
+        Item item;
+        item.col = j;
+        if (a > 0.0) {
+          item.weight = a;
+          item.value = x[static_cast<std::size_t>(j)];
+          item.complemented = false;
+        } else {
+          // a*x = a - a*(1-x): complement so the weight is positive.
+          capacity -= a;
+          item.weight = -a;
+          item.value = 1.0 - x[static_cast<std::size_t>(j)];
+          item.complemented = true;
+        }
+        total_weight += item.weight;
+        items.push_back(item);
+      }
+      if (!usable || items.size() < 2 || capacity <= 1e-9) continue;
+      if (total_weight <= capacity + 1e-9) continue;  // no cover exists
+
+      // Greedy cover: most fractional-active literals first.
+      std::sort(items.begin(), items.end(),
+                [](const Item& a, const Item& b) { return a.value > b.value; });
+      std::size_t cover_end = 0;
+      double cover_weight = 0.0;
+      while (cover_end < items.size() && cover_weight <= capacity + 1e-9)
+        cover_weight += items[cover_end++].weight;
+      if (cover_weight <= capacity + 1e-9) continue;
+
+      // Minimalize: removing an item can only increase the violation
+      // (rhs drops by 1, activity by value <= 1), so shed the least
+      // active members while the cover property holds.
+      std::vector<Item> cover(items.begin(),
+                              items.begin() + static_cast<long>(cover_end));
+      for (std::size_t k = cover.size(); k-- > 0;) {
+        if (cover.size() <= 2) break;
+        if (cover_weight - cover[k].weight > capacity + 1e-9) {
+          cover_weight -= cover[k].weight;
+          cover.erase(cover.begin() + static_cast<long>(k));
+        }
+      }
+
+      // Extension lifting: every non-cover item at least as heavy as the
+      // heaviest cover member joins the left-hand side for free.
+      double heaviest = 0.0;
+      for (const Item& item : cover)
+        heaviest = std::max(heaviest, item.weight);
+      std::vector<const Item*> members;
+      for (const Item& item : cover) members.push_back(&item);
+      for (std::size_t k = cover_end; k < items.size(); ++k)
+        if (items[k].weight >= heaviest - 1e-12) members.push_back(&items[k]);
+
+      // sum of literals <= |cover| - 1, rewritten over x as a >= row.
+      std::fill(dense.begin(), dense.end(), 0.0);
+      double rhs = static_cast<double>(cover.size()) - 1.0;
+      for (const Item* item : members) {
+        if (item->complemented) {
+          dense[static_cast<std::size_t>(item->col)] -= 1.0;
+          rhs -= 1.0;
+        } else {
+          dense[static_cast<std::size_t>(item->col)] += 1.0;
+        }
+      }
+      for (double& c : dense) c = -c;
+      rhs = -rhs;
+      Cut cut;
+      if (finalize_candidate(dense, rhs, Cut::Kind::kCover, in, x, options,
+                             &cut))
+        out.push_back(std::move(cut));
+    }
+  }
+  return out;
+}
+
+int CutPool::admit(std::vector<Cut> candidates, int max_add) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Cut& a, const Cut& b) { return a.efficacy > b.efficacy; });
+  int admitted = 0;
+  for (Cut& cut : candidates) {
+    if (admitted >= max_add || size() >= options_.max_pool) break;
+    if (!seen_.insert(cut.signature).second) continue;
+    cuts_.push_back(std::move(cut));
+    ++admitted;
+  }
+  return admitted;
+}
+
+int CutPool::age_and_evict(const std::vector<double>& x) {
+  int evicted = 0;
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < cuts_.size(); ++k) {
+    Cut& cut = cuts_[k];
+    const double slack = cut.activity(x) - cut.rhs;
+    cut.age = slack > 1e-7 ? cut.age + 1 : 0;
+    if (cut.age > options_.max_age) {
+      ++evicted;
+      continue;
+    }
+    if (keep != k) cuts_[keep] = std::move(cut);  // guard the self-move
+    ++keep;
+  }
+  cuts_.resize(keep);
+  return evicted;
+}
+
+}  // namespace tvnep::mip::cuts
