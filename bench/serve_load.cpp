@@ -11,6 +11,7 @@
 //              [--arrival-rate R] [--metrics-port P]
 //              [--slo-window S] [--slo-budget F]
 //              [--emit-trace PATH]
+//              [--state-dir DIR] [--wal-fsync off|batch|every] [--wal-ab]
 //
 // `--scale K` runs K * 20 requests (the paper's evaluation uses 20).
 // Reoptimization runs synchronously every `--reopt-every` admissions so
@@ -29,10 +30,19 @@
 // daemon uses; the bench records admission latency, rung counters and the
 // SLO budget gauges into the live registry, so a 1 Hz scraper watches the
 // run as it happens.
+//
+// `--state-dir DIR` turns the durability layer on: every decision is
+// write-ahead-logged (DESIGN.md §16) before it counts, with the fsync
+// cadence from `--wal-fsync` (default batch). `--wal-ab` instead runs
+// each selected mode three times — WAL off, batch, every — on the same
+// trace and reports the p99 cost of each durability level side by side
+// (the acceptance bar: batch within 15% of off under the 100 ms SLO).
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +55,7 @@
 #include "serve/protocol.hpp"
 #include "serve/reoptimizer.hpp"
 #include "serve/slo.hpp"
+#include "serve/wal.hpp"
 #include "support/atomic_file.hpp"
 #include "support/stopwatch.hpp"
 #include "workload/trace.hpp"
@@ -58,6 +69,11 @@ struct LoadOptions {
   double shed_fraction = 0.5;
   double arrival_rate = 0.0;  // virtual req/s; 0 = no queue simulation
   serve::SloOptions slo;
+  /// WAL A/B axis: "off" disables the durability layer; "batch"/"every"
+  /// write-ahead-log each decision into `state_root/<mode>-<wal>` with
+  /// the corresponding fsync cadence.
+  std::string wal = "off";
+  std::string state_root;
 };
 
 struct ModeResult {
@@ -74,6 +90,10 @@ struct ModeResult {
   long max_queue_depth = 0;
   double mean_queue_depth = 0.0;
   double slo_budget_remaining = 1.0;
+  std::string wal = "off";
+  long wal_appends = 0;
+  long wal_fsyncs = 0;
+  long wal_snapshots = 0;
   obs::HistogramSnapshot latency_ms;
   double total_seconds = 0.0;
 
@@ -91,12 +111,32 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
                     const LoadOptions& load) {
   ModeResult result;
   result.mode = with_reopt ? "reopt" : "greedy";
-  serve::AdmissionEngine engine(
+  result.wal = load.wal;
+  const net::SubstrateNetwork substrate =
       net::make_grid(params.grid_rows, params.grid_cols, params.node_capacity,
-                     params.link_capacity),
-      admission);
+                     params.link_capacity);
+  serve::AdmissionEngine engine(substrate, admission);
   serve::Reoptimizer reoptimizer(&engine, reopt_options);
   serve::SloBudget slo(load.slo);
+
+  // Durability layer under test: each run gets a fresh directory so the
+  // A/B rows measure logging cost, never recovery cost.
+  std::unique_ptr<serve::Wal> wal;
+  if (load.wal != "off") {
+    const std::string wal_dir =
+        load.state_root + "/" + result.mode + "-" + load.wal;
+    std::error_code ec;
+    std::filesystem::remove_all(wal_dir, ec);
+    serve::WalOptions wal_options;
+    wal_options.fsync = load.wal == "batch"
+                            ? serve::WalOptions::Fsync::kBatch
+                            : serve::WalOptions::Fsync::kEvery;
+    serve::RecoveredState recovered;
+    wal = serve::Wal::open(wal_dir,
+                           serve::serve_state_fingerprint(substrate, admission),
+                           wal_options, &recovered);
+    wal->attach(&engine);
+  }
 
   const bool paced = load.arrival_rate > 0.0;
   double server_free = 0.0;       // virtual clock: when the server frees up
@@ -154,6 +194,14 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
       server_free = start_service + service_s;
       in_flight.push_back(server_free);
     }
+    // Snapshot cadence between requests, exactly like the daemon worker —
+    // the append (inside admit, via the state sink) is in the measured
+    // service time; the compaction is not on any request's critical path.
+    if (wal != nullptr && !wal->crashed() && wal->wants_snapshot())
+      engine.with_snapshot_full(
+          [&](const serve::AdmissionEngine::Snapshot& s) {
+            wal->write_snapshot(s);
+          });
 
     result.latency_ms.observe(latency_ms);
     obs::histogram_observe("serve.admit.latency_ms", latency_ms);
@@ -184,6 +232,14 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
     result.mean_queue_depth =
         static_cast<double>(depth_sum) / static_cast<double>(result.requests);
 
+  if (wal != nullptr) {
+    const serve::WalStats stats = wal->stats();
+    result.wal_appends = stats.appends;
+    result.wal_fsyncs = stats.fsyncs;
+    result.wal_snapshots = stats.snapshots;
+    engine.set_state_sink({});
+  }
+
   // Paper revenue (Section IV-E.1): every commit in the history is an
   // accepted request contributing d_R * sum of its node demands.
   for (const serve::Commit& c : engine.history())
@@ -193,16 +249,17 @@ ModeResult run_mode(const workload::ArrivalTrace& trace,
 
 void print_result(const ModeResult& r) {
   std::printf(
-      "%-6s  requests=%-6ld accepted=%-6ld shed=%-5ld aged=%-4ld "
+      "%-6s wal=%-5s requests=%-6ld accepted=%-6ld shed=%-5ld aged=%-4ld "
       "overload=%-4ld revenue=%-10.3f reopt=%ld/%ld stale=%ld  "
       "p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms  qmax=%ld qmean=%.2f "
-      "budget=%.2f  %.1f req/s (%.2fs total)\n",
-      r.mode.c_str(), r.requests, r.accepted, r.shed, r.shed_aged,
-      r.reject_overload, r.revenue, r.reopt_installs, r.reopt_passes,
-      r.reopt_stale, r.latency_ms.p50(), r.latency_ms.p90(),
+      "budget=%.2f  wal=%ld/%ld/%ld  %.1f req/s (%.2fs total)\n",
+      r.mode.c_str(), r.wal.c_str(), r.requests, r.accepted, r.shed,
+      r.shed_aged, r.reject_overload, r.revenue, r.reopt_installs,
+      r.reopt_passes, r.reopt_stale, r.latency_ms.p50(), r.latency_ms.p90(),
       r.latency_ms.p99(), r.latency_ms.count > 0 ? r.latency_ms.max : 0.0,
       r.max_queue_depth, r.mean_queue_depth, r.slo_budget_remaining,
-      r.req_per_s(), r.total_seconds);
+      r.wal_appends, r.wal_fsyncs, r.wal_snapshots, r.req_per_s(),
+      r.total_seconds);
 }
 
 }  // namespace
@@ -263,17 +320,40 @@ int main(int argc, char** argv) {
               params.flexibility, slo_ms, admission.max_step_requests,
               load.arrival_rate);
 
+  // WAL A/B axis: --wal-ab runs each mode at off/batch/every; otherwise a
+  // single durability level from --state-dir / --wal-fsync (default off).
+  const std::string wal_fsync = args.get_string("wal-fsync", "batch");
+  if (wal_fsync != "off" && wal_fsync != "batch" && wal_fsync != "every") {
+    std::cerr << "serve_load: --wal-fsync must be off, batch, or every\n";
+    return 1;
+  }
+  load.state_root = args.get_string("state-dir", "");
+  std::vector<std::string> wal_levels;
+  if (args.has("wal-ab"))
+    wal_levels = {"off", "batch", "every"};
+  else if (!load.state_root.empty())
+    wal_levels = {wal_fsync};
+  else
+    wal_levels = {"off"};
+  if (load.state_root.empty()) load.state_root = "serve_load_state";
+
   std::vector<ModeResult> results;
-  if (mode == "greedy" || mode == "both")
-    results.push_back(run_mode(trace, params, admission, /*with_reopt=*/false,
-                               reopt_every, reopt_options, load));
-  if (mode == "reopt" || mode == "both")
-    results.push_back(run_mode(trace, params, admission, /*with_reopt=*/true,
-                               reopt_every, reopt_options, load));
+  for (const std::string& wal_level : wal_levels) {
+    load.wal = wal_level;
+    if (mode == "greedy" || mode == "both")
+      results.push_back(run_mode(trace, params, admission,
+                                 /*with_reopt=*/false, reopt_every,
+                                 reopt_options, load));
+    if (mode == "reopt" || mode == "both")
+      results.push_back(run_mode(trace, params, admission,
+                                 /*with_reopt=*/true, reopt_every,
+                                 reopt_options, load));
+  }
   for (const ModeResult& r : results) print_result(r);
   metrics_server.stop();
 
-  if (results.size() == 2) {
+  // Same-mode revenue deltas only make sense within one durability level.
+  if (results.size() == 2 && wal_levels.size() == 1) {
     const double delta = results[1].revenue - results[0].revenue;
     std::printf("reopt revenue delta: %+.3f (%+.2f%%), accepted %+ld\n",
                 delta,
@@ -282,16 +362,36 @@ int main(int argc, char** argv) {
                 results[1].accepted - results[0].accepted);
   }
 
+  // A/B summary: the durability tax on tail latency, per engine mode.
+  if (wal_levels.size() > 1) {
+    for (const std::string& m : {std::string("greedy"), std::string("reopt")}) {
+      const ModeResult* off = nullptr;
+      for (const ModeResult& r : results)
+        if (r.mode == m && r.wal == "off") off = &r;
+      if (off == nullptr) continue;
+      for (const ModeResult& r : results) {
+        if (r.mode != m || r.wal == "off") continue;
+        const double base = off->latency_ms.p99();
+        std::printf("wal p99 %-6s %-5s: %.2fms vs %.2fms off (%+.1f%%)\n",
+                    m.c_str(), r.wal.c_str(), r.latency_ms.p99(), base,
+                    base > 0.0 ? 100.0 * (r.latency_ms.p99() - base) / base
+                               : 0.0);
+      }
+    }
+  }
+
   const std::string csv = args.get_string("csv", "");
   if (!csv.empty()) {
     AtomicFile out(csv);
-    out.stream() << "scale,mode,requests,accepted,shed,shed_aged,"
+    out.stream() << "scale,mode,wal,requests,accepted,shed,shed_aged,"
                     "reject_overload,revenue,reopt_passes,reopt_installs,"
                     "reopt_stale,p50_ms,p90_ms,p99_ms,max_ms,"
                     "max_queue_depth,mean_queue_depth,slo_budget_remaining,"
+                    "wal_appends,wal_fsyncs,wal_snapshots,"
                     "req_per_s,total_s\n";
     for (const ModeResult& r : results)
-      out.stream() << scale << ',' << r.mode << ',' << r.requests << ','
+      out.stream() << scale << ',' << r.mode << ',' << r.wal << ','
+                   << r.requests << ','
                    << r.accepted << ',' << r.shed << ',' << r.shed_aged << ','
                    << r.reject_overload << ',' << r.revenue << ','
                    << r.reopt_passes << ',' << r.reopt_installs << ','
@@ -301,6 +401,8 @@ int main(int argc, char** argv) {
                    << (r.latency_ms.count > 0 ? r.latency_ms.max : 0.0) << ','
                    << r.max_queue_depth << ',' << r.mean_queue_depth << ','
                    << r.slo_budget_remaining << ','
+                   << r.wal_appends << ',' << r.wal_fsyncs << ','
+                   << r.wal_snapshots << ','
                    << r.req_per_s() << ',' << r.total_seconds << '\n';
     if (!out.commit()) {
       std::cerr << "serve_load: failed to write " << csv << "\n";

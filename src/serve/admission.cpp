@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/fastpath.hpp"
+#include "support/check.hpp"
 
 namespace tvnep::serve {
 
@@ -34,7 +35,8 @@ AdmissionEngine::AdmissionEngine(net::SubstrateNetwork substrate,
                                  AdmissionOptions options)
     : substrate_(std::move(substrate)), options_(std::move(options)) {}
 
-void AdmissionEngine::advance_now(double t_s) {
+void AdmissionEngine::advance_now(double t_s,
+                                  std::vector<std::uint64_t>* retired_out) {
   now_ = std::max(now_, t_s);
   if (!options_.gc || active_.empty()) return;
   // Retire whole overlap-closure components, never single commits. An
@@ -66,10 +68,12 @@ void AdmissionEngine::advance_now(double t_s) {
   std::vector<Commit> still;
   still.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (component_end[find(i)] > now_ + kTimeTol)
+    if (component_end[find(i)] > now_ + kTimeTol) {
       still.push_back(std::move(active_[i]));
-    else
+    } else {
+      if (retired_out != nullptr) retired_out->push_back(active_[i].seq);
       retired_.push_back(std::move(active_[i]));
+    }
   }
   active_ = std::move(still);
 }
@@ -106,19 +110,22 @@ void AdmissionEngine::collect_component(double window_start, double window_end,
 AdmitResult AdmissionEngine::admit(const RequestMessage& message) {
   std::lock_guard<std::mutex> lock(mutex_);
   obs::SpanScope span("serve.step", "serve");
-  AdmitResult result = admit_locked(message);
+  StateTransition txn;
+  AdmitResult result = admit_locked(message, &txn);
+  emit_decision_locked(message, result, /*fastpath=*/false, &txn);
   obs::histogram_observe("serve.step.component_size",
                          static_cast<double>(result.component_size));
   return result;
 }
 
-AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
+AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message,
+                                          StateTransition* txn) {
   AdmitResult result;
   if (!mapping_valid(message, substrate_.num_nodes())) {
     result.outcome = AdmitOutcome::kInvalidMapping;
     return result;
   }
-  advance_now(message.request.earliest_start());
+  advance_now(message.request.earliest_start(), &txn->retired);
 
   // Clamp the window to the virtual now: a request cannot start in the
   // past. For nondecreasing arrival traces the clamp is the identity, so
@@ -171,6 +178,7 @@ AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
         step.step.solution.requests[static_cast<std::size_t>(k)];
 
   if (!step.accepted) {
+    for (std::size_t idx : component) txn->refreshed.push_back(&active_[idx]);
     result.outcome = AdmitOutcome::kRejected;
     return result;
   }
@@ -185,6 +193,9 @@ AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
   commit.embedding =
       step.step.solution.requests[static_cast<std::size_t>(target)];
   active_.push_back(std::move(commit));
+  // Pointers only after the push_back: it may reallocate active_.
+  for (std::size_t idx : component) txn->refreshed.push_back(&active_[idx]);
+  txn->commit = &active_.back();
   ++version_;
   ++accepted_total_;
   result.outcome = AdmitOutcome::kAccepted;
@@ -196,16 +207,20 @@ AdmitResult AdmissionEngine::admit_locked(const RequestMessage& message) {
 AdmitResult AdmissionEngine::admit_fastpath(const RequestMessage& message) {
   std::lock_guard<std::mutex> lock(mutex_);
   obs::SpanScope span("serve.fastpath", "serve");
-  return fastpath_locked(message);
+  StateTransition txn;
+  AdmitResult result = fastpath_locked(message, &txn);
+  emit_decision_locked(message, result, /*fastpath=*/true, &txn);
+  return result;
 }
 
-AdmitResult AdmissionEngine::fastpath_locked(const RequestMessage& message) {
+AdmitResult AdmissionEngine::fastpath_locked(const RequestMessage& message,
+                                             StateTransition* txn) {
   AdmitResult result;
   if (!mapping_valid(message, substrate_.num_nodes())) {
     result.outcome = AdmitOutcome::kInvalidMapping;
     return result;
   }
-  advance_now(message.request.earliest_start());
+  advance_now(message.request.earliest_start(), &txn->retired);
 
   net::VnetRequest candidate = message.request;
   if (candidate.latest_start() < now_ - kTimeTol) {
@@ -235,12 +250,31 @@ AdmitResult AdmissionEngine::fastpath_locked(const RequestMessage& message) {
   commit.embedding = routed.embedding;
   commit.fastpath = true;
   active_.push_back(std::move(commit));
+  txn->commit = &active_.back();
   ++version_;
   ++accepted_total_;
   result.outcome = AdmitOutcome::kAccepted;
   result.start = routed.start;
   result.end = routed.end;
   return result;
+}
+
+void AdmissionEngine::emit_decision_locked(const RequestMessage& message,
+                                           const AdmitResult& result,
+                                           bool fastpath,
+                                           StateTransition* txn) {
+  ++decisions_total_;
+  if (!sink_) return;
+  txn->kind = StateTransition::Kind::kDecision;
+  txn->request_id = message.id;
+  txn->outcome = result.outcome;
+  txn->fastpath = fastpath;
+  txn->now = now_;
+  txn->version = version_;
+  txn->next_seq = next_seq_;
+  txn->accepted_total = accepted_total_;
+  txn->decisions = decisions_total_;
+  sink_(*txn);
 }
 
 double AdmissionEngine::virtual_now() const {
@@ -263,13 +297,62 @@ std::size_t AdmissionEngine::retired_commits() const {
   return retired_.size();
 }
 
+std::uint64_t AdmissionEngine::decisions_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decisions_total_;
+}
+
+void AdmissionEngine::set_state_sink(StateSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 AdmissionEngine::Snapshot AdmissionEngine::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
   snap.version = version_;
   snap.now = now_;
   snap.commits = active_;
+  snap.next_seq = next_seq_;
+  snap.accepted_total = accepted_total_;
+  snap.decisions = decisions_total_;
   return snap;
+}
+
+AdmissionEngine::Snapshot AdmissionEngine::snapshot_full() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_full_locked();
+}
+
+AdmissionEngine::Snapshot AdmissionEngine::snapshot_full_locked() const {
+  Snapshot snap;
+  snap.version = version_;
+  snap.now = now_;
+  snap.commits = active_;
+  snap.retired = retired_;
+  snap.next_seq = next_seq_;
+  snap.accepted_total = accepted_total_;
+  snap.decisions = decisions_total_;
+  return snap;
+}
+
+void AdmissionEngine::with_snapshot_full(
+    const std::function<void(const Snapshot&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fn(snapshot_full_locked());
+}
+
+void AdmissionEngine::restore(const Snapshot& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TVNEP_REQUIRE(active_.empty() && retired_.empty() && decisions_total_ == 0,
+                "restore requires a pristine engine");
+  active_ = state.commits;
+  retired_ = state.retired;
+  now_ = state.now;
+  version_ = state.version;
+  next_seq_ = state.next_seq;
+  accepted_total_ = state.accepted_total;
+  decisions_total_ = state.decisions;
 }
 
 bool AdmissionEngine::try_install(std::uint64_t expected_version,
@@ -312,6 +395,18 @@ bool AdmissionEngine::try_install(std::uint64_t expected_version,
       commit->embedding = embedding.embedding;
   }
   ++version_;
+  if (sink_) {
+    StateTransition txn;
+    txn.kind = StateTransition::Kind::kInstall;
+    txn.reschedules = &reschedules;
+    txn.embeddings = &embeddings;
+    txn.now = now_;
+    txn.version = version_;
+    txn.next_seq = next_seq_;
+    txn.accepted_total = accepted_total_;
+    txn.decisions = decisions_total_;
+    sink_(txn);
+  }
   obs::counter_add("serve.reopt.installed");
   return true;
 }

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -84,6 +85,14 @@ struct AdmitResult {
   int component_size = 0;
 };
 
+struct StateTransition;
+/// Observer for durable logging (serve/wal). Invoked while the engine
+/// lock is still held, so the write-ahead append completes before the
+/// triggering call returns — hence before any ack reaches the wire. The
+/// pointers inside StateTransition are valid only for the duration of
+/// the call.
+using StateSink = std::function<void(const StateTransition&)>;
+
 class AdmissionEngine {
  public:
   AdmissionEngine(net::SubstrateNetwork substrate, AdmissionOptions options);
@@ -105,6 +114,16 @@ class AdmissionEngine {
   std::size_t active_commits() const;
   std::size_t retired_commits() const;
   std::uint64_t accepted_total() const { return accepted_total_; }
+  /// Admission calls decided so far (accepts and rejects, both paths).
+  /// Persisted in snapshots: after recovery it is the index of the next
+  /// request in a replayed trace, which is how the kill-point matrix
+  /// resumes at the exact interruption point.
+  std::uint64_t decisions_total() const;
+
+  /// Installs the durable-logging observer (serve/wal); pass an empty
+  /// function to detach. The sink runs under the engine lock on every
+  /// decision and install, before the call returns.
+  void set_state_sink(StateSink sink);
 
   const net::SubstrateNetwork& substrate() const { return substrate_; }
   const AdmissionOptions& options() const { return options_; }
@@ -115,8 +134,33 @@ class AdmissionEngine {
     std::uint64_t version = 0;
     double now = 0.0;
     std::vector<Commit> commits;  // all active commits, admission order
+    // ----- full-state extension (snapshot_full / restore) -----
+    std::vector<Commit> retired;  // GC'd commits, retirement order
+    std::uint64_t next_seq = 0;
+    std::uint64_t accepted_total = 0;
+    std::uint64_t decisions = 0;  // decisions_total()
   };
   Snapshot snapshot() const;
+
+  /// Snapshot including the retired ledger — everything restore() needs
+  /// to reconstruct the engine exactly (the reoptimizer uses the lighter
+  /// snapshot(), which skips the retired copy).
+  Snapshot snapshot_full() const;
+
+  /// Runs `fn` on the full snapshot while still holding the engine lock,
+  /// so no decision or install can interleave between reading the state
+  /// and `fn` returning. The WAL publishes snapshots through this:
+  /// compacting the log outside the lock could race a concurrent install
+  /// record into oblivion (appended after the state was read, erased by
+  /// the compaction). Lock order stays engine → wal, same as the sink.
+  void with_snapshot_full(
+      const std::function<void(const Snapshot&)>& fn) const;
+
+  /// Rehydrates a freshly constructed engine from a recovered snapshot.
+  /// Requires a pristine engine (no decisions taken): recovery happens
+  /// before the daemon starts serving. Subsequent decisions are
+  /// byte-identical to an engine that lived through the original calls.
+  void restore(const Snapshot& state);
 
   struct NewSchedule {
     std::uint64_t seq = 0;
@@ -143,21 +187,63 @@ class AdmissionEngine {
 
  private:
   // All private helpers assume mutex_ is held.
-  void advance_now(double t_s);
+  void advance_now(double t_s, std::vector<std::uint64_t>* retired_out);
   void collect_component(double window_start, double window_end,
                          std::vector<std::size_t>* out) const;
-  AdmitResult admit_locked(const RequestMessage& message);
-  AdmitResult fastpath_locked(const RequestMessage& message);
+  AdmitResult admit_locked(const RequestMessage& message,
+                           StateTransition* txn);
+  AdmitResult fastpath_locked(const RequestMessage& message,
+                              StateTransition* txn);
+  void emit_decision_locked(const RequestMessage& message,
+                            const AdmitResult& result, bool fastpath,
+                            StateTransition* txn);
+  Snapshot snapshot_full_locked() const;
 
   mutable std::mutex mutex_;
   net::SubstrateNetwork substrate_;
   AdmissionOptions options_;
+  StateSink sink_;
   std::vector<Commit> active_;
   std::vector<Commit> retired_;
   double now_ = 0.0;
   std::uint64_t version_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t accepted_total_ = 0;
+  std::uint64_t decisions_total_ = 0;
+};
+
+/// One engine state change, as seen by the StateSink while the engine
+/// lock is held. A kDecision is emitted for *every* admit/fastpath call —
+/// rejects included, because a reject can advance the virtual now, retire
+/// a component, and refresh the component's stored flows (which the
+/// fastpath then prices against); replay must reproduce all of it for
+/// byte-identical recovery. A kInstall mirrors a successful try_install.
+struct StateTransition {
+  enum class Kind { kDecision, kInstall };
+  Kind kind = Kind::kDecision;
+
+  // ----- kDecision -----
+  std::string request_id;
+  AdmitOutcome outcome = AdmitOutcome::kRejected;
+  bool fastpath = false;
+  /// The freshly accepted commit (nullptr unless outcome == kAccepted).
+  const Commit* commit = nullptr;
+  /// Seqs garbage-collected by this call's now-advance, retirement order.
+  std::vector<std::uint64_t> retired;
+  /// Component commits whose stored flows the step solve refreshed
+  /// (exact path; populated on rejects too).
+  std::vector<const Commit*> refreshed;
+
+  // ----- kInstall -----
+  const std::vector<AdmissionEngine::NewSchedule>* reschedules = nullptr;
+  const std::vector<AdmissionEngine::NewSchedule>* embeddings = nullptr;
+
+  // ----- resulting engine counters (both kinds) -----
+  double now = 0.0;
+  std::uint64_t version = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t accepted_total = 0;
+  std::uint64_t decisions = 0;
 };
 
 }  // namespace tvnep::serve

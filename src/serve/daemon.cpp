@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -13,6 +15,8 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/net_util.hpp"
+#include "support/check.hpp"
 #include "support/parse_error.hpp"
 
 namespace tvnep::serve {
@@ -33,12 +37,53 @@ Daemon::Daemon(net::SubstrateNetwork substrate, DaemonOptions options)
       engine_(std::move(substrate), options_.admission),
       reoptimizer_(&engine_, options_.reopt),
       slo_(options_.slo) {
+  if (!options_.state_dir.empty()) {
+    // Recover before any thread can decide: load the newest snapshot,
+    // replay the WAL tail, re-validate the recovered commits against the
+    // substrate capacities, and only then attach the sink. A daemon that
+    // cannot prove its recovered ledger feasible must not serve on it.
+    RecoveredState recovered;
+    wal_ = Wal::open(options_.state_dir,
+                     serve_state_fingerprint(engine_.substrate(),
+                                             options_.admission),
+                     options_.wal, &recovered);
+    const WalStats wal_stats = wal_->stats();
+    recovery_.replayed = wal_stats.replayed;
+    recovery_.torn_repaired = wal_stats.torn_repaired;
+    if (recovered.had_state) {
+      const core::ValidationResult check = validate_commit_state(
+          engine_.substrate(), recovered.state.commits,
+          recovered.state.retired);
+      TVNEP_REQUIRE(check.ok,
+                    "recovered state failed capacity validation: " +
+                        (check.errors.empty() ? std::string("unknown")
+                                              : check.errors.front()));
+      engine_.restore(recovered.state);
+      recovery_.recovered = true;
+      recovery_.validated = true;
+      recovery_.active = recovered.state.commits.size();
+      recovery_.retired = recovered.state.retired.size();
+      recovery_.decisions = recovered.state.decisions;
+      obs::log_info(
+          "serve.daemon", "state recovered",
+          "\"active\":" + std::to_string(recovery_.active) +
+              ",\"retired\":" + std::to_string(recovery_.retired) +
+              ",\"decisions\":" + std::to_string(recovery_.decisions) +
+              ",\"replayed\":" + std::to_string(recovery_.replayed) +
+              ",\"torn_repaired\":" +
+              std::to_string(recovery_.torn_repaired));
+    }
+    wal_->attach(&engine_);
+  }
   if (options_.reopt_interval_seconds > 0.0)
     reoptimizer_.start_background(options_.reopt_interval_seconds);
 }
 
 Daemon::~Daemon() {
   reoptimizer_.stop();
+  // The sink captures the WAL, which is destroyed before engine_ (reverse
+  // member order); no thread is left to fire it, but detach anyway.
+  engine_.set_state_sink({});
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -48,9 +93,19 @@ bool Daemon::write_line(int fd, const std::string& line) {
   out.push_back('\n');
   std::size_t written = 0;
   while (written < out.size()) {
-    const ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    // MSG_NOSIGNAL: a client that hung up mid-response must surface as
+    // EPIPE on this connection, not as a process-wide SIGPIPE (the
+    // default disposition of which kills the daemon). Pipes (tests,
+    // stdio mode) report ENOTSOCK and fall back to write(2) — main
+    // ignores SIGPIPE process-wide for that path.
+    ssize_t n =
+        ::send(fd, out.data() + written, out.size() - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK)
+      n = ::write(fd, out.data() + written, out.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        obs::counter_add("serve.client_gone");
       return false;  // peer gone; the stream is ending anyway
     }
     written += static_cast<std::size_t>(n);
@@ -358,6 +413,15 @@ long Daemon::serve(int in_fd, int out_fd) {
         }
         stream_decided_.fetch_add(1, std::memory_order_relaxed);
         decided_total_.fetch_add(1, std::memory_order_relaxed);
+        if (wal_ != nullptr && wal_->wants_snapshot()) {
+          // Publish under the engine lock (with_snapshot_full) so no
+          // install record can land between reading the state and the
+          // log compaction — it would be erased but not captured.
+          engine_.with_snapshot_full(
+              [this](const AdmissionEngine::Snapshot& state) {
+                wal_->write_snapshot(state);
+              });
+        }
         break;
       }
       case MessageKind::kStats:
@@ -415,6 +479,14 @@ std::string Daemon::stats_fields() const {
      << ",\"reopt_installs\":" << reoptimizer_.installs()
      << ",\"reopt_stale\":" << reoptimizer_.stale_discards()
      << ",\"reopt_cancelled\":" << reoptimizer_.cancelled();
+  const WalStats wal = wal_ != nullptr ? wal_->stats() : WalStats{};
+  os << ",\"wal\":" << (wal_ != nullptr ? "true" : "false")
+     << ",\"wal_appends\":" << wal.appends
+     << ",\"wal_fsyncs\":" << wal.fsyncs
+     << ",\"wal_io_errors\":" << wal.io_errors
+     << ",\"wal_snapshots\":" << wal.snapshots
+     << ",\"wal_replayed\":" << wal.replayed
+     << ",\"wal_torn_repaired\":" << wal.torn_repaired;
   return os.str();
 }
 
@@ -441,6 +513,7 @@ int Daemon::listen_tcp(int port) {
 
 long Daemon::serve_tcp() {
   long total = 0;
+  AcceptBackoff backoff;
   while (!stopped() && listen_fd_ >= 0) {
     struct pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -449,7 +522,24 @@ long Daemon::serve_tcp() {
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) {
+      const int err = errno;
+      obs::counter_add("serve.accept_errors");
+      const int delay = backoff.on_error(err);
+      if (delay > 0) {
+        // Descriptor/table exhaustion: keep the listener alive and retry
+        // with bounded backoff instead of spinning (poll reports the
+        // pending connection as readable forever).
+        obs::log_warn("serve.daemon", "accept failed",
+                      "\"errno\":" + std::to_string(err) +
+                          ",\"backoff_ms\":" + std::to_string(delay));
+        for (int slept = 0; slept < delay && !stopped(); slept += kPollMs)
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min(kPollMs, delay - slept)));
+      }
+      continue;
+    }
+    backoff.on_success();
     total += serve(conn, conn);
     ::close(conn);
   }

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "serve/protocol.hpp"
 #include "serve/reoptimizer.hpp"
 #include "serve/slo.hpp"
+#include "serve/wal.hpp"
 #include "support/stopwatch.hpp"
 
 namespace tvnep::serve {
@@ -55,6 +57,12 @@ struct DaemonOptions {
   /// Externally owned stop flag (the SIGINT/SIGTERM handler sets it); the
   /// reader and accept loops poll it. nullptr = never externally stopped.
   const std::atomic<bool>* external_stop = nullptr;
+  /// Durable admission state (DESIGN §16). Empty disables the WAL; set,
+  /// the daemon recovers any prior state from this directory before
+  /// serving (refusing to start if the recovered commits fail capacity
+  /// validation) and write-ahead-logs every transition afterwards.
+  std::string state_dir;
+  WalOptions wal;
 };
 
 class Daemon {
@@ -78,6 +86,23 @@ class Daemon {
   AdmissionEngine& engine() { return engine_; }
   Reoptimizer& reoptimizer() { return reoptimizer_; }
   SloBudget& slo_budget() { return slo_; }
+  /// The durability layer; nullptr when state_dir is empty.
+  Wal* wal() { return wal_.get(); }
+
+  /// What startup recovery found (all zeros without --state-dir or on a
+  /// cold start). `validated` reports the capacity re-check of the
+  /// recovered commit set — the constructor throws if it fails, so a
+  /// live daemon always shows true when `recovered` is.
+  struct RecoveryInfo {
+    bool recovered = false;
+    std::size_t active = 0;
+    std::size_t retired = 0;
+    std::uint64_t decisions = 0;
+    long replayed = 0;
+    long torn_repaired = 0;
+    bool validated = false;
+  };
+  const RecoveryInfo& recovery_info() const { return recovery_; }
   long decided_total() const {
     return decided_total_.load(std::memory_order_relaxed);
   }
@@ -123,6 +148,8 @@ class Daemon {
   Reoptimizer reoptimizer_;
   SloBudget slo_;
   Stopwatch clock_;
+  std::unique_ptr<Wal> wal_;
+  RecoveryInfo recovery_;
 
   std::atomic<long> rung_door_{0};
   std::atomic<long> rung_overload_{0};

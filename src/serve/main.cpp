@@ -11,24 +11,30 @@
 //               [--port P]                 (0 = ephemeral; prints the port)
 //               [--slo-window 60] [--slo-budget 0.05]
 //               [--metrics-port P]         (loopback /metrics listener)
+//               [--state-dir D]            (durable WAL + snapshots, §16)
+//               [--wal-fsync every|batch] [--snapshot-every 256]
 //               [--log F] [--log-level info] [--live-flush-ms 0]
 //               [--rows 4 --cols 5 --node-cap 3.5 --link-cap 5]
 //               [--trace F] [--trace-jsonl F] [--metrics F] [--tree-log F]
 //   tvnep_serve --emit N [--seed 1] [--flex 1.5] [--interarrival 1]
 //               [--leaves 4] [--no-mappings] [--save-trace F]
 //               [--from-trace F] [--no-drain]
+//   tvnep_serve --dump-state --state-dir D   (recover, validate, print, exit)
 #include <atomic>
 #include <csignal>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "eval/args.hpp"
 #include "net/topology.hpp"
 #include "obs/log.hpp"
 #include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "serve/daemon.hpp"
 #include "serve/metrics_server.hpp"
 #include "serve/protocol.hpp"
+#include "serve/wal.hpp"
 #include "support/check.hpp"
 #include "workload/trace.hpp"
 
@@ -85,9 +91,84 @@ int emit_requests(const tvnep::eval::Args& args) {
   return 0;
 }
 
+bool parse_wal_flags(const tvnep::eval::Args& args,
+                     tvnep::serve::DaemonOptions* options) {
+  options->state_dir = args.get_string("state-dir", "");
+  const std::string fsync_mode = args.get_string("wal-fsync", "every");
+  if (fsync_mode == "batch") {
+    options->wal.fsync = tvnep::serve::WalOptions::Fsync::kBatch;
+  } else if (fsync_mode != "every") {
+    std::cerr << "tvnep_serve: unknown --wal-fsync \"" << fsync_mode
+              << "\" (every|batch)\n";
+    return false;
+  }
+  options->wal.snapshot_every = args.get_int("snapshot-every", 256);
+  return true;
+}
+
+// --dump-state: recover from --state-dir exactly as the daemon would
+// (snapshot + WAL tail + capacity validation), print the recovered commit
+// ledger as one JSON line, and exit — what the CI recover job diffs the
+// pre-kill acknowledgements against. Exit 1 when validation fails.
+int dump_state(const tvnep::eval::Args& args) {
+  namespace serve = tvnep::serve;
+  const std::string state_dir = args.get_string("state-dir", "");
+  if (state_dir.empty()) {
+    std::cerr << "tvnep_serve: --dump-state requires --state-dir\n";
+    return 1;
+  }
+  serve::AdmissionOptions admission;
+  admission.max_step_requests = args.get_int("max-step", 64);
+  const tvnep::net::SubstrateNetwork substrate = tvnep::net::make_grid(
+      args.get_int("rows", 4), args.get_int("cols", 5),
+      args.get_double("node-cap", 3.5), args.get_double("link-cap", 5.0));
+
+  serve::RecoveredState recovered;
+  const std::unique_ptr<serve::Wal> wal = serve::Wal::open(
+      state_dir, serve::serve_state_fingerprint(substrate, admission),
+      serve::WalOptions{}, &recovered);
+  const serve::WalStats stats = wal->stats();
+  const tvnep::core::ValidationResult check = serve::validate_commit_state(
+      substrate, recovered.state.commits, recovered.state.retired);
+
+  std::ostringstream out;
+  out << "{\"type\":\"state\",\"recovered\":"
+      << (recovered.had_state ? "true" : "false")
+      << ",\"active\":" << recovered.state.commits.size()
+      << ",\"retired\":" << recovered.state.retired.size()
+      << ",\"decisions\":" << recovered.state.decisions
+      << ",\"accepted\":" << recovered.state.accepted_total
+      << ",\"now\":" << serve::wal_number(recovered.state.now)
+      << ",\"replayed\":" << stats.replayed
+      << ",\"torn_repaired\":" << stats.torn_repaired
+      << ",\"validation_ok\":" << (check.ok ? "true" : "false")
+      << ",\"validation_errors\":[";
+  for (std::size_t i = 0; i < check.errors.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << tvnep::obs::json_escape(check.errors[i]) << '"';
+  }
+  out << "],\"commits\":[";
+  bool first = true;
+  const auto emit = [&](const serve::Commit& commit) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"id\":\"" << tvnep::obs::json_escape(commit.id)
+        << "\",\"seq\":" << commit.seq
+        << ",\"start\":" << serve::wal_number(commit.start)
+        << ",\"end\":" << serve::wal_number(commit.end)
+        << ",\"fastpath\":" << (commit.fastpath ? "true" : "false") << "}";
+  };
+  for (const serve::Commit& commit : recovered.state.commits) emit(commit);
+  for (const serve::Commit& commit : recovered.state.retired) emit(commit);
+  out << "]}";
+  std::cout << out.str() << std::endl;
+  return check.ok ? 0 : 1;
+}
+
 int run_daemon(const tvnep::eval::Args& args) {
   namespace serve = tvnep::serve;
   serve::DaemonOptions options;
+  if (!parse_wal_flags(args, &options)) return 1;
   options.slo_ms = args.get_double("slo-ms", 100.0);
   options.shed_fraction = args.get_double("shed-fraction", 0.5);
   options.queue_capacity =
@@ -109,6 +190,17 @@ int run_daemon(const tvnep::eval::Args& args) {
       args.get_double("node-cap", 3.5), args.get_double("link-cap", 5.0));
 
   serve::Daemon daemon(std::move(substrate), options);
+  if (!options.state_dir.empty()) {
+    const serve::Daemon::RecoveryInfo& rec = daemon.recovery_info();
+    std::cout << "{\"type\":\"recovered\",\"recovered\":"
+              << (rec.recovered ? "true" : "false")
+              << ",\"active\":" << rec.active << ",\"retired\":" << rec.retired
+              << ",\"decisions\":" << rec.decisions
+              << ",\"replayed\":" << rec.replayed
+              << ",\"torn_repaired\":" << rec.torn_repaired
+              << ",\"validated\":" << (rec.validated ? "true" : "false")
+              << "}" << std::endl;
+  }
 
   serve::MetricsServer metrics_server([&daemon] {
     serve::MetricsServerOptions server_options;
@@ -183,6 +275,7 @@ int main(int argc, char** argv) {
       session = std::make_unique<tvnep::obs::ObsSession>(std::move(obs_config));
 
     if (args.has("emit") || args.has("from-trace")) return emit_requests(args);
+    if (args.has("dump-state")) return dump_state(args);
     install_signal_handlers();
     return run_daemon(args);
   } catch (const tvnep::CheckError& e) {

@@ -5,11 +5,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "serve/net_util.hpp"
 
 namespace tvnep::serve {
 
@@ -37,6 +41,8 @@ void send_all(int fd, const std::string& data) {
                              data.size() - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        obs::counter_add("serve.client_gone");
       return;  // scraper went away mid-reply; nothing to salvage
     }
     written += static_cast<std::size_t>(n);
@@ -88,6 +94,7 @@ void MetricsServer::stop() {
 }
 
 void MetricsServer::run() {
+  AcceptBackoff backoff;
   while (!stop_.load(std::memory_order_relaxed)) {
     struct pollfd pfd{};
     pfd.fd = listen_fd_;
@@ -96,7 +103,23 @@ void MetricsServer::run() {
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) {
+      const int err = errno;
+      obs::counter_add("serve.accept_errors");
+      const int delay = backoff.on_error(err);
+      if (delay > 0) {
+        obs::log_warn("serve.metrics", "accept failed",
+                      "\"errno\":" + std::to_string(err) +
+                          ",\"backoff_ms\":" + std::to_string(delay));
+        for (int slept = 0;
+             slept < delay && !stop_.load(std::memory_order_relaxed);
+             slept += kPollMs)
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min(kPollMs, delay - slept)));
+      }
+      continue;
+    }
+    backoff.on_success();
     handle_connection(conn);
     ::close(conn);
   }

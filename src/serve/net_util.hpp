@@ -1,0 +1,38 @@
+// Accept-loop resilience shared by the daemon and the /metrics listener.
+//
+// accept(2) failing is not one condition: ECONNABORTED/EPROTO/EINTR are
+// per-connection noise (retry immediately), while EMFILE/ENFILE/ENOBUFS/
+// ENOMEM mean the process or host is out of descriptors or memory —
+// retrying in a tight loop then burns a core and starves the thread that
+// could actually release descriptors. The backoff doubles from 10 ms to a
+// 500 ms cap and resets on the first successful accept, so a descriptor
+// storm degrades accept latency instead of silently killing the listener.
+#pragma once
+
+#include <algorithm>
+#include <cerrno>
+
+namespace tvnep::serve {
+
+class AcceptBackoff {
+ public:
+  /// Milliseconds to sleep before retrying accept after errno `err`;
+  /// 0 means retry immediately (transient per-connection failure).
+  int on_error(int err) {
+    if (err == EINTR || err == ECONNABORTED || err == EPROTO) return 0;
+    delay_ms_ = delay_ms_ == 0 ? kInitialMs : std::min(delay_ms_ * 2, kMaxMs);
+    return delay_ms_;
+  }
+
+  void on_success() { delay_ms_ = 0; }
+
+  int current_delay_ms() const { return delay_ms_; }
+
+  static constexpr int kInitialMs = 10;
+  static constexpr int kMaxMs = 500;
+
+ private:
+  int delay_ms_ = 0;
+};
+
+}  // namespace tvnep::serve

@@ -293,5 +293,58 @@ TEST(ServeDaemon, TcpModeRoundTripsAndStops) {
   }
 }
 
+TEST(ServeDaemon, SurvivesClientDroppingSocketMidStream) {
+  // A client that vanishes between request and reply historically killed
+  // the whole daemon: the reply write raised SIGPIPE (default action:
+  // terminate). Now the write path sends with MSG_NOSIGNAL, counts the
+  // EPIPE as serve.client_gone, and the daemon keeps serving the next
+  // connection.
+  std::atomic<bool> stop{false};
+  DaemonOptions options = fast_options();
+  options.external_stop = &stop;
+  Daemon daemon(net::make_grid(4, 5, 3.5, 5.0), options);
+  const int port = daemon.listen_tcp(0);
+  ASSERT_GT(port, 0);
+  std::thread server([&] { daemon.serve_tcp(); });
+
+  const auto connect_client = [&] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0);
+    return fd;
+  };
+
+  // First client: send a burst of requests and hang up without reading a
+  // single reply — every decision write after the close hits a dead peer.
+  const int rude = connect_client();
+  const std::vector<std::string> lines = request_lines(4);
+  std::string payload;
+  for (const std::string& line : lines) payload += line + "\n";
+  payload += "{\"type\":\"drain\"}\n";
+  write_all(rude, payload);
+  ::close(rude);
+
+  // Second client: the daemon must still be alive and serving.
+  const int polite = connect_client();
+  write_all(polite,
+            "{\"type\":\"request\",\"id\":\"after\",\"t_s\":0,\"t_e\":4,"
+            "\"d\":1,\"nodes\":[1.0]}\n{\"type\":\"drain\"}\n");
+  const std::vector<JsonValue> replies = read_replies(polite);
+  ::close(polite);
+  stop.store(true);
+  server.join();
+  EXPECT_EQ(count_type(replies, "decision"), 1);
+  EXPECT_EQ(count_type(replies, "bye"), 1);
+  // The rude client's hangup may RST away some of its still-queued
+  // requests (that is its loss); what it must never cost is the daemon's
+  // life — the polite client's decision above is the real assertion.
+  EXPECT_GE(daemon.decided_total(), 1);
+}
+
 }  // namespace
 }  // namespace tvnep::serve
